@@ -1,0 +1,1 @@
+bench/ablations.ml: Fig6 Fmt Gc Harness Imdb_buffer Imdb_clock Imdb_core Imdb_lock Imdb_storage Imdb_tstamp Imdb_util Imdb_version Imdb_workload List Printf Unix

@@ -1,0 +1,1 @@
+bench/fig5.ml: Fmt Gc Harness Imdb_core Imdb_util Imdb_workload List Printf

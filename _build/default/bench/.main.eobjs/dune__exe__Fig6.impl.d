@@ -1,0 +1,1 @@
+bench/fig6.ml: Fmt Harness Imdb_core Imdb_workload List Printf

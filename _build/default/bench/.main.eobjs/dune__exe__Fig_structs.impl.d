@@ -1,0 +1,1 @@
+bench/fig_structs.ml: Bytes Fmt Harness Imdb_clock Imdb_storage Imdb_util Imdb_version Imdb_workload Int64 List

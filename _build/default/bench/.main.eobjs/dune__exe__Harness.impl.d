@@ -1,0 +1,1 @@
+bench/harness.ml: Fmt List String Unix

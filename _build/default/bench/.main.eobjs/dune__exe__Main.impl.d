@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig5 Fig6 Fig_structs Fmt Harness List Micro Sys Unix

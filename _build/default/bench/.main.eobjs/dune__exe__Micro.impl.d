@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Fmt Harness Hashtbl Imdb_clock Imdb_storage Imdb_util Imdb_version Instance Int64 List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,104 @@
+(* Fig. 5: transaction overhead of Immortal DB vs a conventional table.
+
+   The paper runs up to 32,000 transactions — 500 inserts, the rest
+   single-record updates — and reports elapsed time for the transaction-
+   time table against the conventional table, measuring ~11% overhead in
+   this worst case (one record per transaction, so every transaction pays
+   the single PTT update).
+
+   We reproduce the sweep over N in {1K..32K} transactions and report
+   wall time plus the deterministic work counters that explain the
+   difference: log bytes, PTT inserts and page allocations. *)
+
+module Db = Imdb_core.Db
+module Driver = Imdb_workload.Driver
+module Mo = Imdb_workload.Moving_objects
+module Stats = Imdb_util.Stats
+
+let inserts_default = 500
+
+(* Checkpoint periodically, as the production engine would: it keeps the
+   PTT garbage-collected (otherwise its B-tree grows with every commit and
+   per-transaction cost creeps up with N, an artifact no real deployment
+   would see). *)
+let bench_config =
+  { Imdb_core.Engine.default_config with Imdb_core.Engine.auto_checkpoint_every = 1000 }
+
+let run_one ~mode ~events =
+  Stats.reset_all ();
+  Gc.compact ();
+  let db, clock = Driver.fresh_moving_objects ~config:bench_config ~mode () in
+  let result = Driver.run_events ~clock db ~table:"MovingObjects" events in
+  Db.close db;
+  result
+
+let fig5 ~scale =
+  let points = [ 1000; 2000; 4000; 8000; 16000; 32000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let n = Harness.scaled ~scale n in
+        let inserts = min inserts_default n in
+        let events = Mo.generate ~seed:42 ~inserts ~total:n () in
+        let conv = run_one ~mode:Db.Conventional ~events in
+        let imm = run_one ~mode:Db.Immortal ~events in
+        [
+          Printf.sprintf "%dK" (n / 1000);
+          Harness.ms conv.Driver.rr_elapsed_s;
+          Harness.ms imm.Driver.rr_elapsed_s;
+          Harness.pct imm.Driver.rr_elapsed_s conv.Driver.rr_elapsed_s;
+          string_of_int (Driver.counter imm Stats.ptt_inserts);
+          string_of_int (Driver.counter imm Stats.log_bytes - Driver.counter conv Stats.log_bytes);
+          string_of_int (Driver.counter imm Stats.time_splits);
+        ])
+      points
+  in
+  Harness.print_table
+    ~title:
+      "Fig 5: transaction overhead (500 inserts, rest single-record updates; \
+       1 txn per record)"
+    ~header:
+      [ "txns"; "conventional ms"; "immortal ms"; "overhead"; "PTT ins";
+        "extra log B"; "time splits" ]
+    rows;
+  Fmt.pr
+    "paper shape: immortal overhead stays small (paper: ~11%% at 32K, 1.1ms of \
+     9.6ms/txn), driven by the per-commit PTT update.@.";
+  (* The paper's companion observation: "If we include many updates within
+     one transaction, we would have about the same [per-transaction]
+     overhead, but the overhead percentage would be much lower" — and the
+     all-in-one-transaction case was "indistinguishable" from conventional.
+     Sweep the records-per-transaction batch size. *)
+  let n = Harness.scaled ~scale 32000 in
+  let inserts = min inserts_default n in
+  let events = Mo.generate ~seed:42 ~inserts ~total:n () in
+  let run_batched ~mode ~batch =
+    Stats.reset_all ();
+    Gc.compact ();
+    let db, clock = Driver.fresh_moving_objects ~config:bench_config ~mode () in
+    let r = Driver.run_events_batched ~clock ~batch db ~table:"MovingObjects" events in
+    Db.close db;
+    r
+  in
+  let rows =
+    List.map
+      (fun batch ->
+        let conv = run_batched ~mode:Db.Conventional ~batch in
+        let imm = run_batched ~mode:Db.Immortal ~batch in
+        [
+          string_of_int batch;
+          Harness.ms conv.Driver.rr_elapsed_s;
+          Harness.ms imm.Driver.rr_elapsed_s;
+          Harness.pct imm.Driver.rr_elapsed_s conv.Driver.rr_elapsed_s;
+          string_of_int (Driver.counter imm Stats.ptt_inserts);
+        ])
+      [ 1; 10; 100; 1000 ]
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Fig 5 (companion): records per transaction, %d records total" n)
+    ~header:[ "records/txn"; "conventional ms"; "immortal ms"; "overhead"; "PTT ins" ]
+    rows
+
+let () = Harness.register ~name:"fig5" ~doc:"transaction overhead (Fig. 5)" fig5

@@ -1,0 +1,103 @@
+(* Bechamel micro-benchmarks of the engine's hot primitives: slotted-page
+   ops, B-tree point ops, version-chain insertion, timestamp handling.
+   One Test.make per primitive; OLS estimate of ns/op. *)
+
+open Bechamel
+open Toolkit
+module P = Imdb_storage.Page
+module R = Imdb_storage.Record
+module Tid = Imdb_clock.Tid
+module Ts = Imdb_clock.Timestamp
+module V = Imdb_version.Vpage
+
+let page_with_records n =
+  let page = Bytes.make 8192 '\000' in
+  P.format page ~page_id:1 ~page_type:P.P_data ();
+  for i = 1 to n do
+    let key = Printf.sprintf "key%04d" i in
+    match V.plan_insert page ~key ~payload:"payloadpayload" ~tid:(Tid.of_int i)
+            ~delete_stub:false with
+    | Some pi -> V.apply_insert page pi
+    | None -> ()
+  done;
+  page
+
+let test_page_insert =
+  let page = page_with_records 10 in
+  let body = Bytes.of_string "cellbody" in
+  Test.make ~name:"page.insert+delete"
+    (Staged.stage (fun () ->
+         let slot = P.insert page body in
+         P.delete_slot page slot))
+
+let test_record_roundtrip =
+  let r =
+    { R.flags = 0; key = "key0001"; payload = "payloadpayload"; vp = R.no_vp;
+      ttime = Tid.Unstamped (Tid.of_int 7); sn = 0 }
+  in
+  Test.make ~name:"record.encode+decode"
+    (Staged.stage (fun () -> ignore (R.decode (R.encode r))))
+
+let test_find_current =
+  let page = page_with_records 50 in
+  Test.make ~name:"vpage.find_current(50 recs)"
+    (Staged.stage (fun () -> ignore (V.find_current page ~key:"key0025")))
+
+let test_as_of =
+  let page = page_with_records 50 in
+  (* stamp everything at distinct times *)
+  let i = ref 0 in
+  P.iter_live page (fun slot ->
+      incr i;
+      R.set_in_page_ttime page slot (Tid.Stamped (Int64.of_int (!i * 20)));
+      R.set_in_page_sn page slot 0);
+  let asof = Ts.make ~ttime:500L ~sn:0 in
+  Test.make ~name:"vpage.find_stamped_as_of"
+    (Staged.stage (fun () -> ignore (V.find_stamped_as_of page ~key:"key0025" ~asof)))
+
+let test_timestamp =
+  let ts = Ts.make ~ttime:1_000_000_000_000L ~sn:42 in
+  let buf = Bytes.create 12 in
+  Test.make ~name:"timestamp.write+read"
+    (Staged.stage (fun () ->
+         Ts.write buf 0 ts;
+         ignore (Ts.read buf 0)))
+
+let test_crc =
+  let b = Bytes.make 8192 'x' in
+  Test.make ~name:"crc32.page(8KB)" (Staged.stage (fun () -> ignore (Imdb_util.Checksum.bytes b)))
+
+let tests =
+  [ test_page_insert; test_record_roundtrip; test_find_current; test_as_of;
+    test_timestamp; test_crc ]
+
+let run ~scale:_ =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Fmt.str "%.1f" e
+          | _ -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Fmt.str "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Harness.print_table ~title:"micro-benchmarks (bechamel, OLS)"
+    ~header:[ "primitive"; "ns/op"; "r^2" ]
+    rows
+
+let () = Harness.register ~name:"micro" ~doc:"engine primitives (bechamel)" run

@@ -1,0 +1,248 @@
+(* imdb — command-line front end to the Immortal DB engine.
+
+   Subcommands:
+     imdb sql DIR [-e STATEMENTS] [-f FILE]   run SQL (or a REPL on a tty)
+     imdb tables DIR                          list tables
+     imdb history DIR TABLE KEY               show a record's version history
+     imdb workload DIR [-n N] [--objects K]   load a moving-objects stream
+     imdb stats DIR                           storage statistics
+     imdb checkpoint DIR                      force a checkpoint (and PTT GC)
+     imdb backup DIR DEST [--as-of TS]        extract a queryable AS OF backup
+
+   DIR is a database directory (created on first use). *)
+
+open Cmdliner
+module Db = Imdb_core.Db
+module S = Imdb_core.Schema
+module E = Imdb_core.Engine
+module Ts = Imdb_clock.Timestamp
+
+let with_db dir f =
+  let db = Db.open_dir dir in
+  Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
+
+let dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Database directory.")
+
+(* --- sql ----------------------------------------------------------------- *)
+
+let run_sql db src =
+  let session = Imdb_sql.Executor.make_session db in
+  List.iter
+    (fun r -> Fmt.pr "%a@." Imdb_sql.Executor.pp_result r)
+    (Imdb_sql.Executor.exec_string session src)
+
+let repl db =
+  let session = Imdb_sql.Executor.make_session db in
+  Fmt.pr "Immortal DB. Statements end with ';'. Ctrl-D to quit.@.";
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Fmt.pr (if Buffer.length buf = 0 then "imdb> " else "  ... ");
+       Fmt.flush Fmt.stdout ();
+       let line = input_line stdin in
+       Buffer.add_string buf line;
+       Buffer.add_char buf '\n';
+       if String.contains line ';' then begin
+         let src = Buffer.contents buf in
+         Buffer.clear buf;
+         try
+           List.iter
+             (fun r -> Fmt.pr "%a@." Imdb_sql.Executor.pp_result r)
+             (Imdb_sql.Executor.exec_string session src)
+         with e -> Fmt.pr "error: %s@." (Printexc.to_string e)
+       end
+     done
+   with End_of_file -> ());
+  Fmt.pr "@."
+
+let sql_cmd =
+  let exec =
+    Arg.(value & opt (some string) None & info [ "e" ] ~docv:"SQL" ~doc:"Statements to execute.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "f" ] ~docv:"FILE" ~doc:"Script file to execute.")
+  in
+  let run dir exec file =
+    with_db dir (fun db ->
+        match (exec, file) with
+        | Some src, _ -> run_sql db src
+        | None, Some path ->
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let src = really_input_string ic n in
+            close_in ic;
+            run_sql db src
+        | None, None -> repl db)
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Run SQL statements (or an interactive session).")
+    Term.(const run $ dir_arg $ exec $ file)
+
+(* --- tables ---------------------------------------------------------------- *)
+
+let tables_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        List.iter
+          (fun ti ->
+            Fmt.pr "%-20s %-12s %a@." ti.Imdb_core.Catalog.ti_name
+              (Fmt.str "%a" Imdb_core.Catalog.pp_mode ti.Imdb_core.Catalog.ti_mode)
+              S.pp ti.Imdb_core.Catalog.ti_schema)
+          (Db.list_tables db))
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"List tables.") Term.(const run $ dir_arg)
+
+(* --- history ---------------------------------------------------------------- *)
+
+let history_cmd =
+  let table_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TABLE" ~doc:"Table name.")
+  in
+  let key_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"KEY"
+           ~doc:"Primary key (integer or string).")
+  in
+  let run dir table key =
+    with_db dir (fun db ->
+        let key =
+          match int_of_string_opt key with
+          | Some i -> S.V_int i
+          | None -> S.V_string key
+        in
+        Db.exec db (fun txn ->
+            List.iter
+              (fun (ts, row) ->
+                match row with
+                | Some r -> Fmt.pr "%a  %a@." Ts.pp ts (Fmt.Dump.list S.pp_value) r
+                | None -> Fmt.pr "%a  (deleted)@." Ts.pp ts)
+              (Db.history_rows db txn ~table ~key)))
+  in
+  Cmd.v (Cmd.info "history" ~doc:"Show a record's version history.")
+    Term.(const run $ dir_arg $ table_arg $ key_arg)
+
+(* --- workload --------------------------------------------------------------- *)
+
+let workload_cmd =
+  let total =
+    Arg.(value & opt int 10000 & info [ "n" ] ~docv:"N" ~doc:"Total transactions.")
+  in
+  let objects =
+    Arg.(value & opt int 500 & info [ "objects" ] ~docv:"K" ~doc:"Number of moving objects.")
+  in
+  let run dir total objects =
+    with_db dir (fun db ->
+        (match Db.list_tables db |> List.find_opt (fun ti -> ti.Imdb_core.Catalog.ti_name = "MovingObjects") with
+        | Some _ -> ()
+        | None ->
+            Db.create_table db ~name:"MovingObjects" ~mode:Db.Immortal
+              ~schema:Imdb_workload.Driver.moving_objects_schema);
+        let events = Imdb_workload.Moving_objects.generate ~inserts:objects ~total () in
+        let r = Imdb_workload.Driver.run_events db ~table:"MovingObjects" events in
+        Fmt.pr "loaded %d transactions in %.2fs (%.1f us/txn)@."
+          r.Imdb_workload.Driver.rr_events r.Imdb_workload.Driver.rr_elapsed_s
+          (r.Imdb_workload.Driver.rr_elapsed_s /. float_of_int total *. 1e6))
+  in
+  Cmd.v (Cmd.info "workload" ~doc:"Load a moving-objects workload.")
+    Term.(const run $ dir_arg $ total $ objects)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        let eng = Db.engine db in
+        Fmt.pr "pages allocated (high-water):  %d@." eng.E.meta.Imdb_core.Meta.hwm;
+        Fmt.pr "tables:                        %d@." (List.length (Db.list_tables db));
+        Fmt.pr "PTT entries:                   %d@."
+          (Imdb_tstamp.Ptt.count (E.ptt_exn eng));
+        (match Imdb_tstamp.Ptt.min_tid (E.ptt_exn eng) with
+        | Some tid -> Fmt.pr "oldest PTT entry:              %a@." Imdb_clock.Tid.pp tid
+        | None -> ());
+        List.iter
+          (fun ti ->
+            if ti.Imdb_core.Catalog.ti_mode = Imdb_core.Catalog.Immortal then begin
+              let ranges = Imdb_core.Table.router_ranges eng ti in
+              Fmt.pr "table %s: %d current pages@." ti.Imdb_core.Catalog.ti_name
+                (List.length ranges)
+            end)
+          (Db.list_tables db))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.") Term.(const run $ dir_arg)
+
+let checkpoint_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        Db.checkpoint db;
+        Fmt.pr "checkpoint complete@.")
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Force a checkpoint (and PTT garbage collection).")
+    Term.(const run $ dir_arg)
+
+let backup_cmd =
+  let dest_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"
+           ~doc:"Destination database directory (created).")
+  in
+  let as_of_arg =
+    Arg.(value & opt (some string) None & info [ "as-of" ] ~docv:"DATETIME"
+           ~doc:"Extract the state as of this time (default: now).")
+  in
+  let run dir dest as_of =
+    with_db dir (fun db ->
+        let ts =
+          match as_of with
+          | Some s -> Ts.of_string s
+          | None -> Imdb_clock.Clock.last_issued (Db.engine db).E.clock
+        in
+        let dest_db = Db.open_dir dest in
+        Fun.protect
+          ~finally:(fun () -> Db.close dest_db)
+          (fun () ->
+            let r = Imdb_core.Backup.extract ~src:db ~dest:dest_db ~as_of:ts in
+            let n = Imdb_core.Backup.verify ~src:db ~dest:dest_db ~as_of:ts in
+            Fmt.pr "backed up %d tables, %d rows as of %a (%d rows verified)@."
+              r.Imdb_core.Backup.bk_tables r.Imdb_core.Backup.bk_rows Ts.pp
+              r.Imdb_core.Backup.bk_as_of n))
+  in
+  Cmd.v
+    (Cmd.info "backup" ~doc:"Extract a queryable AS OF backup into a new database.")
+    Term.(const run $ dir_arg $ dest_arg $ as_of_arg)
+
+let vacuum_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        let n = Db.vacuum db in
+        Fmt.pr "vacuum complete: %d timestamp-table entries collected@." n)
+  in
+  Cmd.v
+    (Cmd.info "vacuum"
+       ~doc:"Force timestamping to completion and empty the persistent timestamp table.")
+    Term.(const run $ dir_arg)
+
+(* IMDB_LOG=debug|info enables engine/recovery diagnostics on stderr. *)
+let setup_logs () =
+  match Sys.getenv_opt "IMDB_LOG" with
+  | None -> ()
+  | Some level ->
+      let level =
+        match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | "warning" | "warn" -> Some Logs.Warning
+        | _ -> Some Logs.Info
+      in
+      Logs.set_level level;
+      Logs.set_reporter
+        (Logs.format_reporter ~app:Fmt.stderr ~dst:Fmt.stderr ())
+
+let () =
+  setup_logs ();
+  let info =
+    Cmd.info "imdb" ~version:"1.0.0"
+      ~doc:"Immortal DB: a transaction-time database engine."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sql_cmd; tables_cmd; history_cmd; workload_cmd; stats_cmd; checkpoint_cmd;
+            backup_cmd; vacuum_cmd ]))

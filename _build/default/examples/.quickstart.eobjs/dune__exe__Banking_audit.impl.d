@@ -1,0 +1,1 @@
+examples/banking_audit.ml: Fmt Imdb_clock Imdb_core Imdb_sql List Printf

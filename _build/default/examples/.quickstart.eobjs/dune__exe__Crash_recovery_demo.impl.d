@@ -1,0 +1,1 @@
+examples/crash_recovery_demo.ml: Fmt Imdb_clock Imdb_core Imdb_tstamp List

@@ -1,0 +1,1 @@
+examples/moving_objects_demo.ml: Fmt Imdb_clock Imdb_core Imdb_sql Imdb_workload List Printf

@@ -1,0 +1,1 @@
+examples/operations_tour.ml: Fmt Imdb_clock Imdb_core Imdb_sql Imdb_tstamp List Printf

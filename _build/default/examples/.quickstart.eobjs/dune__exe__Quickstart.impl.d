@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Imdb_clock Imdb_core List Unix

@@ -1,0 +1,1 @@
+examples/snapshot_demo.ml: Fmt Imdb_core Imdb_lock Printf

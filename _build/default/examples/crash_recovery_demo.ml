@@ -1,0 +1,80 @@
+(* Durability and the lazy-timestamping crash story (paper Section 2.2).
+
+     dune exec examples/crash_recovery_demo.exe
+
+   We commit work, leave versions deliberately *unstamped* (their pages
+   carry TIDs, not timestamps — stamping was never logged), start an
+   in-flight transaction, and crash.  Recovery replays the log, rolls the
+   loser back, and the unstamped-but-committed versions resolve through
+   the persistent timestamp table on first access — no committed history
+   is lost, and AS OF still answers correctly. *)
+
+module Db = Imdb_core.Db
+module E = Imdb_core.Engine
+module S = Imdb_core.Schema
+module Ts = Imdb_clock.Timestamp
+
+let schema =
+  S.make
+    [
+      { S.col_name = "id"; col_type = S.T_int };
+      { S.col_name = "note"; col_type = S.T_string };
+    ]
+
+let () =
+  let clock = Imdb_clock.Clock.create_logical () in
+  let db = Db.open_memory ~clock () in
+  Db.create_table db ~name:"journal" ~mode:Db.Immortal ~schema;
+  let tick () = Imdb_clock.Clock.advance clock 20L in
+
+  tick ();
+  Db.with_txn db (fun txn ->
+      Db.insert_row db txn ~table:"journal" [ S.V_int 1; S.V_string "first entry" ]);
+  let t1 = Imdb_clock.Clock.last_issued clock in
+  tick ();
+  Db.with_txn db (fun txn ->
+      Db.update_row db txn ~table:"journal" [ S.V_int 1; S.V_string "revised entry" ]);
+
+  Fmt.pr "PTT entries before crash: %d@."
+    (Imdb_tstamp.Ptt.count (E.ptt_exn (Db.engine db)));
+
+  (* An in-flight transaction that must vanish at recovery. *)
+  let doomed = Db.begin_txn db in
+  Db.insert_row db doomed ~table:"journal" [ S.V_int 2; S.V_string "never happened" ];
+  Fmt.pr "in-flight transaction wrote id=2, NOT committed@.";
+
+  Fmt.pr "@.*** CRASH *** (buffer pool and volatile timestamp table lost)@.@.";
+  let db = Db.crash_and_reopen ~clock db in
+
+  Db.exec db (fun txn ->
+      Fmt.pr "after recovery:@.";
+      List.iter
+        (fun row -> Fmt.pr "  %a@." (Fmt.Dump.list S.pp_value) row)
+        (Db.scan_rows db txn ~table:"journal");
+      (match Db.get_row db txn ~table:"journal" ~key:(S.V_int 2) with
+      | None -> Fmt.pr "  id=2: correctly rolled back@."
+      | Some _ -> Fmt.pr "  id=2: STILL PRESENT (bug!)@."));
+
+  (* Historical states survived the crash, resolved via the PTT. *)
+  (match
+     Db.as_of db t1 (fun txn -> Db.get_row db txn ~table:"journal" ~key:(S.V_int 1))
+   with
+  | Some [ _; S.V_string note ] ->
+      Fmt.pr "  AS OF first commit still answers: %S@." note
+  | _ -> Fmt.pr "  AS OF lookup failed (bug!)@.");
+
+  (* And the engine keeps working: more commits, another crash, again. *)
+  tick ();
+  Db.with_txn db (fun txn ->
+      Db.insert_row db txn ~table:"journal" [ S.V_int 3; S.V_string "post-crash" ]);
+  let db = Db.crash_and_reopen ~clock db in
+  Db.exec db (fun txn ->
+      Fmt.pr "@.after a second crash, %d rows; history of id=1:@."
+        (List.length (Db.scan_rows db txn ~table:"journal"));
+      List.iter
+        (fun (ts, row) ->
+          Fmt.pr "  %a  %a@." Ts.pp ts
+            (Fmt.Dump.option (Fmt.Dump.list S.pp_value))
+            row)
+        (Db.history_rows db txn ~table:"journal" ~key:(S.V_int 1)));
+  Db.close db

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Bytes Char Codec Fmt Fun Imdb_buffer Imdb_storage Imdb_util Imdb_wal List Option Printf String

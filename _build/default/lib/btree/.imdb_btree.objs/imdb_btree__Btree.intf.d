@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Format Imdb_buffer Imdb_storage Imdb_wal

@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.ml: Bytes Fun Hashtbl Imdb_storage Imdb_util Imdb_wal Int64 List Printf Stats

@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.mli: Imdb_storage Imdb_wal

@@ -1,0 +1,192 @@
+(* The buffer pool.
+
+   Fixed-capacity page cache with pin counts, LRU eviction, dirty tracking
+   with per-page recLSN, and the WAL-before-data rule: a dirty page is
+   written only after the log is durable up to the page's LSN.
+
+   Two features exist specifically for Immortal DB's lazy timestamping:
+
+   - a [pre_flush] hook runs on every page image just before it is written
+     to disk.  The engine installs the VTT-only timestamp sweep there
+     ("just before a cached page is flushed to disk, we check whether the
+     page contains any non-timestamped records from committed
+     transactions" — Section 2.2).  Hook changes are *not* logged and do
+     not move the page LSN.
+
+   - [mark_dirty_unlogged] records a recLSN equal to the current log end
+     even though nothing was logged.  This keeps pages dirtied only by
+     timestamp propagation inside the dirty-page table, so the redo-scan
+     start point cannot advance past unflushed stamping — the invariant
+     the PTT garbage collector relies on (Section 2.2, "we can know when
+     the pages have been written to disk by tracking database
+     checkpoints"). *)
+
+open Imdb_util
+
+exception Buffer_full
+exception Corrupt_page of int
+
+type frame = {
+  f_page_id : int;
+  f_bytes : bytes;
+  mutable f_pin : int;
+  mutable f_dirty : bool;
+  mutable f_rec_lsn : int64; (* meaningful only when dirty *)
+  mutable f_last_used : int;
+}
+
+type t = {
+  disk : Imdb_storage.Disk.t;
+  wal : Imdb_wal.Wal.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable pre_flush : bytes -> unit;
+}
+
+let create ?(capacity = 256) ~disk ~wal () =
+  if capacity < 4 then invalid_arg "Buffer_pool.create: capacity too small";
+  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity); tick = 0; pre_flush = ignore }
+
+let set_pre_flush t f = t.pre_flush <- f
+let page_size t = t.disk.Imdb_storage.Disk.page_size
+let touch t f =
+  t.tick <- t.tick + 1;
+  f.f_last_used <- t.tick
+
+(* Write [f] out: pre-flush hook, WAL rule, checksum seal. *)
+let write_frame t f =
+  t.pre_flush f.f_bytes;
+  let page_lsn = Imdb_storage.Page.lsn f.f_bytes in
+  Imdb_wal.Wal.flush ~lsn:page_lsn t.wal;
+  Imdb_storage.Page.seal f.f_bytes;
+  t.disk.Imdb_storage.Disk.write_page f.f_page_id f.f_bytes;
+  f.f_dirty <- false
+
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ f ->
+      if f.f_pin = 0 then
+        match !victim with
+        | Some v when v.f_last_used <= f.f_last_used -> ()
+        | _ -> victim := Some f)
+    t.frames;
+  match !victim with
+  | None -> raise Buffer_full
+  | Some f ->
+      if f.f_dirty then write_frame t f;
+      Hashtbl.remove t.frames f.f_page_id;
+      Stats.incr Stats.buf_evictions
+
+let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t done
+
+(* Pin an existing page, reading (and verifying) it from disk on a miss. *)
+let pin t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f ->
+      Stats.incr Stats.buf_hits;
+      f.f_pin <- f.f_pin + 1;
+      touch t f;
+      f
+  | None ->
+      Stats.incr Stats.buf_misses;
+      make_room t;
+      let bytes = t.disk.Imdb_storage.Disk.read_page page_id in
+      if not (Imdb_storage.Page.verify bytes) then raise (Corrupt_page page_id);
+      let f =
+        { f_page_id = page_id; f_bytes = bytes; f_pin = 1; f_dirty = false;
+          f_rec_lsn = 0L; f_last_used = 0 }
+      in
+      touch t f;
+      Hashtbl.replace t.frames page_id f;
+      f
+
+(* Pin a frame for a brand-new page: no disk read, caller formats it. *)
+let pin_new t page_id =
+  if Hashtbl.mem t.frames page_id then
+    invalid_arg (Printf.sprintf "Buffer_pool.pin_new: page %d already cached" page_id);
+  make_room t;
+  (* zero-filled: redo gating reads the LSN field of never-written pages *)
+  let f =
+    { f_page_id = page_id; f_bytes = Bytes.make (page_size t) '\000'; f_pin = 1;
+      f_dirty = false; f_rec_lsn = 0L; f_last_used = 0 }
+  in
+  touch t f;
+  Hashtbl.replace t.frames page_id f;
+  f
+
+let unpin _t f =
+  if f.f_pin <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
+  f.f_pin <- f.f_pin - 1
+
+let bytes f = f.f_bytes
+let page_id f = f.f_page_id
+
+(* Record a logged modification: sets the page LSN and, on a clean->dirty
+   transition, the recLSN. *)
+let mark_dirty_logged _t f ~lsn =
+  if not f.f_dirty then begin
+    f.f_dirty <- true;
+    f.f_rec_lsn <- lsn
+  end;
+  Imdb_storage.Page.set_lsn f.f_bytes lsn
+
+(* Record an *unlogged* modification (timestamp propagation).  recLSN is
+   the current end of log so the dirty-page table pins the redo-scan
+   start point behind this page until it reaches disk. *)
+let mark_dirty_unlogged t f =
+  if not f.f_dirty then begin
+    f.f_dirty <- true;
+    f.f_rec_lsn <- Imdb_wal.Wal.next_lsn t.wal
+  end
+
+let with_page t page_id f =
+  let fr = pin t page_id in
+  Fun.protect ~finally:(fun () -> unpin t fr) (fun () -> f fr)
+
+let flush_page t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f when f.f_dirty -> write_frame t f
+  | _ -> ()
+
+let flush_all t =
+  let dirty = Hashtbl.fold (fun _ f acc -> if f.f_dirty then f :: acc else acc) t.frames [] in
+  List.iter (fun f -> write_frame t f) dirty
+
+(* Flush pages that have been dirty since before [rec_lsn_limit] — the
+   checkpoint-time sweep that moves the redo-scan start point forward (and
+   with it, the PTT garbage-collection horizon).  Pinned pages are written
+   in place, like a real background writer under a latch. *)
+let flush_older_than t ~rec_lsn_limit =
+  let victims =
+    Hashtbl.fold
+      (fun _ f acc ->
+        if f.f_dirty && Int64.compare f.f_rec_lsn rec_lsn_limit <= 0 then f :: acc
+        else acc)
+      t.frames []
+  in
+  List.iter (fun f -> write_frame t f) victims;
+  List.length victims
+
+(* (page_id, recLSN) for every dirty page — the DPT stored in checkpoints. *)
+let dirty_page_table t =
+  Hashtbl.fold (fun id f acc -> if f.f_dirty then (id, f.f_rec_lsn) :: acc else acc) t.frames []
+  |> List.sort compare
+
+let cached_page_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.frames [] |> List.sort compare
+let is_cached t page_id = Hashtbl.mem t.frames page_id
+
+(* Crash simulation: discard every frame without writing. *)
+let drop_all t = Hashtbl.reset t.frames
+
+(* Drop a single (unpinned) frame without writing — used when a page is
+   freed, so its stale image can never reach disk. *)
+let invalidate t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | None -> ()
+  | Some f ->
+      if f.f_pin > 0 then invalid_arg "Buffer_pool.invalidate: page is pinned";
+      Hashtbl.remove t.frames page_id
+
+let pinned_count t = Hashtbl.fold (fun _ f acc -> if f.f_pin > 0 then acc + 1 else acc) t.frames 0

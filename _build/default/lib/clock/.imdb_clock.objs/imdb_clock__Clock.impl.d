@@ -1,0 +1,1 @@
+lib/clock/clock.ml: Int64 Timestamp Unix

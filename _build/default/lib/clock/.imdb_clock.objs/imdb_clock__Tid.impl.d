@@ -1,0 +1,1 @@
+lib/clock/tid.ml: Fmt Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/clock/tid.mli: Format Hashtbl

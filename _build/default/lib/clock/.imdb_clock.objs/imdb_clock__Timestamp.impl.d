@@ -1,0 +1,1 @@
+lib/clock/timestamp.ml: Fmt Imdb_util Int Int64 Printf String

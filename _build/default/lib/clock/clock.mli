@@ -1,0 +1,34 @@
+(** The engine clock: issues commit timestamps that are unique and
+    strictly increasing, hence consistent with serialization order.
+
+    Two modes behind one interface: [Wall] quantizes the OS clock to the
+    paper's 20 ms resolution and extends it with the sequence number;
+    [Logical] is advanced explicitly by tests and benchmarks so whole
+    experiments are reproducible bit for bit. *)
+
+type t
+
+val create_logical : ?start:int64 -> unit -> t
+(** A deterministic clock starting at [start] ms (default 10^12). *)
+
+val create_wall : unit -> t
+
+val now : t -> int64
+(** Current quantized time in ms. *)
+
+val advance : t -> int64 -> unit
+(** Move a logical clock forward by the given ms.
+    @raise Invalid_argument on a wall clock. *)
+
+val next_commit_timestamp : t -> Timestamp.t
+(** Issue the next commit timestamp: a fresh quantum gets sequence number
+    0; within a quantum the sequence number increments.  Monotonic even
+    if the wall clock steps backward. *)
+
+val observe : t -> Timestamp.t -> unit
+(** Raise the issue floor to at least [ts] — used by recovery so that no
+    commit timestamp ever repeats across restarts. *)
+
+val last_issued : t -> Timestamp.t
+(** The largest timestamp issued (or observed) so far; doubles as the
+    snapshot time for new snapshot-isolation transactions. *)

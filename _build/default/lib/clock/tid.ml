@@ -1,0 +1,45 @@
+(* Transaction identifiers.
+
+   TIDs are assigned in ascending order at transaction begin.  On disk a
+   record version that has not yet been timestamped carries its updating
+   transaction's TID in the 8-byte Ttime field of the versioning tail
+   (paper Section 2.1); the high bit distinguishes a TID from a clock
+   time, which (being milliseconds since 1970) never reaches 2^63. *)
+
+type t = int64
+
+let flag = Int64.min_int (* high bit *)
+let invalid : t = 0L
+let first : t = 1L
+let next (t : t) : t = Int64.add t 1L
+let compare = Int64.compare
+let equal = Int64.equal
+let to_int64 (t : t) = t
+let of_int64 (i : int64) : t = i
+let of_int i : t = Int64.of_int i
+let pp ppf t = Fmt.pf ppf "T%Ld" t
+let to_string t = Fmt.str "%a" pp t
+
+(* Encoding into the Ttime field: either a committed timestamp's ttime
+   (high bit clear) or a flagged TID. *)
+type ttime_field = Stamped of int64 | Unstamped of t
+
+let encode_ttime_field = function
+  | Stamped ms ->
+      if Int64.compare ms 0L < 0 then invalid_arg "Tid: negative ttime";
+      ms
+  | Unstamped tid ->
+      if Int64.compare tid 0L <= 0 then invalid_arg "Tid: non-positive tid";
+      Int64.logor flag tid
+
+let decode_ttime_field v =
+  if Int64.compare v 0L < 0 then Unstamped (Int64.logand v (Int64.lognot flag))
+  else Stamped v
+
+(* Hashtbl key module for VTT and friends. *)
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = Int64.equal
+  let hash t = Int64.to_int t land max_int
+end)

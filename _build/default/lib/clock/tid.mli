@@ -1,0 +1,31 @@
+(** Transaction identifiers.
+
+    TIDs are assigned in ascending order at transaction begin.  A record
+    version not yet timestamped carries its transaction's TID in the
+    8-byte Ttime field of its versioning tail, flagged by the high bit —
+    a clock time (ms since 1970) never reaches 2^63, so the two are
+    unambiguous. *)
+
+type t
+
+val invalid : t
+val first : t
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_int64 : t -> int64
+val of_int64 : int64 -> t
+val of_int : int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** What an 8-byte Ttime field holds. *)
+type ttime_field =
+  | Stamped of int64  (** a committed version's clock time *)
+  | Unstamped of t  (** the updating transaction's TID; stamping pending *)
+
+val encode_ttime_field : ttime_field -> int64
+val decode_ttime_field : int64 -> ttime_field
+
+(** Hash tables keyed by TID (the VTT, the active-transaction table). *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/core/backup.ml: Catalog Db Hashtbl Imdb_clock List Printf String Table

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Fmt Imdb_btree Imdb_util List Option Printf Schema

@@ -1,0 +1,1 @@
+lib/core/db.ml: Catalog Engine Filename Imdb_buffer Imdb_clock Imdb_storage Imdb_tstamp Imdb_wal List Meta Option Recovery Schema Sys Table Txnmgr

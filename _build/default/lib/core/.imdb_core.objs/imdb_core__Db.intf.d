@@ -1,0 +1,1 @@
+lib/core/db.mli: Catalog Engine Imdb_clock Imdb_storage Imdb_wal Schema

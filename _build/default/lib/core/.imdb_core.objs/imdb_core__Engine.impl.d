@@ -1,0 +1,1 @@
+lib/core/engine.ml: Bytes Catalog Fun Hashtbl Imdb_btree Imdb_buffer Imdb_clock Imdb_lock Imdb_storage Imdb_tsb Imdb_tstamp Imdb_util Imdb_version Imdb_wal List Logs Meta Option

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Catalog Hashtbl Imdb_btree Imdb_buffer Imdb_clock Imdb_lock Imdb_storage Imdb_tsb Imdb_tstamp Imdb_wal Meta

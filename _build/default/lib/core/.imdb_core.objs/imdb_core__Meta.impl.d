@@ -1,0 +1,1 @@
+lib/core/meta.ml: Imdb_util Printf

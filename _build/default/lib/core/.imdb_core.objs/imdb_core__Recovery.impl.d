@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Engine Fun Imdb_buffer Imdb_clock Imdb_storage Imdb_tstamp Imdb_wal Int64 List Logs Meta Printf Txnmgr

@@ -1,0 +1,1 @@
+lib/core/schema.ml: Bytes Fmt Imdb_util Int64 List String

@@ -1,0 +1,1 @@
+lib/core/split_store.ml: Bytes Engine Hashtbl Imdb_btree Imdb_clock Imdb_lock Imdb_tstamp Imdb_util Imdb_version Int32 List String

@@ -1,0 +1,1 @@
+lib/core/split_store.mli: Engine Imdb_clock

@@ -1,0 +1,1 @@
+lib/core/table.mli: Catalog Engine Imdb_btree Imdb_clock Imdb_tsb Schema

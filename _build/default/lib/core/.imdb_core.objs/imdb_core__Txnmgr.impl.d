@@ -1,0 +1,1 @@
+lib/core/txnmgr.ml: Bytes Catalog Char Engine Hashtbl Imdb_btree Imdb_buffer Imdb_clock Imdb_lock Imdb_storage Imdb_tstamp Imdb_util Imdb_version Imdb_wal Int64 Meta Table

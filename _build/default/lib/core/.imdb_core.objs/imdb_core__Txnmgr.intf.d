@@ -1,0 +1,1 @@
+lib/core/txnmgr.mli: Engine Imdb_clock Imdb_wal

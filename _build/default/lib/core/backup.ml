@@ -1,0 +1,72 @@
+(* Queryable backup (paper Section 7.2, after [22] "Exploiting a History
+   Database for Backup").
+
+   The paper's full design treats the historical pages themselves as an
+   always-installed incremental backup.  In this engine the historical
+   pages already ARE that: they live in the database file, are never
+   modified again, and any past state is directly queryable — so "restore
+   to time t" needs no separate backup artifact at all.
+
+   What this module adds is the operational complement: extracting a
+   consistent AS OF state into a *separate* database (an off-machine
+   copy, a dev snapshot, a shippable artifact).  The extract is itself a
+   normal Immortal DB database — queryable, updatable, and carrying its
+   own history from the moment of extraction — which is the paper's
+   "it can be queried" property. *)
+
+module Ts = Imdb_clock.Timestamp
+
+type report = {
+  bk_tables : int;
+  bk_rows : int;
+  bk_as_of : Ts.t;
+}
+
+(* Copy the state of every immortal table of [src] as of [as_of] into
+   [dest] (which must be empty of conflicting tables).  Non-immortal
+   tables have no past states and are skipped. *)
+let extract ~src ~dest ~as_of =
+  let tables =
+    List.filter
+      (fun ti -> ti.Catalog.ti_mode = Catalog.Immortal)
+      (Db.list_tables src)
+  in
+  let rows = ref 0 in
+  List.iter
+    (fun ti ->
+      let name = ti.Catalog.ti_name in
+      Db.create_table dest ~name ~mode:Catalog.Immortal ~schema:ti.Catalog.ti_schema;
+      (* one loading transaction per table: the backup commits atomically *)
+      Db.with_txn dest (fun txn ->
+          Db.as_of src as_of (fun src_txn ->
+              Table.scan_as_of (Db.engine src) src_txn ti ~t:as_of (fun key payload ->
+                  incr rows;
+                  Db.insert dest txn ~table:name ~key ~payload))))
+    tables;
+  { bk_tables = List.length tables; bk_rows = !rows; bk_as_of = as_of }
+
+(* Verify a backup: every row of [dest]'s current state must equal
+   [src]'s AS OF state, both ways.  Returns the number of rows compared;
+   raises [Failure] on the first divergence. *)
+let verify ~src ~dest ~as_of =
+  let compared = ref 0 in
+  List.iter
+    (fun ti ->
+      let name = ti.Catalog.ti_name in
+      if ti.Catalog.ti_mode = Catalog.Immortal then begin
+        let src_rows = Hashtbl.create 64 in
+        Db.as_of src as_of (fun txn ->
+            Table.scan_as_of (Db.engine src) txn ti ~t:as_of (fun key payload ->
+                Hashtbl.replace src_rows key payload));
+        Db.exec dest (fun txn ->
+            Db.scan dest txn ~table:name (fun key payload ->
+                incr compared;
+                match Hashtbl.find_opt src_rows key with
+                | Some p when String.equal p payload -> Hashtbl.remove src_rows key
+                | Some _ -> failwith (Printf.sprintf "backup diverges at %s/%S" name key)
+                | None -> failwith (Printf.sprintf "backup has extra row %s/%S" name key)));
+        if Hashtbl.length src_rows > 0 then
+          failwith (Printf.sprintf "backup missing %d rows of %s" (Hashtbl.length src_rows) name)
+      end)
+    (Db.list_tables src);
+  !compared

@@ -1,0 +1,20 @@
+(** Queryable backup (paper Section 7.2, after [22]).
+
+    The engine's historical pages are already an always-installed,
+    incremental, queryable backup of every past state; this module adds
+    extraction of a consistent AS OF state into a separate database — an
+    off-machine copy that is itself a full Immortal DB database. *)
+
+type report = {
+  bk_tables : int;
+  bk_rows : int;
+  bk_as_of : Imdb_clock.Timestamp.t;
+}
+
+val extract : src:Db.t -> dest:Db.t -> as_of:Imdb_clock.Timestamp.t -> report
+(** Copy every immortal table's AS OF state into [dest], one atomic
+    loading transaction per table. *)
+
+val verify : src:Db.t -> dest:Db.t -> as_of:Imdb_clock.Timestamp.t -> int
+(** Compare [dest]'s current state against [src]'s AS OF state both ways;
+    returns rows compared.  @raise Failure on divergence. *)

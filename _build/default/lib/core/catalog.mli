@@ -1,0 +1,32 @@
+(** The table catalog: name -> descriptor, stored in a system B-tree.
+
+    The paper's [IMMORTAL] DDL keyword becomes the {!Immortal} mode flag;
+    the flag "is visible to the storage engine" and decides versioning,
+    PTT participation and AS OF support (Section 4.1). *)
+
+type table_mode =
+  | Immortal  (** persistent versions, time splits, AS OF *)
+  | Snapshot_table  (** versions kept only for snapshot isolation *)
+  | Conventional  (** update in place *)
+
+val pp_mode : Format.formatter -> table_mode -> unit
+
+type table_info = {
+  ti_id : int;
+  ti_name : string;
+  ti_mode : table_mode;
+  ti_schema : Schema.t;
+  mutable ti_root : int;
+      (** key-router root (versioned) / B-tree root (conventional) *)
+  mutable ti_tsb_root : int;  (** 0 = no TSB index *)
+}
+
+val encode_info : table_info -> bytes
+val decode_info : bytes -> table_info
+
+val store : Imdb_btree.Btree.t -> table_info -> unit
+(** Transactional (undoable) catalog write. *)
+
+val load : Imdb_btree.Btree.t -> string -> table_info option
+val remove : Imdb_btree.Btree.t -> string -> bool
+val load_all : Imdb_btree.Btree.t -> table_info list

@@ -1,0 +1,258 @@
+(* The public face of the engine — what a downstream application links
+   against.  Wraps engine + transaction plumbing with a typed row API on
+   top of table schemas, plus database lifecycle (open with recovery,
+   close, crash simulation for tests). *)
+
+module Ts = Imdb_clock.Timestamp
+module E = Engine
+
+type t = {
+  eng : E.t;
+  disk : Imdb_storage.Disk.t;
+  log_device : Imdb_wal.Wal.Device.t;
+}
+
+type txn = E.txn
+type isolation = E.isolation = Serializable | Snapshot_isolation | As_of of Ts.t
+
+type mode = Catalog.table_mode =
+  | Immortal
+  | Snapshot_table
+  | Conventional
+
+exception No_such_table of string
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Open (or create) a database over explicit devices.  Used directly by
+   crash tests, which reopen the same in-memory devices after dropping
+   volatile state. *)
+let open_devices ?(config = E.default_config) ?clock ~disk ~log_device () =
+  let clock = match clock with Some c -> c | None -> Imdb_clock.Clock.create_wall () in
+  let eng = E.make ~disk ~log_device ~config ~clock in
+  let fresh =
+    (not (disk.Imdb_storage.Disk.page_exists Meta.meta_page_id))
+    && log_device.Imdb_wal.Wal.Device.size () = 0
+  in
+  if fresh then E.bootstrap eng else Recovery.recover eng;
+  { eng; disk; log_device }
+
+(* A throwaway in-memory database. *)
+let open_memory ?(config = E.default_config) ?clock () =
+  let disk = Imdb_storage.Disk.in_memory ~page_size:config.E.page_size () in
+  let log_device = Imdb_wal.Wal.Device.in_memory () in
+  open_devices ~config ?clock ~disk ~log_device ()
+
+(* A file-backed database in directory [dir]: data pages in "data.imdb",
+   the log in "wal.imdb". *)
+let open_dir ?(config = E.default_config) ?clock dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let disk =
+    Imdb_storage.Disk.file ~path:(Filename.concat dir "data.imdb")
+      ~page_size:config.E.page_size ()
+  in
+  let log_device = Imdb_wal.Wal.Device.file ~path:(Filename.concat dir "wal.imdb") in
+  open_devices ~config ?clock ~disk ~log_device ()
+
+let close t = E.close t.eng
+let checkpoint t = ignore (E.checkpoint t.eng)
+let engine t = t.eng
+
+exception Vacuum_blocked of string
+
+(* Vacuum (paper Section 2.2): after a crash, PTT entries whose volatile
+   reference counts were lost can never be collected by the normal rule
+   ("we simply end up with certain PTT entries that cannot be deleted").
+   The paper's remedy is to force timestamping to completion — it framed
+   this as forcing pages to time-split; the operative effect is that
+   every committed version carries its timestamp and is durable, after
+   which no PTT entry can ever be needed again.
+
+   So: stamp every version in every current data page of every immortal
+   table (history pages are fully stamped by construction), force the
+   stamping to disk, checkpoint, and drop every PTT entry.  Requires a
+   quiet system (no active transactions). *)
+let vacuum t =
+  let eng = t.eng in
+  if Imdb_clock.Tid.Table.length eng.E.active > 0 then
+    raise (Vacuum_blocked "active transactions");
+  List.iter
+    (fun ti ->
+      (* snapshot tables too: a transaction that wrote both a snapshot and
+         an immortal table resolves its snapshot-side versions through the
+         same (about to be deleted) mapping *)
+      if Table.is_versioned ti then
+        List.iter
+          (fun (_, _, pid) ->
+            Imdb_buffer.Buffer_pool.with_page eng.E.pool pid (fun fr ->
+                E.stamp_page eng fr))
+          (Table.router_ranges eng ti))
+    (E.list_tables eng);
+  Imdb_buffer.Buffer_pool.flush_all eng.E.pool;
+  ignore (E.checkpoint eng);
+  (* every mapping is now unnecessary: versions carry their timestamps *)
+  let ptt = E.ptt_exn eng in
+  let victims = ref [] in
+  Imdb_tstamp.Ptt.iter ptt (fun tid _ -> victims := tid :: !victims);
+  List.iter
+    (fun tid ->
+      ignore (Imdb_tstamp.Ptt.delete ptt tid);
+      Imdb_tstamp.Vtt.drop (E.vtt eng) tid)
+    !victims;
+  List.length !victims
+
+(* Simulate a crash: drop every volatile structure and reopen over the
+   same devices, running recovery.  (In-memory devices survive because the
+   OCaml values are shared; file devices reopen from the OS.) *)
+let crash_and_reopen ?config ?clock t =
+  Imdb_wal.Wal.crash_volatile t.eng.E.wal;
+  Imdb_buffer.Buffer_pool.drop_all t.eng.E.pool;
+  let config = Option.value config ~default:t.eng.E.config in
+  open_devices ~config ?clock ~disk:t.disk ~log_device:t.log_device ()
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let begin_txn ?(isolation = Serializable) t = Txnmgr.begin_txn t.eng ~isolation
+let commit t txn = Txnmgr.commit t.eng txn
+let abort t txn = Txnmgr.abort t.eng txn
+
+(* Run [f] in a transaction: commit on success, abort on any exception. *)
+let with_txn ?isolation t f =
+  let txn = begin_txn ?isolation t in
+  match f txn with
+  | v ->
+      ignore (commit t txn);
+      v
+  | exception e ->
+      (try abort t txn with E.Txn_finished -> ());
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* DDL (autocommitted)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let create_table t ~name ~mode ~schema =
+  with_txn t (fun txn ->
+      E.with_txn t.eng txn (fun () -> ignore (Table.create t.eng ~name ~mode ~schema)))
+
+let drop_table t name =
+  with_txn t (fun txn -> E.with_txn t.eng txn (fun () -> Table.drop t.eng name))
+
+(* ALTER TABLE name ENABLE SNAPSHOT (paper §4.1), autocommitted.  On any
+   failure the transaction rolls the catalog back; the in-memory table
+   cache is restored to the original descriptor as well. *)
+let enable_snapshot t ~table =
+  match E.table_by_name t.eng table with
+  | None -> raise (No_such_table table)
+  | Some original -> (
+      try
+        with_txn t (fun txn ->
+            E.with_txn t.eng txn (fun () -> Table.enable_snapshot t.eng original))
+      with e ->
+        E.register_table t.eng original;
+        raise e)
+
+let table_info t name =
+  match E.table_by_name t.eng name with
+  | Some ti -> ti
+  | None -> raise (No_such_table name)
+
+let list_tables t = E.list_tables t.eng
+
+(* ------------------------------------------------------------------ *)
+(* Raw key/payload operations                                           *)
+(* ------------------------------------------------------------------ *)
+
+let insert t txn ~table ~key ~payload = Table.insert t.eng txn (table_info t table) ~key ~payload
+let update t txn ~table ~key ~payload = Table.update t.eng txn (table_info t table) ~key ~payload
+let upsert t txn ~table ~key ~payload = Table.upsert t.eng txn (table_info t table) ~key ~payload
+let delete t txn ~table ~key = Table.delete t.eng txn (table_info t table) ~key
+let get t txn ~table ~key = Table.read t.eng txn (table_info t table) ~key
+
+let scan ?lo ?hi t txn ~table f = Table.scan t.eng ?lo ?hi txn (table_info t table) f
+
+let scan_as_of ?lo ?hi t txn ~table ~ts f =
+  Table.scan_as_of t.eng ?lo ?hi txn (table_info t table) ~t:ts f
+
+let history t txn ~table ~key = Table.history t.eng txn (table_info t table) ~key
+
+(* ------------------------------------------------------------------ *)
+(* Typed row operations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let insert_row t txn ~table row =
+  let ti = table_info t table in
+  let schema = ti.Catalog.ti_schema in
+  Table.insert t.eng txn ti
+    ~key:(Schema.key_of_row schema row)
+    ~payload:(Schema.payload_of_row schema row)
+
+let update_row t txn ~table row =
+  let ti = table_info t table in
+  let schema = ti.Catalog.ti_schema in
+  Table.update t.eng txn ti
+    ~key:(Schema.key_of_row schema row)
+    ~payload:(Schema.payload_of_row schema row)
+
+let upsert_row t txn ~table row =
+  let ti = table_info t table in
+  let schema = ti.Catalog.ti_schema in
+  Table.upsert t.eng txn ti
+    ~key:(Schema.key_of_row schema row)
+    ~payload:(Schema.payload_of_row schema row)
+
+let delete_row t txn ~table ~key =
+  let ti = table_info t table in
+  Table.delete t.eng txn ti ~key:(Schema.encode_key key)
+
+let get_row t txn ~table ~key =
+  let ti = table_info t table in
+  let ekey = Schema.encode_key key in
+  Option.map
+    (fun payload -> Schema.row_of_parts ti.Catalog.ti_schema ~key:ekey ~payload)
+    (Table.read t.eng txn ti ~key:ekey)
+
+let scan_rows ?lo ?hi t txn ~table =
+  let ti = table_info t table in
+  let out = ref [] in
+  Table.scan t.eng ?lo ?hi txn ti (fun key payload ->
+      out := Schema.row_of_parts ti.Catalog.ti_schema ~key ~payload :: !out);
+  List.rev !out
+
+(* Typed key-range scan: rows with [lo <= key < hi] (either bound
+   optional), respecting the transaction's isolation. *)
+let scan_rows_range ?low ?high t txn ~table =
+  let lo = Option.map Schema.encode_key low in
+  let hi = Option.map Schema.encode_key high in
+  scan_rows ?lo ?hi t txn ~table
+
+let scan_rows_as_of t txn ~table ~ts =
+  let ti = table_info t table in
+  let out = ref [] in
+  Table.scan_as_of t.eng txn ti ~t:ts (fun key payload ->
+      out := Schema.row_of_parts ti.Catalog.ti_schema ~key ~payload :: !out);
+  List.rev !out
+
+let history_rows t txn ~table ~key =
+  let ti = table_info t table in
+  let ekey = Schema.encode_key key in
+  List.map
+    (fun (ts, payload) ->
+      ( ts,
+        Option.map
+          (fun p -> Schema.row_of_parts ti.Catalog.ti_schema ~key:ekey ~payload:p)
+          payload ))
+    (Table.history t.eng txn ti ~key:ekey)
+
+(* ------------------------------------------------------------------ *)
+(* Convenience: single-statement autocommit                             *)
+(* ------------------------------------------------------------------ *)
+
+let exec ?isolation t f = with_txn ?isolation t f
+
+(* AS OF convenience: run a read-only function at a past time. *)
+let as_of t ts f = with_txn ~isolation:(As_of ts) t f

@@ -1,0 +1,496 @@
+(* Engine state and primitives.
+
+   This module owns the wiring: disk, WAL, buffer pool, lock manager,
+   clock, VTT/PTT stamping machinery, page allocation, the catalog cache,
+   the active transaction table, and checkpointing.  Data operations live
+   in [Table]; begin/commit/abort in [Txnmgr]; crash recovery in
+   [Recovery]; the public facade in [Db]. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+module P = Imdb_storage.Page
+module BP = Imdb_buffer.Buffer_pool
+module LR = Imdb_wal.Log_record
+
+let log_src = Logs.Src.create "imdb.engine" ~doc:"Immortal DB engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type timestamping_mode = Lazy_stamping | Eager_stamping
+
+type config = {
+  page_size : int;
+  pool_capacity : int;
+  timestamping : timestamping_mode;
+  key_split_threshold : float; (* the paper's T, default 0.7 *)
+  auto_checkpoint_every : int; (* commits between checkpoints; 0 = manual *)
+  tsb_enabled : bool; (* maintain the TSB index on time splits *)
+}
+
+let default_config =
+  {
+    page_size = 8192;
+    pool_capacity = 256;
+    timestamping = Lazy_stamping;
+    key_split_threshold = 0.7;
+    auto_checkpoint_every = 0;
+    tsb_enabled = true;
+  }
+
+type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
+
+type txn_state = Running | Rolling_back | Finished
+
+type txn = {
+  tx_tid : Tid.t;
+  tx_isolation : isolation;
+  tx_snapshot : Ts.t; (* reads see versions with start <= tx_snapshot (SI / AS OF) *)
+  mutable tx_state : txn_state;
+  mutable tx_begun : bool; (* Begin record logged *)
+  mutable tx_last_lsn : int64; (* head of the undo chain *)
+  mutable tx_writes : (int * string) list; (* (table_id, key), newest first, deduped *)
+  tx_write_set : (int * string, unit) Hashtbl.t; (* dedup index over tx_writes *)
+  mutable tx_wrote_immortal : bool;
+  mutable tx_commit_ts : Ts.t option;
+}
+
+exception Txn_finished
+exception Read_only_txn
+exception Deadlock_abort of Tid.t
+
+type t = {
+  disk : Imdb_storage.Disk.t;
+  wal : Imdb_wal.Wal.t;
+  pool : BP.t;
+  clock : Imdb_clock.Clock.t;
+  locks : Imdb_lock.Lock_manager.t;
+  stamper : Imdb_tstamp.Lazy_stamper.t;
+  config : config;
+  mutable meta : Meta.t;
+  mutable ptt : Imdb_tstamp.Ptt.t option;
+  mutable catalog_tree : Imdb_btree.Btree.t option;
+  tables : (int, Catalog.table_info) Hashtbl.t;
+  table_ids : (string, int) Hashtbl.t;
+  active : txn Tid.Table.t;
+  mutable next_tid : Tid.t;
+  mutable cur_txn : txn option; (* logging context for undoable ops *)
+  mutable commits_since_checkpoint : int;
+  mutable in_recovery : bool;
+}
+
+let vtt t = Imdb_tstamp.Lazy_stamper.vtt t.stamper
+
+let ptt_exn t =
+  match t.ptt with Some p -> p | None -> failwith "Engine: PTT not initialized"
+
+let catalog_exn t =
+  match t.catalog_tree with
+  | Some c -> c
+  | None -> failwith "Engine: catalog not initialized"
+
+(* ------------------------------------------------------------------ *)
+(* Logging core                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_begun t txn =
+  if not txn.tx_begun then begin
+    txn.tx_begun <- true;
+    let lsn = Imdb_wal.Wal.append t.wal (LR.Begin { tid = txn.tx_tid }) in
+    txn.tx_last_lsn <- lsn
+  end
+
+(* Log [op] against the frame's page, apply it, mark the frame dirty.
+   [undoable] ops join the current transaction's undo chain; others are
+   redo-only structure modifications. *)
+let exec_op t fr ~undoable op =
+  let page_id = BP.page_id fr in
+  let lsn =
+    if undoable then begin
+      match t.cur_txn with
+      | None -> failwith "Engine.exec_op: undoable op outside a transaction"
+      | Some txn ->
+          ensure_begun t txn;
+          let lsn =
+            Imdb_wal.Wal.append t.wal
+              (LR.Update { tid = txn.tx_tid; prev_lsn = txn.tx_last_lsn; page_id; op })
+          in
+          txn.tx_last_lsn <- lsn;
+          lsn
+    end
+    else Imdb_wal.Wal.append t.wal (LR.Redo_only { page_id; op })
+  in
+  LR.redo_op (BP.bytes fr) op;
+  BP.mark_dirty_logged t.pool fr ~lsn
+
+let with_txn t txn f =
+  let saved = t.cur_txn in
+  t.cur_txn <- Some txn;
+  Fun.protect ~finally:(fun () -> t.cur_txn <- saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Meta page & page allocation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let update_meta t mutate =
+  BP.with_page t.pool Meta.meta_page_id (fun fr ->
+      let page = BP.bytes fr in
+      let old_body = P.read_cell page Meta.meta_slot in
+      mutate t.meta;
+      let new_body = Meta.encode t.meta in
+      exec_op t fr ~undoable:false
+        (LR.Op_replace { slot = Meta.meta_slot; old_body; new_body }))
+
+(* Allocate a page: from the freelist if possible, else extend the file.
+   The page is formatted and redo-logged; the caller finds it cached. *)
+let alloc_page t ~ptype ~level ~table_id =
+  Imdb_util.Stats.incr Imdb_util.Stats.pages_allocated;
+  let from_freelist = t.meta.Meta.freelist_head <> 0 in
+  let pid =
+    if from_freelist then begin
+      let pid = t.meta.Meta.freelist_head in
+      let next =
+        BP.with_page t.pool pid (fun fr -> P.next_page (BP.bytes fr))
+      in
+      update_meta t (fun m -> m.Meta.freelist_head <- next);
+      pid
+    end
+    else begin
+      let pid = t.meta.Meta.hwm in
+      update_meta t (fun m -> m.Meta.hwm <- pid + 1);
+      pid
+    end
+  in
+  let fr = if from_freelist then BP.pin t.pool pid else BP.pin_new t.pool pid in
+  Fun.protect
+    ~finally:(fun () -> BP.unpin t.pool fr)
+    (fun () ->
+      P.set_page_id (BP.bytes fr) pid;
+      exec_op t fr ~undoable:false (LR.Op_format { page_type = ptype; table_id; level }));
+  pid
+
+let free_page t pid =
+  BP.with_page t.pool pid (fun fr ->
+      exec_op t fr ~undoable:false
+        (LR.Op_format { page_type = P.P_free; table_id = 0; level = 0 });
+      let old_b = Imdb_util.Codec.get_bytes (BP.bytes fr) 40 4 in
+      let new_b = Bytes.create 4 in
+      Imdb_util.Codec.set_u32 new_b 0 t.meta.Meta.freelist_head;
+      exec_op t fr ~undoable:false (LR.Op_header { at = 40; old_b; new_b }));
+  update_meta t (fun m -> m.Meta.freelist_head <- pid)
+
+(* ------------------------------------------------------------------ *)
+(* io adapters for the index structures                                *)
+(* ------------------------------------------------------------------ *)
+
+let btree_io t : Imdb_btree.Btree.io =
+  {
+    exec = (fun fr ~undoable op -> exec_op t fr ~undoable op);
+    alloc = (fun ~ptype ~level -> alloc_page t ~ptype ~level ~table_id:0);
+    free = (fun pid -> free_page t pid);
+  }
+
+let btree_io_for t table_id : Imdb_btree.Btree.io =
+  {
+    exec = (fun fr ~undoable op -> exec_op t fr ~undoable op);
+    alloc = (fun ~ptype ~level -> alloc_page t ~ptype ~level ~table_id);
+    free = (fun pid -> free_page t pid);
+  }
+
+let tsb_io t table_id : Imdb_tsb.Tsb.io =
+  {
+    exec = (fun fr op -> exec_op t fr ~undoable:false op);
+    alloc = (fun ~level -> alloc_page t ~ptype:P.P_tsb_index ~level ~table_id);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Transactions: registry and snapshots                                *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- Tid.next tid;
+  tid
+
+let begin_txn t ~isolation =
+  let tid = fresh_tid t in
+  Imdb_tstamp.Vtt.begin_txn (vtt t) tid;
+  let snapshot =
+    match isolation with
+    | As_of ts -> ts
+    | Serializable | Snapshot_isolation -> Imdb_clock.Clock.last_issued t.clock
+  in
+  let txn =
+    {
+      tx_tid = tid;
+      tx_isolation = isolation;
+      tx_snapshot = snapshot;
+      tx_state = Running;
+      tx_begun = false;
+      tx_last_lsn = LR.nil_lsn;
+      tx_writes = [];
+      tx_write_set = Hashtbl.create 8;
+      tx_wrote_immortal = false;
+      tx_commit_ts = None;
+    }
+  in
+  Tid.Table.replace t.active tid txn;
+  txn
+
+let check_running txn =
+  match txn.tx_state with Running -> () | Rolling_back | Finished -> raise Txn_finished
+
+let is_read_only txn = txn.tx_writes = []
+
+(* The oldest snapshot any active transaction might still read — the
+   version GC horizon for snapshot-only tables ("Immortal DB keeps track
+   of the time of the oldest active snapshot transaction O"). *)
+(* Snapshot times of all running snapshot/as-of transactions — the exact
+   visibility horizon set for snapshot-table version GC. *)
+let active_snapshots t =
+  Tid.Table.fold
+    (fun _ txn acc ->
+      match (txn.tx_state, txn.tx_isolation) with
+      | Running, (Snapshot_isolation | As_of _) -> txn.tx_snapshot :: acc
+      | _ -> acc)
+    t.active []
+
+let oldest_active_snapshot t =
+  let oldest = ref None in
+  Tid.Table.iter
+    (fun _ txn ->
+      match (txn.tx_state, txn.tx_isolation) with
+      | Running, (Snapshot_isolation | As_of _) -> (
+          match !oldest with
+          | Some o when Ts.compare o txn.tx_snapshot <= 0 -> ()
+          | _ -> oldest := Some txn.tx_snapshot)
+      | _ -> ())
+    t.active;
+  match !oldest with
+  | Some o -> o
+  | None -> Imdb_clock.Clock.last_issued t.clock
+
+let note_write t txn ~table_id ~key ~immortal =
+  check_running txn;
+  (match txn.tx_isolation with As_of _ -> raise Read_only_txn | _ -> ());
+  if not (Hashtbl.mem txn.tx_write_set (table_id, key)) then begin
+    Hashtbl.replace txn.tx_write_set (table_id, key) ();
+    txn.tx_writes <- (table_id, key) :: txn.tx_writes
+  end;
+  if immortal then txn.tx_wrote_immortal <- true;
+  ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Locking helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lock_record t txn ~table_id ~key mode =
+  match txn.tx_isolation with
+  | Serializable -> (
+      let open Imdb_lock.Lock_manager in
+      let intent = match mode with X -> IX | _ -> IS in
+      try
+        acquire_exn t.locks txn.tx_tid (Table table_id) intent;
+        acquire_exn t.locks txn.tx_tid (Record (table_id, key)) mode
+      with Deadlock tid -> raise (Deadlock_abort tid))
+  | Snapshot_isolation when mode = Imdb_lock.Lock_manager.X -> (
+      (* SI writers take write locks so that concurrent writers are
+         detected immediately (first-committer-wins is enforced by
+         timestamp validation; the lock merely serializes the attempt) *)
+      let open Imdb_lock.Lock_manager in
+      try acquire_exn t.locks txn.tx_tid (Record (table_id, key)) X
+      with Deadlock tid -> raise (Deadlock_abort tid))
+  | Snapshot_isolation | As_of _ -> () (* versioned reads never lock *)
+
+(* ------------------------------------------------------------------ *)
+(* Stamping helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazily stamp every committed version in a pinned page (normal-access
+   trigger).  Unlogged; the page is marked dirty first so the redo-scan
+   start point can never advance past the stamping before it reaches
+   disk. *)
+let stamp_page t fr =
+  let page = BP.bytes fr in
+  if Imdb_version.Vpage.has_unstamped page then begin
+    BP.mark_dirty_unlogged t.pool fr;
+    ignore (Imdb_tstamp.Lazy_stamper.stamp_page t.stamper page)
+  end
+
+(* Per-record variant: the write/read-path trigger stamps only the
+   accessed record's versions. *)
+let stamp_record t fr ~key =
+  let page = BP.bytes fr in
+  if Imdb_version.Vpage.key_has_unstamped page ~key then begin
+    BP.mark_dirty_unlogged t.pool fr;
+    ignore
+      (Imdb_version.Vpage.stamp_versions_of page ~key
+         ~resolve:(Imdb_tstamp.Lazy_stamper.resolve t.stamper)
+         ~on_stamp:(Imdb_tstamp.Lazy_stamper.on_stamp t.stamper))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing and PTT garbage collection                             *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint t =
+  (* Sweep pages dirty since before the previous checkpoint, so the
+     redo-scan start point (and the PTT GC horizon) moves forward: a page
+     escapes the dirty-page table only by reaching disk. *)
+  let swept =
+    BP.flush_older_than t.pool ~rec_lsn_limit:t.meta.Meta.last_checkpoint_lsn
+  in
+  let att =
+    Tid.Table.fold
+      (fun tid txn acc ->
+        match txn.tx_state with
+        | Running | Rolling_back when txn.tx_begun -> (tid, txn.tx_last_lsn) :: acc
+        | _ -> acc)
+      t.active []
+  in
+  let dpt = BP.dirty_page_table t.pool in
+  let lsn =
+    Imdb_wal.Wal.append t.wal
+      (LR.Checkpoint
+         { att; dpt; next_tid = t.next_tid; clock = Imdb_clock.Clock.last_issued t.clock })
+  in
+  Imdb_wal.Wal.flush t.wal;
+  update_meta t (fun m -> m.Meta.last_checkpoint_lsn <- lsn);
+  BP.flush_page t.pool Meta.meta_page_id;
+  (* the redo scan would start at the eldest dirty page, or at this
+     checkpoint if the pool is clean *)
+  let redo_scan_start =
+    List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) lsn dpt
+  in
+  t.commits_since_checkpoint <- 0;
+  let collected =
+    if t.config.timestamping = Lazy_stamping && t.ptt <> None then
+      List.length (Imdb_tstamp.Lazy_stamper.garbage_collect t.stamper ~redo_scan_start)
+    else 0
+  in
+  (* make the GC deletions durable: otherwise a crash forgets them and
+     recovery rebuilds the mappings as uncollectable cache entries *)
+  if collected > 0 then Imdb_wal.Wal.flush t.wal;
+  Log.debug (fun m ->
+      m "checkpoint at %Ld: swept %d pages, dpt %d, att %d, redo start %Ld, GC'd %d PTT entries"
+        lsn swept (List.length dpt) (List.length att) redo_scan_start collected);
+  lsn
+
+let maybe_auto_checkpoint t =
+  if
+    t.config.auto_checkpoint_every > 0
+    && t.commits_since_checkpoint >= t.config.auto_checkpoint_every
+  then ignore (checkpoint t)
+
+(* ------------------------------------------------------------------ *)
+(* Table cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let register_table t ti =
+  Hashtbl.replace t.tables ti.Catalog.ti_id ti;
+  Hashtbl.replace t.table_ids ti.Catalog.ti_name ti.Catalog.ti_id
+
+let unregister_table t ti =
+  Hashtbl.remove t.tables ti.Catalog.ti_id;
+  Hashtbl.remove t.table_ids ti.Catalog.ti_name
+
+let table_by_name t name =
+  Option.bind (Hashtbl.find_opt t.table_ids name) (Hashtbl.find_opt t.tables)
+
+let table_by_id t id = Hashtbl.find_opt t.tables id
+
+let list_tables t =
+  Hashtbl.fold (fun _ ti acc -> ti :: acc) t.tables []
+  |> List.sort (fun a b -> compare a.Catalog.ti_id b.Catalog.ti_id)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make ~disk ~log_device ~config ~clock =
+  let wal = Imdb_wal.Wal.open_device log_device in
+  let pool = BP.create ~capacity:config.pool_capacity ~disk ~wal () in
+  let stamper = Imdb_tstamp.Lazy_stamper.create () in
+  Imdb_tstamp.Lazy_stamper.set_end_of_log stamper (fun () -> Imdb_wal.Wal.next_lsn wal);
+  let t =
+    {
+      disk;
+      wal;
+      pool;
+      clock;
+      locks = Imdb_lock.Lock_manager.create ();
+      stamper;
+      config;
+      meta = Meta.fresh ();
+      ptt = None;
+      catalog_tree = None;
+      tables = Hashtbl.create 16;
+      table_ids = Hashtbl.create 16;
+      active = Tid.Table.create 16;
+      next_tid = Tid.first;
+      cur_txn = None;
+      commits_since_checkpoint = 0;
+      in_recovery = false;
+    }
+  in
+  (* Flush-time lazy stamping: volatile-only resolution, no logging. *)
+  BP.set_pre_flush pool (fun page ->
+      match P.page_type page with
+      | P.P_data ->
+          if config.timestamping = Lazy_stamping then
+            ignore (Imdb_tstamp.Lazy_stamper.stamp_page_volatile stamper page)
+      | P.P_free | P.P_meta | P.P_history | P.P_index | P.P_tsb_index | P.P_heap -> ());
+  t
+
+(* Fresh database: format page 0, create the catalog and PTT trees, and
+   persist a first checkpoint.  Everything is redo-only logged, so a crash
+   at any point replays to a consistent (possibly empty) state. *)
+let bootstrap t =
+  let fr = BP.pin_new t.pool Meta.meta_page_id in
+  Fun.protect
+    ~finally:(fun () -> BP.unpin t.pool fr)
+    (fun () ->
+      P.set_page_id (BP.bytes fr) Meta.meta_page_id;
+      exec_op t fr ~undoable:false
+        (LR.Op_format { page_type = P.P_meta; table_id = 0; level = 0 });
+      exec_op t fr ~undoable:false
+        (LR.Op_insert { slot = Meta.meta_slot; body = Meta.encode t.meta }));
+  let catalog =
+    Imdb_btree.Btree.create ~pool:t.pool ~io:(btree_io_for t Meta.catalog_table_id)
+      ~table_id:Meta.catalog_table_id ~name:"catalog"
+  in
+  let ptt =
+    Imdb_tstamp.Ptt.create ~pool:t.pool ~io:(btree_io_for t Meta.ptt_table_id)
+      ~table_id:Meta.ptt_table_id
+  in
+  update_meta t (fun m ->
+      m.Meta.catalog_root <- Imdb_btree.Btree.root catalog;
+      m.Meta.ptt_root <- Imdb_tstamp.Ptt.root ptt);
+  t.catalog_tree <- Some catalog;
+  t.ptt <- Some ptt;
+  Imdb_tstamp.Lazy_stamper.set_ptt t.stamper ptt;
+  ignore (checkpoint t);
+  BP.flush_all t.pool
+
+(* Attach system structures from an existing meta (after recovery). *)
+let attach_system t =
+  let catalog =
+    Imdb_btree.Btree.attach ~pool:t.pool ~io:(btree_io_for t Meta.catalog_table_id)
+      ~root:t.meta.Meta.catalog_root ~table_id:Meta.catalog_table_id ~name:"catalog"
+  in
+  let ptt =
+    Imdb_tstamp.Ptt.attach ~pool:t.pool ~io:(btree_io_for t Meta.ptt_table_id)
+      ~root:t.meta.Meta.ptt_root ~table_id:Meta.ptt_table_id
+  in
+  t.catalog_tree <- Some catalog;
+  t.ptt <- Some ptt;
+  Imdb_tstamp.Lazy_stamper.set_ptt t.stamper ptt;
+  List.iter (register_table t) (Catalog.load_all catalog)
+
+let close t =
+  (* a clean-shutdown checkpoint: the next open recovers from (nearly)
+     the end of the log *)
+  (if t.ptt <> None then try ignore (checkpoint t) with _ -> ());
+  BP.flush_all t.pool;
+  Imdb_wal.Wal.close t.wal;
+  t.disk.Imdb_storage.Disk.sync ();
+  t.disk.Imdb_storage.Disk.close ()

@@ -1,0 +1,150 @@
+(** Engine state and primitives: device wiring, logging, page allocation,
+    transaction registry, stamping triggers, checkpoints.
+
+    Data operations live in {!Table}; begin/commit/abort in {!Txnmgr};
+    crash recovery in {!Recovery}; the public facade in {!Db}. *)
+
+type timestamping_mode =
+  | Lazy_stamping  (** the paper's design: one PTT insert per commit *)
+  | Eager_stamping  (** revisit + log every stamp before commit (baseline) *)
+
+type config = {
+  page_size : int;
+  pool_capacity : int;  (** buffer-pool frames *)
+  timestamping : timestamping_mode;
+  key_split_threshold : float;  (** the paper's T (Section 3.3), default 0.7 *)
+  auto_checkpoint_every : int;  (** commits between checkpoints; 0 = manual *)
+  tsb_enabled : bool;  (** maintain the TSB index on time splits *)
+}
+
+val default_config : config
+
+type isolation = Serializable | Snapshot_isolation | As_of of Imdb_clock.Timestamp.t
+
+type txn_state = Running | Rolling_back | Finished
+
+type txn = {
+  tx_tid : Imdb_clock.Tid.t;
+  tx_isolation : isolation;
+  tx_snapshot : Imdb_clock.Timestamp.t;
+  mutable tx_state : txn_state;
+  mutable tx_begun : bool;
+  mutable tx_last_lsn : int64;  (** head of the undo chain *)
+  mutable tx_writes : (int * string) list;  (** (table_id, key), newest first *)
+  tx_write_set : (int * string, unit) Hashtbl.t;
+  mutable tx_wrote_immortal : bool;
+  mutable tx_commit_ts : Imdb_clock.Timestamp.t option;
+}
+
+exception Txn_finished
+exception Read_only_txn
+exception Deadlock_abort of Imdb_clock.Tid.t
+
+type t = {
+  disk : Imdb_storage.Disk.t;
+  wal : Imdb_wal.Wal.t;
+  pool : Imdb_buffer.Buffer_pool.t;
+  clock : Imdb_clock.Clock.t;
+  locks : Imdb_lock.Lock_manager.t;
+  stamper : Imdb_tstamp.Lazy_stamper.t;
+  config : config;
+  mutable meta : Meta.t;
+  mutable ptt : Imdb_tstamp.Ptt.t option;
+  mutable catalog_tree : Imdb_btree.Btree.t option;
+  tables : (int, Catalog.table_info) Hashtbl.t;
+  table_ids : (string, int) Hashtbl.t;
+  active : txn Imdb_clock.Tid.Table.t;
+  mutable next_tid : Imdb_clock.Tid.t;
+  mutable cur_txn : txn option;  (** logging context for undoable ops *)
+  mutable commits_since_checkpoint : int;
+  mutable in_recovery : bool;
+}
+
+val vtt : t -> Imdb_tstamp.Vtt.t
+val ptt_exn : t -> Imdb_tstamp.Ptt.t
+val catalog_exn : t -> Imdb_btree.Btree.t
+
+(** {1 Logging} *)
+
+val ensure_begun : t -> txn -> unit
+(** Log the Begin record lazily, at the transaction's first update. *)
+
+val exec_op :
+  t -> Imdb_buffer.Buffer_pool.frame -> undoable:bool -> Imdb_wal.Log_record.page_op -> unit
+(** Log [op] (undoable in the current transaction or redo-only), apply it
+    to the frame, mark it dirty. *)
+
+val with_txn : t -> txn -> (unit -> 'a) -> 'a
+(** Set the logging context for undoable ops inside [f]. *)
+
+(** {1 Pages} *)
+
+val update_meta : t -> (Meta.t -> unit) -> unit
+val alloc_page : t -> ptype:Imdb_storage.Page.page_type -> level:int -> table_id:int -> int
+val free_page : t -> int -> unit
+
+val btree_io : t -> Imdb_btree.Btree.io
+val btree_io_for : t -> int -> Imdb_btree.Btree.io
+val tsb_io : t -> int -> Imdb_tsb.Tsb.io
+
+(** {1 Transactions} *)
+
+val fresh_tid : t -> Imdb_clock.Tid.t
+val begin_txn : t -> isolation:isolation -> txn
+val check_running : txn -> unit
+val is_read_only : txn -> bool
+
+val active_snapshots : t -> Imdb_clock.Timestamp.t list
+(** Snapshot times of running snapshot/as-of transactions — the
+    visibility horizon set for snapshot-table version GC. *)
+
+val oldest_active_snapshot : t -> Imdb_clock.Timestamp.t
+
+val note_write : t -> txn -> table_id:int -> key:string -> immortal:bool -> unit
+(** Record a write in the transaction (dedup'd); raises on AS OF txns. *)
+
+val lock_record : t -> txn -> table_id:int -> key:string -> Imdb_lock.Lock_manager.mode -> unit
+(** Isolation-aware locking: 2PL takes intent + record locks; snapshot
+    writers take X only; versioned reads don't lock. *)
+
+(** {1 Stamping triggers} *)
+
+val stamp_page : t -> Imdb_buffer.Buffer_pool.frame -> unit
+(** Lazily stamp every committed version in the page (marks it dirty,
+    unlogged, {e before} stamping so the GC horizon stays behind it). *)
+
+val stamp_record : t -> Imdb_buffer.Buffer_pool.frame -> key:string -> unit
+(** Per-record variant for the read/write paths. *)
+
+(** {1 Checkpoints} *)
+
+val checkpoint : t -> int64
+(** Sweep long-dirty pages, write the checkpoint record, force the meta
+    page, and garbage-collect the PTT.  Returns the checkpoint LSN. *)
+
+val maybe_auto_checkpoint : t -> unit
+
+(** {1 Table cache} *)
+
+val register_table : t -> Catalog.table_info -> unit
+val unregister_table : t -> Catalog.table_info -> unit
+val table_by_name : t -> string -> Catalog.table_info option
+val table_by_id : t -> int -> Catalog.table_info option
+val list_tables : t -> Catalog.table_info list
+
+(** {1 Construction} *)
+
+val make :
+  disk:Imdb_storage.Disk.t ->
+  log_device:Imdb_wal.Wal.Device.t ->
+  config:config ->
+  clock:Imdb_clock.Clock.t ->
+  t
+
+val bootstrap : t -> unit
+(** Format a fresh database (meta page, catalog, PTT, first checkpoint). *)
+
+val attach_system : t -> unit
+(** Attach catalog/PTT from recovered metadata and load the table cache. *)
+
+val close : t -> unit

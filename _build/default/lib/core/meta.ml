@@ -1,0 +1,64 @@
+(* The database metadata, stored as the single cell of page 0.
+
+   Page 0 is a normal page flowing through the buffer pool and the WAL, so
+   allocator updates are crash-consistent like everything else.  The one
+   field read *outside* recovery is [last_checkpoint_lsn]: the engine
+   force-flushes page 0 after each checkpoint, and recovery reads the
+   on-disk copy directly to find where to start (a stale value only makes
+   recovery start at an older checkpoint, which is always safe). *)
+
+let magic = 0x494d4442 (* "IMDB" *)
+let format_version = 1
+let meta_page_id = 0
+let meta_slot = 0
+
+type t = {
+  mutable hwm : int; (* first never-allocated page id *)
+  mutable freelist_head : int; (* 0 = empty *)
+  mutable catalog_root : int;
+  mutable ptt_root : int;
+  mutable next_table_id : int;
+  mutable last_checkpoint_lsn : int64; (* 0 = never checkpointed *)
+}
+
+let fresh () =
+  {
+    hwm = 1; (* page 0 is the meta page itself *)
+    freelist_head = 0;
+    catalog_root = 0;
+    ptt_root = 0;
+    next_table_id = 10; (* ids below 10 are reserved for system structures *)
+    last_checkpoint_lsn = 0L;
+  }
+
+(* System table ids, fixed by convention. *)
+let catalog_table_id = 1
+let ptt_table_id = 2
+
+let encode m =
+  let w = Imdb_util.Codec.Writer.create ~size:64 () in
+  Imdb_util.Codec.Writer.u32 w magic;
+  Imdb_util.Codec.Writer.u16 w format_version;
+  Imdb_util.Codec.Writer.int w m.hwm;
+  Imdb_util.Codec.Writer.u32 w m.freelist_head;
+  Imdb_util.Codec.Writer.u32 w m.catalog_root;
+  Imdb_util.Codec.Writer.u32 w m.ptt_root;
+  Imdb_util.Codec.Writer.u32 w m.next_table_id;
+  Imdb_util.Codec.Writer.i64 w m.last_checkpoint_lsn;
+  Imdb_util.Codec.Writer.contents w
+
+exception Bad_meta of string
+
+let decode b =
+  let r = Imdb_util.Codec.Reader.create b in
+  let m = Imdb_util.Codec.Reader.u32 r in
+  if m <> magic then raise (Bad_meta (Printf.sprintf "bad magic %x" m));
+  let v = Imdb_util.Codec.Reader.u16 r in
+  if v <> format_version then raise (Bad_meta (Printf.sprintf "unsupported version %d" v));
+  let hwm = Imdb_util.Codec.Reader.int r in
+  let freelist_head = Imdb_util.Codec.Reader.u32 r in
+  let catalog_root = Imdb_util.Codec.Reader.u32 r in
+  let ptt_root = Imdb_util.Codec.Reader.u32 r in
+  let next_table_id = Imdb_util.Codec.Reader.u32 r in
+  let last_checkpoint_lsn = Imdb_util.Codec.Reader.i64 r in
+  { hwm; freelist_head; catalog_root; ptt_root; next_table_id; last_checkpoint_lsn }

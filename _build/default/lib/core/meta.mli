@@ -1,0 +1,30 @@
+(** Database metadata: the single cell of page 0.
+
+    Page 0 flows through the buffer pool and WAL like any page, so
+    allocator state is crash-consistent.  [last_checkpoint_lsn] is also
+    read directly from disk at open to locate recovery's starting
+    checkpoint (a stale value only starts recovery earlier). *)
+
+val meta_page_id : int
+val meta_slot : int
+
+(* Reserved system table ids. *)
+val catalog_table_id : int
+val ptt_table_id : int
+
+type t = {
+  mutable hwm : int;  (** first never-allocated page id *)
+  mutable freelist_head : int;  (** 0 = empty *)
+  mutable catalog_root : int;
+  mutable ptt_root : int;
+  mutable next_table_id : int;
+  mutable last_checkpoint_lsn : int64;
+}
+
+val fresh : unit -> t
+
+exception Bad_meta of string
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** @raise Bad_meta on wrong magic or version. *)

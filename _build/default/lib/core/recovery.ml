@@ -1,0 +1,251 @@
+(* Crash recovery (ARIES-style: analysis, redo, undo).
+
+   The redo-scan start point — the quantity the paper's PTT garbage
+   collection is keyed to — is the minimum recLSN in the dirty-page table
+   of the last checkpoint; checkpointing moves it forward, and the PTT GC
+   may discard a mapping only once that point passes the transaction's
+   stamping-complete LSN.  Recovery here never needs a discarded mapping:
+   every version that could still carry a TID on disk has its (TID, ts)
+   either in the PTT or among the Commit records scanned below.
+
+   Lazy timestamping is invisible to redo: stamping was never logged, and
+   pages may legitimately come back from disk carrying TIDs of committed
+   transactions — they will be stamped again on first access, resolved
+   through the PTT / rebuilt VTT.
+
+   Undo uses the guarded logical rollback of [Txnmgr]: losers' version
+   inserts and B-tree updates are located through the live structures and
+   reverted only when still present, making recovery idempotent across
+   repeated crashes. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+module P = Imdb_storage.Page
+module BP = Imdb_buffer.Buffer_pool
+module LR = Imdb_wal.Log_record
+module E = Engine
+
+let log_src = Logs.Src.create "imdb.recovery" ~doc:"Immortal DB crash recovery"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type txn_status = St_running | St_committed | St_aborting
+
+type analysis = {
+  mutable att : (Tid.t * (int64 * txn_status)) list; (* tid -> last_lsn, status *)
+  mutable dpt : (int * int64) list; (* page -> recLSN *)
+  mutable max_tid : Tid.t;
+  mutable max_ts : Ts.t;
+  mutable commits : (Tid.t * Ts.t) list;
+}
+
+let att_update a tid ~lsn =
+  let status =
+    match List.assoc_opt tid a.att with Some (_, st) -> st | None -> St_running
+  in
+  a.att <- (tid, (lsn, status)) :: List.remove_assoc tid a.att
+
+let att_status a tid st =
+  let lsn = match List.assoc_opt tid a.att with Some (l, _) -> l | None -> LR.nil_lsn in
+  a.att <- (tid, (lsn, st)) :: List.remove_assoc tid a.att
+
+let dpt_add a page_id ~lsn =
+  if not (List.mem_assoc page_id a.dpt) then a.dpt <- (page_id, lsn) :: a.dpt
+
+let observe_tid a tid = if Tid.compare tid a.max_tid > 0 then a.max_tid <- tid
+
+(* --- analysis -------------------------------------------------------------- *)
+
+let analyze eng ~checkpoint_lsn =
+  let a =
+    { att = []; dpt = []; max_tid = Tid.invalid; max_ts = Ts.zero; commits = [] }
+  in
+  (* Full scan for commit timestamps: rebuilds the TID -> timestamp map
+     for any version still unstamped on disk whose transaction touched
+     only snapshot tables (no PTT entry).  Bounded by log size; a real
+     deployment bounds it by forcing stamping before log truncation. *)
+  Imdb_wal.Wal.iter_from eng.E.wal ~from_lsn:0L (fun _lsn body ->
+      match body with
+      | LR.Commit { tid; ts } ->
+          a.commits <- (tid, ts) :: a.commits;
+          if Ts.compare ts a.max_ts > 0 then a.max_ts <- ts;
+          observe_tid a tid
+      | LR.Begin { tid } | LR.Abort { tid } | LR.End { tid } -> observe_tid a tid
+      | LR.Update { tid; _ } | LR.Clr { tid; _ } -> observe_tid a tid
+      | LR.Redo_only _ -> ()
+      | LR.Checkpoint { next_tid; clock; _ } ->
+          observe_tid a (Tid.of_int64 (Int64.pred (Tid.to_int64 next_tid)));
+          if Ts.compare clock a.max_ts > 0 then a.max_ts <- clock);
+  (* ATT/DPT reconstruction from the last checkpoint onward. *)
+  Imdb_wal.Wal.iter_from eng.E.wal ~from_lsn:checkpoint_lsn (fun lsn body ->
+      match body with
+      | LR.Checkpoint { att; dpt; _ } when Int64.equal lsn checkpoint_lsn ->
+          List.iter (fun (tid, l) -> a.att <- (tid, (l, St_running)) :: a.att) att;
+          List.iter (fun (pid, l) -> dpt_add a pid ~lsn:l) dpt
+      | LR.Checkpoint _ -> () (* later checkpoint during this scan: ignore *)
+      | LR.Begin { tid } -> att_update a tid ~lsn
+      | LR.Update { tid; page_id; prev_lsn = _; _ } ->
+          att_update a tid ~lsn;
+          dpt_add a page_id ~lsn
+      | LR.Clr { tid; page_id; _ } ->
+          att_update a tid ~lsn;
+          dpt_add a page_id ~lsn
+      | LR.Redo_only { page_id; _ } -> dpt_add a page_id ~lsn
+      | LR.Commit { tid; _ } -> att_status a tid St_committed
+      | LR.Abort { tid } -> att_status a tid St_aborting
+      | LR.End { tid } -> a.att <- List.remove_assoc tid a.att);
+  a
+
+(* --- redo -------------------------------------------------------------------- *)
+
+(* Pin a page for redo: it may never have reached disk (rebuilt by a
+   Format/Image record), or be torn (detected by checksum and acceptable
+   only if this op rebuilds it wholesale). *)
+(* Rebuild a torn page wholesale from the log.  Possible because the log
+   is never truncated and every page's life begins with a logged
+   Op_format: replaying every operation on [page_id] from LSN 0 over a
+   zeroed frame reconstructs its exact latest logged state (unlogged
+   timestamp propagation is lost and will simply happen again).  This is
+   the recovery path for torn writes that full-page-image logging does
+   not cover. *)
+let rebuild_page_from_log eng page_id =
+  Log.warn (fun m -> m "page %d is torn; rebuilding it from the full log" page_id);
+  let fr = BP.pin_new eng.E.pool page_id in
+  let page = BP.bytes fr in
+  P.set_page_id page page_id;
+  Imdb_wal.Wal.iter_from eng.E.wal ~from_lsn:0L (fun lsn body ->
+      let apply op =
+        LR.redo_op page op;
+        BP.mark_dirty_logged eng.E.pool fr ~lsn
+      in
+      match body with
+      | LR.Update { page_id = pid; op; _ }
+      | LR.Clr { page_id = pid; op; _ }
+      | LR.Redo_only { page_id = pid; op } ->
+          if pid = page_id then apply op
+      | LR.Begin _ | LR.Commit _ | LR.Abort _ | LR.End _ | LR.Checkpoint _ -> ());
+  fr
+
+let pin_for_redo eng page_id ~rebuilds =
+  let fresh () =
+    let fr = BP.pin_new eng.E.pool page_id in
+    P.set_page_id (BP.bytes fr) page_id;
+    fr
+  in
+  if BP.is_cached eng.E.pool page_id then `Frame (BP.pin eng.E.pool page_id)
+  else if eng.E.disk.Imdb_storage.Disk.page_exists page_id then (
+    try `Frame (BP.pin eng.E.pool page_id)
+    with BP.Corrupt_page _ ->
+      if rebuilds then `Frame (fresh ()) else `Frame (rebuild_page_from_log eng page_id))
+  else if rebuilds then `Frame (fresh ())
+  else `Missing
+
+let op_rebuilds = function
+  | LR.Op_format _ | LR.Op_image _ -> true
+  | LR.Op_insert _ | LR.Op_delete _ | LR.Op_replace _ | LR.Op_patch _ | LR.Op_header _
+  | LR.Op_kv_insert _ | LR.Op_kv_replace _ | LR.Op_kv_delete _ | LR.Op_version_insert _
+    ->
+      false
+
+let redo eng (a : analysis) ~checkpoint_lsn =
+  let redo_start =
+    List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) checkpoint_lsn a.dpt
+  in
+  Imdb_wal.Wal.iter_from eng.E.wal ~from_lsn:redo_start (fun lsn body ->
+      let apply page_id op =
+        match List.assoc_opt page_id a.dpt with
+        | Some rec_lsn when Int64.compare lsn rec_lsn >= 0 -> (
+            match pin_for_redo eng page_id ~rebuilds:(op_rebuilds op) with
+            | `Missing ->
+                failwith
+                  (Printf.sprintf "Recovery: page %d missing for redo at %Ld" page_id lsn)
+            | `Frame fr ->
+                Fun.protect
+                  ~finally:(fun () -> BP.unpin eng.E.pool fr)
+                  (fun () ->
+                    let page = BP.bytes fr in
+                    if Int64.compare (P.lsn page) lsn < 0 then begin
+                      LR.redo_op page op;
+                      BP.mark_dirty_logged eng.E.pool fr ~lsn
+                    end))
+        | _ -> ()
+      in
+      match body with
+      | LR.Update { page_id; op; _ } | LR.Clr { page_id; op; _ }
+      | LR.Redo_only { page_id; op } ->
+          apply page_id op
+      | LR.Begin _ | LR.Commit _ | LR.Abort _ | LR.End _ | LR.Checkpoint _ -> ())
+
+(* --- the full open-time protocol ---------------------------------------------- *)
+
+let read_meta_from_disk eng =
+  if not (eng.E.disk.Imdb_storage.Disk.page_exists Meta.meta_page_id) then None
+  else
+    let b = eng.E.disk.Imdb_storage.Disk.read_page Meta.meta_page_id in
+    if not (P.verify b) then None (* torn checkpoint write: fall back to full scan *)
+    else
+      try Some (Meta.decode (P.read_cell b Meta.meta_slot)) with _ -> None
+
+let recover eng =
+  eng.E.in_recovery <- true;
+  Fun.protect
+    ~finally:(fun () -> eng.E.in_recovery <- false)
+    (fun () ->
+      let checkpoint_lsn =
+        match read_meta_from_disk eng with
+        | Some m ->
+            eng.E.meta <- m;
+            m.Meta.last_checkpoint_lsn
+        | None -> 0L
+      in
+      let a = analyze eng ~checkpoint_lsn in
+      Log.info (fun m ->
+          m "recovery: checkpoint %Ld, %d in-flight txns, %d dirty pages, %d commits known"
+            checkpoint_lsn (List.length a.att) (List.length a.dpt)
+            (List.length a.commits));
+      redo eng a ~checkpoint_lsn;
+      (* scrub: a write torn by the crash may sit on a page the redo scan
+         never visits (e.g. dirtied only by unlogged stamping); detect by
+         checksum and rebuild from the log *)
+      for pid = 0 to eng.E.disk.Imdb_storage.Disk.page_count () - 1 do
+        if
+          eng.E.disk.Imdb_storage.Disk.page_exists pid
+          && not (BP.is_cached eng.E.pool pid)
+          && not (P.verify (eng.E.disk.Imdb_storage.Disk.read_page pid))
+        then begin
+          let fr = rebuild_page_from_log eng pid in
+          BP.unpin eng.E.pool fr;
+          BP.flush_page eng.E.pool pid
+        end
+      done;
+      (* the redone meta page is authoritative now *)
+      if
+        eng.E.disk.Imdb_storage.Disk.page_exists Meta.meta_page_id
+        || List.mem Meta.meta_page_id (BP.cached_page_ids eng.E.pool)
+      then
+        BP.with_page eng.E.pool Meta.meta_page_id (fun fr ->
+            eng.E.meta <- Meta.decode (P.read_cell (BP.bytes fr) Meta.meta_slot))
+      else failwith "Recovery: no database metadata on disk or in the log";
+      (* clock floor and TID counter must move past everything observed *)
+      Imdb_clock.Clock.observe eng.E.clock a.max_ts;
+      eng.E.next_tid <- Tid.next a.max_tid;
+      E.attach_system eng;
+      (* rebuild the volatile commit-timestamp cache *)
+      List.iter
+        (fun (tid, ts) -> Imdb_tstamp.Vtt.cache_from_ptt (E.vtt eng) tid ts)
+        a.commits;
+      (* roll back losers *)
+      let losers = ref 0 in
+      List.iter
+        (fun (tid, (last_lsn, status)) ->
+          match status with
+          | St_committed -> ()
+          | St_running | St_aborting ->
+              incr losers;
+              if Int64.compare last_lsn LR.nil_lsn > 0 then
+                Txnmgr.rollback_loser eng ~tid ~last_lsn
+              else ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid })))
+        a.att;
+      Log.info (fun m -> m "recovery: rolled back %d losers" !losers);
+      (* a fresh checkpoint caps the next recovery's work *)
+      ignore (E.checkpoint eng))

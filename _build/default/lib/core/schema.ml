@@ -1,0 +1,207 @@
+(* Table schemas and row values.
+
+   The engine stores keys and payloads as raw byte strings; this module
+   maps typed rows onto them.  Primary-key encoding is order-preserving
+   (big-endian with sign bias for integers) so that B-tree range scans and
+   router descent see the natural value order. *)
+
+type column_type = T_int | T_string | T_bool | T_float
+
+type column = { col_name : string; col_type : column_type }
+
+type t = {
+  columns : column list; (* first column is the primary key *)
+}
+
+type value = V_int of int | V_string of string | V_bool of bool | V_float of float
+
+exception Type_error of string
+
+let make columns =
+  if columns = [] then invalid_arg "Schema.make: no columns";
+  let names = List.map (fun c -> c.col_name) columns in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate column names";
+  { columns }
+
+let columns t = t.columns
+let arity t = List.length t.columns
+let key_column t = List.hd t.columns
+
+let column_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when String.equal c.col_name name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let type_name = function
+  | T_int -> "INT"
+  | T_string -> "VARCHAR"
+  | T_bool -> "BOOL"
+  | T_float -> "FLOAT"
+
+let type_of_name s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "SMALLINT" | "BIGINT" -> Some T_int
+  | "VARCHAR" | "TEXT" | "STRING" | "CHAR" -> Some T_string
+  | "BOOL" | "BOOLEAN" -> Some T_bool
+  | "FLOAT" | "REAL" | "DOUBLE" -> Some T_float
+  | _ -> None
+
+let value_matches ty v =
+  match (ty, v) with
+  | T_int, V_int _ | T_string, V_string _ | T_bool, V_bool _ | T_float, V_float _ ->
+      true
+  | _ -> false
+
+let pp_value ppf = function
+  | V_int i -> Fmt.int ppf i
+  | V_string s -> Fmt.pf ppf "%S" s
+  | V_bool b -> Fmt.bool ppf b
+  | V_float f -> Fmt.float ppf f
+
+let compare_values a b =
+  match (a, b) with
+  | V_int x, V_int y -> compare x y
+  | V_string x, V_string y -> String.compare x y
+  | V_bool x, V_bool y -> compare x y
+  | V_float x, V_float y -> compare x y
+  | _ ->
+      raise (Type_error (Fmt.str "cannot compare %a with %a" pp_value a pp_value b))
+
+(* --- key encoding (order-preserving) ----------------------------------- *)
+
+let encode_key = function
+  | V_int i ->
+      (* flip the sign bit so that signed order = byte order *)
+      let b = Bytes.create 9 in
+      Bytes.set b 0 'i';
+      Bytes.set_int64_be b 1 (Int64.logxor (Int64.of_int i) Int64.min_int);
+      Bytes.to_string b
+  | V_string s -> "s" ^ s
+  | V_bool b -> if b then "b1" else "b0"
+  | V_float f ->
+      (* IEEE order-preserving transform *)
+      let bits = Int64.bits_of_float f in
+      let bits =
+        if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+        else Int64.lognot bits
+      in
+      let b = Bytes.create 9 in
+      Bytes.set b 0 'f';
+      Bytes.set_int64_be b 1 bits;
+      Bytes.to_string b
+
+let decode_key s =
+  if String.length s = 0 then raise (Type_error "empty key");
+  match s.[0] with
+  | 'i' ->
+      let bits = Bytes.get_int64_be (Bytes.of_string s) 1 in
+      V_int (Int64.to_int (Int64.logxor bits Int64.min_int))
+  | 's' -> V_string (String.sub s 1 (String.length s - 1))
+  | 'b' -> V_bool (s.[1] = '1')
+  | 'f' ->
+      let bits = Bytes.get_int64_be (Bytes.of_string s) 1 in
+      let bits =
+        if Int64.compare bits 0L < 0 then Int64.logxor bits Int64.min_int
+        else Int64.lognot bits
+      in
+      V_float (Int64.float_of_bits bits)
+  | c -> raise (Type_error (Fmt.str "bad key tag %c" c))
+
+(* --- row encoding -------------------------------------------------------- *)
+
+let encode_value w v =
+  let module W = Imdb_util.Codec.Writer in
+  match v with
+  | V_int i ->
+      W.u8 w 0;
+      W.int w i
+  | V_string s ->
+      W.u8 w 1;
+      W.lstring w s
+  | V_bool b ->
+      W.u8 w 2;
+      W.u8 w (if b then 1 else 0)
+  | V_float f ->
+      W.u8 w 3;
+      W.i64 w (Int64.bits_of_float f)
+
+let decode_value r =
+  let module R = Imdb_util.Codec.Reader in
+  match R.u8 r with
+  | 0 -> V_int (R.int r)
+  | 1 -> V_string (R.lstring r)
+  | 2 -> V_bool (R.u8 r = 1)
+  | 3 -> V_float (Int64.float_of_bits (R.i64 r))
+  | n -> raise (Type_error (Fmt.str "bad value tag %d" n))
+
+(* A row's payload holds the non-key columns; the key column travels as
+   the record key. *)
+let validate t row =
+  if List.length row <> arity t then
+    raise
+      (Type_error
+         (Fmt.str "row has %d values, schema %d columns" (List.length row) (arity t)));
+  List.iter2
+    (fun c v ->
+      if not (value_matches c.col_type v) then
+        raise
+          (Type_error
+             (Fmt.str "column %s expects %s, got %a" c.col_name (type_name c.col_type)
+                pp_value v)))
+    t.columns row
+
+let key_of_row t row =
+  validate t row;
+  encode_key (List.hd row)
+
+let payload_of_row t row =
+  validate t row;
+  let w = Imdb_util.Codec.Writer.create () in
+  List.iter (encode_value w) (List.tl row);
+  Bytes.to_string (Imdb_util.Codec.Writer.contents w)
+
+let row_of_parts t ~key ~payload =
+  let r = Imdb_util.Codec.Reader.create (Bytes.of_string payload) in
+  let rest = List.map (fun _ -> decode_value r) (List.tl t.columns) in
+  decode_key key :: rest
+
+(* --- schema (de)serialization for the catalog --------------------------- *)
+
+let type_tag = function T_int -> 0 | T_string -> 1 | T_bool -> 2 | T_float -> 3
+
+let type_of_tag = function
+  | 0 -> T_int
+  | 1 -> T_string
+  | 2 -> T_bool
+  | 3 -> T_float
+  | n -> raise (Type_error (Fmt.str "bad column type tag %d" n))
+
+let encode t =
+  let w = Imdb_util.Codec.Writer.create () in
+  Imdb_util.Codec.Writer.u16 w (arity t);
+  List.iter
+    (fun c ->
+      Imdb_util.Codec.Writer.lstring w c.col_name;
+      Imdb_util.Codec.Writer.u8 w (type_tag c.col_type))
+    t.columns;
+  Imdb_util.Codec.Writer.contents w
+
+let decode_from r =
+  let module R = Imdb_util.Codec.Reader in
+  let n = R.u16 r in
+  let columns =
+    List.init n (fun _ ->
+        let col_name = R.lstring r in
+        { col_name; col_type = type_of_tag (R.u8 r) })
+  in
+  make columns
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf c ->
+         Fmt.pf ppf "%s %s" c.col_name (type_name c.col_type)))
+    t.columns

@@ -1,0 +1,775 @@
+(* Table data operations.
+
+   Versioned tables (Immortal and Snapshot) are a key router (a B-tree
+   mapping low keys to data page ids) above versioned data pages.  Every
+   write inserts a new version; deletes insert delete stubs; pages split
+   by time (Immortal) or garbage-collect dead versions (Snapshot) when
+   full, with an additional key split when the surviving data still
+   exceeds the threshold T (paper Section 3.3).  Conventional tables are
+   plain B-trees updated in place.
+
+   Reads implement the three access paths of the paper:
+   - current reads via the router (identical cost to a conventional scan);
+   - snapshot reads at the transaction's snapshot time;
+   - AS OF reads at an arbitrary past time, first probing the current
+     page's split time, then either walking the time-split page chain or
+     probing the TSB index directly. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+module P = Imdb_storage.Page
+module R = Imdb_storage.Record
+module BP = Imdb_buffer.Buffer_pool
+module LR = Imdb_wal.Log_record
+module V = Imdb_version.Vpage
+module E = Engine
+
+exception Duplicate_key of string
+exception No_such_key of string
+exception Write_conflict of { key : string; committed_at : Ts.t option }
+exception Not_versioned of string
+exception Page_overflow of string
+
+let is_versioned ti =
+  match ti.Catalog.ti_mode with
+  | Catalog.Immortal | Catalog.Snapshot_table -> true
+  | Catalog.Conventional -> false
+
+(* --- structure handles --------------------------------------------------- *)
+
+let router eng ti =
+  Imdb_btree.Btree.attach ~pool:eng.E.pool ~io:(E.btree_io_for eng ti.Catalog.ti_id)
+    ~root:ti.Catalog.ti_root ~table_id:ti.Catalog.ti_id
+    ~name:(ti.Catalog.ti_name ^ ".router")
+
+let conv_tree eng ti =
+  Imdb_btree.Btree.attach ~pool:eng.E.pool ~io:(E.btree_io_for eng ti.Catalog.ti_id)
+    ~root:ti.Catalog.ti_root ~table_id:ti.Catalog.ti_id ~name:ti.Catalog.ti_name
+
+let tsb eng ti =
+  if ti.Catalog.ti_tsb_root = 0 then None
+  else
+    Some
+      (Imdb_tsb.Tsb.attach ~pool:eng.E.pool ~io:(E.tsb_io eng ti.Catalog.ti_id)
+         ~root:ti.Catalog.ti_tsb_root ~table_id:ti.Catalog.ti_id)
+
+let page_id_value pid =
+  let b = Bytes.create 4 in
+  Imdb_util.Codec.set_u32 b 0 pid;
+  b
+
+let page_id_of_value v = Imdb_util.Codec.get_u32 v 0
+
+(* The data page responsible for [key] (hot path: one router descent). *)
+let locate_page eng ti ~key =
+  let rt = router eng ti in
+  match Imdb_btree.Btree.find_floor rt ~key with
+  | None -> failwith (Printf.sprintf "Table %s: router has no floor" ti.Catalog.ti_name)
+  | Some (_low, v) -> page_id_of_value v
+
+(* The data page responsible for [key], together with its router bounds
+   [low, high) (high = None meaning +inf) — used by the split path and the
+   TSB rectangle computation. *)
+let locate eng ti ~key =
+  let rt = router eng ti in
+  match Imdb_btree.Btree.find_floor rt ~key with
+  | None -> failwith (Printf.sprintf "Table %s: router has no floor" ti.Catalog.ti_name)
+  | Some (low, v) ->
+      let high = Option.map fst (Imdb_btree.Btree.find_next rt ~key:low) in
+      (page_id_of_value v, low, high)
+
+(* All router entries in key order: (low, high, page_id). *)
+let router_ranges eng ti =
+  let rt = router eng ti in
+  let entries = Imdb_btree.Btree.fold rt ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+  let entries = List.rev entries in
+  let rec bounds = function
+    | [] -> []
+    | [ (low, v) ] -> [ (low, None, page_id_of_value v) ]
+    | (low, v) :: ((next, _) :: _ as rest) ->
+        (low, Some next, page_id_of_value v) :: bounds rest
+  in
+  bounds entries
+
+(* --- table creation ------------------------------------------------------ *)
+
+(* Create a table's storage structures and catalog entry.  Runs inside the
+   caller's (DDL) transaction: the catalog insert is undoable, the
+   structure allocation is not (an aborted CREATE leaks pages, as real
+   engines tolerate for nested-top-action structure builds). *)
+let create eng ~name ~mode ~schema =
+  if Hashtbl.mem eng.E.table_ids name then
+    invalid_arg (Printf.sprintf "table %s already exists" name);
+  let id = eng.E.meta.Meta.next_table_id in
+  E.update_meta eng (fun m -> m.Meta.next_table_id <- id + 1);
+  let ti =
+    match mode with
+    | Catalog.Conventional ->
+        let tree =
+          Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id)
+            ~table_id:id ~name
+        in
+        {
+          Catalog.ti_id = id;
+          ti_name = name;
+          ti_mode = mode;
+          ti_schema = schema;
+          ti_root = Imdb_btree.Btree.root tree;
+          ti_tsb_root = 0;
+        }
+    | Catalog.Immortal | Catalog.Snapshot_table ->
+        let rt =
+          Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id)
+            ~table_id:id ~name:(name ^ ".router")
+        in
+        let first_page = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:id in
+        Imdb_btree.Btree.insert ~undoable:false rt ~key:""
+          ~value:(page_id_value first_page);
+        let tsb_root =
+          if mode = Catalog.Immortal && eng.E.config.E.tsb_enabled then
+            Imdb_tsb.Tsb.root
+              (Imdb_tsb.Tsb.create ~pool:eng.E.pool ~io:(E.tsb_io eng id) ~table_id:id)
+          else 0
+        in
+        {
+          Catalog.ti_id = id;
+          ti_name = name;
+          ti_mode = mode;
+          ti_schema = schema;
+          ti_root = Imdb_btree.Btree.root rt;
+          ti_tsb_root = tsb_root;
+        }
+  in
+  Catalog.store (E.catalog_exn eng) ti;
+  (match eng.E.cur_txn with
+  | Some txn ->
+      E.note_write eng txn ~table_id:Meta.catalog_table_id ~key:name ~immortal:false
+  | None -> ());
+  E.register_table eng ti;
+  ti
+
+let drop eng name =
+  match E.table_by_name eng name with
+  | None -> false
+  | Some ti ->
+      ignore (Catalog.remove (E.catalog_exn eng) name);
+      (match eng.E.cur_txn with
+      | Some txn ->
+          E.note_write eng txn ~table_id:Meta.catalog_table_id ~key:name ~immortal:false
+      | None -> ());
+      E.unregister_table eng ti;
+      true
+
+(* --- page splitting ------------------------------------------------------ *)
+
+(* Split the full data page [pid] of [ti] to make room.  Immortal tables
+   time-split (and key-split when current utilization stays above T);
+   snapshot tables garbage-collect dead versions, falling back to a key
+   split when everything is still needed. *)
+let split_data_page eng ti ~pid ~low ~high =
+  let threshold = eng.E.config.E.key_split_threshold in
+  let key_split_page fr =
+    let page = BP.bytes fr in
+    if List.length (V.keys page) < 2 then
+      raise
+        (Page_overflow
+           (Printf.sprintf "table %s: page %d holds one giant key chain"
+              ti.Catalog.ti_name pid));
+    let right_pid = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:ti.Catalog.ti_id in
+    let ks = V.key_split ~page ~right_page_id:right_pid in
+    E.exec_op eng fr ~undoable:false (LR.Op_image { image = ks.V.ks_left });
+    BP.with_page eng.E.pool right_pid (fun rfr ->
+        E.exec_op eng rfr ~undoable:false (LR.Op_image { image = ks.V.ks_right }));
+    Imdb_btree.Btree.insert ~undoable:false (router eng ti) ~key:ks.V.ks_separator
+      ~value:(page_id_value right_pid)
+  in
+  BP.with_page eng.E.pool pid (fun fr ->
+      (* every committed version must carry its timestamp before versions
+         can be classified (Section 2.2, trigger four) *)
+      E.stamp_page eng fr;
+      let page = BP.bytes fr in
+      match ti.Catalog.ti_mode with
+      | Catalog.Conventional -> assert false
+      | Catalog.Immortal ->
+          (* split at now, strictly after every issued commit timestamp *)
+          let s = Ts.succ (Imdb_clock.Clock.last_issued eng.E.clock) in
+          Imdb_clock.Clock.observe eng.E.clock s;
+          let hist_pid =
+            E.alloc_page eng ~ptype:P.P_history ~level:0 ~table_id:ti.Catalog.ti_id
+          in
+          let old_split = P.split_time page in
+          let images = V.time_split ~page ~split_time:s ~history_page_id:hist_pid in
+          E.exec_op eng fr ~undoable:false (LR.Op_image { image = images.V.si_current });
+          BP.with_page eng.E.pool hist_pid (fun hfr ->
+              E.exec_op eng hfr ~undoable:false
+                (LR.Op_image { image = images.V.si_history }));
+          (match tsb eng ti with
+          | Some index ->
+              Imdb_tsb.Tsb.insert index
+                ~rect:
+                  {
+                    Imdb_tsb.Tsb.key_low = low;
+                    key_high = high;
+                    t_low = old_split;
+                    t_high = s;
+                  }
+                ~child:hist_pid
+          | None -> ());
+          if P.utilization (BP.bytes fr) > threshold then key_split_page fr
+      | Catalog.Snapshot_table ->
+          let snapshots = E.active_snapshots eng in
+          let img, dropped = V.gc_versions ~page ~snapshots in
+          if dropped > 0 then
+            E.exec_op eng fr ~undoable:false (LR.Op_image { image = img })
+          else key_split_page fr)
+
+(* --- versioned writes ----------------------------------------------------- *)
+
+(* First-committer-wins validation for snapshot-isolation writers: the
+   current version must not postdate the writer's snapshot. *)
+let validate_si_write eng txn page ~key =
+  match V.find_current page ~key with
+  | None -> ()
+  | Some slot -> (
+      match R.in_page_ttime page slot with
+      | Tid.Unstamped tid when Tid.equal tid txn.E.tx_tid -> ()
+      | Tid.Unstamped tid -> (
+          match Imdb_tstamp.Lazy_stamper.resolve eng.E.stamper tid with
+          | V.Committed ts when Ts.compare ts txn.E.tx_snapshot > 0 ->
+              raise (Write_conflict { key; committed_at = Some ts })
+          | V.Committed _ -> ()
+          | V.Active | V.Unknown ->
+              raise (Write_conflict { key; committed_at = None }))
+      | Tid.Stamped ms ->
+          let ts = Ts.make ~ttime:ms ~sn:(R.in_page_sn page slot) in
+          if Ts.compare ts txn.E.tx_snapshot > 0 then
+            raise (Write_conflict { key; committed_at = Some ts }))
+
+type write_kind = W_insert | W_update | W_upsert | W_delete
+
+(* Insert a new version of [key] (a delete stub for [W_delete]).  SQL
+   semantics: INSERT requires absence, UPDATE/DELETE require presence,
+   upsert accepts both. *)
+let write_version eng txn ti ~key ~payload ~kind =
+  E.check_running txn;
+  E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.X;
+  let immortal = ti.Catalog.ti_mode = Catalog.Immortal in
+  let rec attempt budget =
+    if budget = 0 then
+      raise (Page_overflow (Printf.sprintf "table %s: cannot make room" ti.Catalog.ti_name));
+    let pid = locate_page eng ti ~key in
+    let full =
+      BP.with_page eng.E.pool pid (fun fr ->
+          let page = BP.bytes fr in
+          (* the paper's third stamping trigger: updating a
+             non-timestamped version timestamps the existing versions of
+             that record *)
+          E.stamp_record eng fr ~key;
+          match
+            V.plan_insert page ~key ~payload ~tid:txn.E.tx_tid
+              ~delete_stub:(kind = W_delete)
+          with
+          | None -> true
+          | Some pi ->
+              (* SI validation and existence checks ride on the plan's
+                 predecessor lookup instead of re-scanning the page *)
+              (match txn.E.tx_isolation with
+              | E.Snapshot_isolation when pi.V.pi_pred_slot <> R.no_vp ->
+                  validate_si_write eng txn page ~key
+              | E.Snapshot_isolation
+                when Ts.compare (P.split_time page) txn.E.tx_snapshot > 0 ->
+                  (* no current version here, but the page time-split
+                     after our snapshot: a competing deletion may have
+                     moved the key's whole chain (ending in a stub) to
+                     history.  First-committer-wins must still see it. *)
+                  let rec probe pid' =
+                    if pid' <> P.no_page then
+                      let newest, next =
+                        BP.with_page eng.E.pool pid' (fun hfr ->
+                            let hp = BP.bytes hfr in
+                            let best = ref None in
+                            List.iter
+                              (fun slot ->
+                                match R.in_page_timestamp hp slot with
+                                | Some ts -> (
+                                    match !best with
+                                    | Some b when Ts.compare b ts >= 0 -> ()
+                                    | _ -> best := Some ts)
+                                | None -> ())
+                              (V.all_versions_of hp ~key);
+                            (!best, P.history_pointer hp))
+                      in
+                      match newest with
+                      | Some ts ->
+                          if Ts.compare ts txn.E.tx_snapshot > 0 then
+                            raise (Write_conflict { key; committed_at = Some ts })
+                      | None ->
+                          (* keep walking only through ranges that can
+                             still hold post-snapshot versions *)
+                          if
+                            BP.with_page eng.E.pool pid' (fun hfr ->
+                                Ts.compare
+                                  (P.split_time (BP.bytes hfr))
+                                  txn.E.tx_snapshot > 0)
+                          then probe next
+                  in
+                  probe (P.history_pointer page)
+              | _ -> ());
+              let exists =
+                pi.V.pi_pred_slot <> R.no_vp
+                && pi.V.pi_pred_old_flags land R.f_delete_stub = 0
+              in
+              (match kind with
+              | W_insert when exists -> raise (Duplicate_key key)
+              | (W_update | W_delete) when not exists -> raise (No_such_key key)
+              | _ -> ());
+              E.with_txn eng txn (fun () ->
+                  E.exec_op eng fr ~undoable:true
+                    (LR.Op_version_insert
+                       {
+                         slot = pi.V.pi_slot;
+                         body = pi.V.pi_body;
+                         pred_slot = pi.V.pi_pred_slot;
+                         pred_old_flags = pi.V.pi_pred_old_flags;
+                         table_id = ti.Catalog.ti_id;
+                       }));
+              Imdb_tstamp.Vtt.incr_ref (E.vtt eng) txn.E.tx_tid;
+              E.note_write eng txn ~table_id:ti.Catalog.ti_id ~key ~immortal;
+              false)
+    in
+    if full then begin
+      (* recompute the page's router bounds only on the (rare) split path *)
+      let pid', low, high = locate eng ti ~key in
+      split_data_page eng ti ~pid:pid' ~low ~high;
+      attempt (budget - 1)
+    end
+  in
+  attempt 4
+
+(* --- conventional writes --------------------------------------------------- *)
+
+let conv_write eng txn ti ~key ~payload ~kind =
+  E.check_running txn;
+  E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.X;
+  let tree = conv_tree eng ti in
+  let exists = Imdb_btree.Btree.mem tree ~key in
+  (match kind with
+  | W_insert when exists -> raise (Duplicate_key key)
+  | (W_update | W_delete) when not exists -> raise (No_such_key key)
+  | _ -> ());
+  E.with_txn eng txn (fun () ->
+      match kind with
+      | W_delete -> ignore (Imdb_btree.Btree.delete ~undoable:true tree ~key)
+      | W_insert | W_update | W_upsert ->
+          Imdb_btree.Btree.insert tree ~key ~value:(Bytes.of_string payload));
+  E.note_write eng txn ~table_id:ti.Catalog.ti_id ~key ~immortal:false
+
+(* --- public write API ------------------------------------------------------ *)
+
+let insert eng txn ti ~key ~payload =
+  if is_versioned ti then write_version eng txn ti ~key ~payload ~kind:W_insert
+  else conv_write eng txn ti ~key ~payload ~kind:W_insert
+
+let update eng txn ti ~key ~payload =
+  if is_versioned ti then write_version eng txn ti ~key ~payload ~kind:W_update
+  else conv_write eng txn ti ~key ~payload ~kind:W_update
+
+let upsert eng txn ti ~key ~payload =
+  if is_versioned ti then write_version eng txn ti ~key ~payload ~kind:W_upsert
+  else conv_write eng txn ti ~key ~payload ~kind:W_upsert
+
+let delete eng txn ti ~key =
+  if is_versioned ti then write_version eng txn ti ~key ~payload:"" ~kind:W_delete
+  else conv_write eng txn ti ~key ~payload:"" ~kind:W_delete
+
+(* Enable snapshot versioning on a conventional table (the paper §4.1:
+   "conventional tables can still make use of our prototype for
+   supporting snapshot versions ... by enabling snapshot isolation using
+   an Alter Table statement").
+
+   The rows migrate from the in-place B-tree into versioned data pages as
+   versions of the ALTER transaction — their visible history begins at
+   the conversion's commit time, which is when versioning semantics
+   begin.  The old B-tree's pages are leaked (bounded, like other aborted
+   structure builds).  Runs inside the caller's DDL transaction. *)
+let enable_snapshot eng ti =
+  if ti.Catalog.ti_mode <> Catalog.Conventional then
+    invalid_arg (Printf.sprintf "table %s is already versioned" ti.Catalog.ti_name);
+  let txn =
+    match eng.E.cur_txn with
+    | Some t -> t
+    | None -> invalid_arg "Table.enable_snapshot: no transaction"
+  in
+  let id = ti.Catalog.ti_id in
+  let old_tree = conv_tree eng ti in
+  let rt =
+    Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id) ~table_id:id
+      ~name:(ti.Catalog.ti_name ^ ".router")
+  in
+  let first_page = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:id in
+  Imdb_btree.Btree.insert ~undoable:false rt ~key:"" ~value:(page_id_value first_page);
+  (* flip the catalog entry first so the write path below routes through
+     the new structure; [ti] itself is left untouched so an aborted ALTER
+     can restore the cache *)
+  let converted =
+    {
+      ti with
+      Catalog.ti_mode = Catalog.Snapshot_table;
+      Catalog.ti_root = Imdb_btree.Btree.root rt;
+    }
+  in
+  Catalog.store (E.catalog_exn eng) converted;
+  E.note_write eng txn ~table_id:Meta.catalog_table_id ~key:ti.Catalog.ti_name
+    ~immortal:false;
+  E.register_table eng converted;
+  (* migrate the rows as versions of the ALTER transaction *)
+  let moved = ref 0 in
+  Imdb_btree.Btree.iter old_tree (fun key value ->
+      incr moved;
+      write_version eng txn converted ~key ~payload:(Bytes.to_string value)
+        ~kind:W_upsert);
+  !moved
+
+
+(* --- reads ------------------------------------------------------------------ *)
+
+(* Search the time-split chain (or the TSB index) for the page covering
+   time [t], starting from the current page [fr]'s history pointer.  The
+   walk is the paper's measured access path; the TSB jump is the indexed
+   one. *)
+let historical_page eng ti ~key ~t ~current_page =
+  Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+  match tsb eng ti with
+  | Some index -> (
+      match Imdb_tsb.Tsb.find index ~key ~ts:t with
+      | Some pid -> Some pid
+      | None -> None)
+  | None ->
+      (* walk the chain one page at a time — pin, read the two header
+         fields, unpin, step — so a deep walk never holds more than one
+         frame (the chain can exceed the buffer pool) *)
+      let rec walk pid =
+        if pid = P.no_page then None
+        else begin
+          Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+          let split, next =
+            BP.with_page eng.E.pool pid (fun fr ->
+                let page = BP.bytes fr in
+                (P.split_time page, P.history_pointer page))
+          in
+          if Ts.compare t split >= 0 then Some pid else walk next
+        end
+      in
+      walk (P.history_pointer current_page)
+
+(* Visible payload of [key] at time [t] for transaction [txn] (own writes
+   visible).  [None] = key absent at [t]. *)
+let read_versioned_at eng txn ti ~key ~t =
+  let pid = locate_page eng ti ~key in
+  BP.with_page eng.E.pool pid (fun fr ->
+      let page = BP.bytes fr in
+      E.stamp_record eng fr ~key;
+      (* own uncommitted writes win: the chain head is ours if we wrote *)
+      let own =
+        match V.find_current page ~key with
+        | Some slot -> (
+            match R.in_page_ttime page slot with
+            | Tid.Unstamped tid when Tid.equal tid txn.E.tx_tid ->
+                if R.in_page_flags page slot land R.f_delete_stub <> 0 then Some None
+                else
+                  Some
+                    (Some
+                       (Bytes.to_string
+                          (P.read_cell_part page slot
+                             ~at:(5 + String.length key)
+                             ~len:
+                               (P.cell_length page slot - R.fixed_overhead
+                              - String.length key))))
+            | _ -> None)
+        | None -> None
+      in
+      match own with
+      | Some result -> result
+      | None ->
+          let lookup_in pid' =
+            BP.with_page eng.E.pool pid' (fun fr' ->
+                let page' = BP.bytes fr' in
+                if pid' <> pid then E.stamp_record eng fr' ~key;
+                Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+                match V.find_stamped_as_of page' ~key ~asof:t with
+                | None -> None
+                | Some slot ->
+                    if R.in_page_flags page' slot land R.f_delete_stub <> 0 then None
+                    else
+                      Some
+                        (Bytes.to_string
+                           (P.read_cell_part page' slot
+                              ~at:(5 + String.length key)
+                              ~len:
+                                (P.cell_length page' slot - R.fixed_overhead
+                               - String.length key))))
+          in
+          if Ts.compare t (P.split_time page) >= 0 then lookup_in pid
+          else (
+            match historical_page eng ti ~key ~t ~current_page:page with
+            | Some hpid -> lookup_in hpid
+            | None -> None))
+
+(* Current-state read under 2PL. *)
+let read_current eng txn ti ~key =
+  E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.S;
+  let pid = locate_page eng ti ~key in
+  BP.with_page eng.E.pool pid (fun fr ->
+      let page = BP.bytes fr in
+      E.stamp_record eng fr ~key;
+      match V.find_current page ~key with
+      | None -> None
+      | Some slot ->
+          if R.in_page_flags page slot land R.f_delete_stub <> 0 then None
+          else
+            Some
+              (Bytes.to_string
+                 (P.read_cell_part page slot
+                    ~at:(5 + String.length key)
+                    ~len:(P.cell_length page slot - R.fixed_overhead - String.length key))))
+
+let read eng txn ti ~key =
+  E.check_running txn;
+  match ti.Catalog.ti_mode with
+  | Catalog.Conventional ->
+      E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.S;
+      Option.map Bytes.to_string (Imdb_btree.Btree.find (conv_tree eng ti) ~key)
+  | Catalog.Immortal | Catalog.Snapshot_table -> (
+      match txn.E.tx_isolation with
+      | E.Serializable -> read_current eng txn ti ~key
+      | E.Snapshot_isolation -> read_versioned_at eng txn ti ~key ~t:txn.E.tx_snapshot
+      | E.As_of t ->
+          if ti.Catalog.ti_mode <> Catalog.Immortal then
+            raise (Not_versioned (ti.Catalog.ti_name ^ ": AS OF needs an IMMORTAL table"));
+          read_versioned_at eng txn ti ~key ~t)
+
+(* --- scans ------------------------------------------------------------------ *)
+
+let in_range key ~low ~high =
+  String.compare key low >= 0
+  && match high with None -> true | Some h -> String.compare key h < 0
+
+(* Intersect the router ranges with a requested key window
+   [lo, hi) — the page set a range scan must visit, with the effective
+   bounds to filter keys inside each page. *)
+let clipped_ranges eng ti ?(lo = "") ?hi () =
+  List.filter_map
+    (fun (low, high, pid) ->
+      let low' = if String.compare lo low > 0 then lo else low in
+      let high' =
+        match (hi, high) with
+        | None, h -> h
+        | (Some _ as h), None -> h
+        | Some a, Some b -> Some (if String.compare a b < 0 then a else b)
+      in
+      let nonempty =
+        match high' with None -> true | Some h -> String.compare low' h < 0
+      in
+      if nonempty then Some (low', high', pid) else None)
+    (router_ranges eng ti)
+
+let payload_of page slot key =
+  Bytes.to_string
+    (P.read_cell_part page slot
+       ~at:(5 + String.length key)
+       ~len:(P.cell_length page slot - R.fixed_overhead - String.length key))
+
+(* Scan of the current state (2PL path), optionally bounded to the key
+   window [lo, hi). *)
+let scan_current eng ?(lo = "") ?hi txn ti f =
+  E.check_running txn;
+  let table_lock () =
+    match txn.E.tx_isolation with
+    | E.Serializable -> (
+        let open Imdb_lock.Lock_manager in
+        try acquire_exn eng.E.locks txn.E.tx_tid (Table ti.Catalog.ti_id) S
+        with Deadlock tid -> raise (E.Deadlock_abort tid))
+    | E.Snapshot_isolation | E.As_of _ -> ()
+  in
+  match ti.Catalog.ti_mode with
+  | Catalog.Conventional ->
+      table_lock ();
+      (* Btree.iter's upto is inclusive; hi is exclusive — filter. *)
+      Imdb_btree.Btree.iter ~from:lo ?upto:hi (conv_tree eng ti) (fun k v ->
+          if in_range k ~low:lo ~high:hi then f k (Bytes.to_string v))
+  | Catalog.Immortal | Catalog.Snapshot_table ->
+      table_lock ();
+      List.iter
+        (fun (low, high, pid) ->
+          BP.with_page eng.E.pool pid (fun fr ->
+              let page = BP.bytes fr in
+              E.stamp_page eng fr;
+              List.iter
+                (fun (key, slot) ->
+                  if
+                    in_range key ~low ~high
+                    && R.in_page_flags page slot land R.f_delete_stub = 0
+                  then f key (payload_of page slot key))
+                (V.current_slots page)))
+        (clipped_ranges eng ti ~lo ?hi ())
+
+(* Core of temporal scans: visible (key, payload) pairs at time [t],
+   optionally overlaid with [own]'s uncommitted writes (snapshot-isolation
+   scans must see the transaction's own changes).  For each router range,
+   the page covering [t] is the current page itself when t >= its split
+   time, otherwise the chain/TSB target; every key in range is emitted
+   with its visible version. *)
+let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
+  (* Emissions are collected per router range and sorted, so callers see
+     key order even when the own-write overlay contributes rows. *)
+  let pending = ref [] in
+  let f key payload = pending := (key, payload) :: !pending in
+  let flush_range () =
+    List.iter (fun (k, p) -> emit k p) (List.sort compare !pending);
+    pending := []
+  in
+  (* own uncommitted state of a key: present/absent/not-written-by-us *)
+  let own_state page key =
+    match own with
+    | None -> `Not_mine
+    | Some txn -> (
+        match V.find_current page ~key with
+        | Some slot when R.in_page_ttime page slot = Tid.Unstamped txn.E.tx_tid ->
+            if R.in_page_flags page slot land R.f_delete_stub <> 0 then `Deleted
+            else `Mine (payload_of page slot key)
+        | Some _ | None -> `Not_mine)
+  in
+  List.iter
+    (fun (low, high, pid) ->
+      BP.with_page eng.E.pool pid (fun fr ->
+          let page = BP.bytes fr in
+          E.stamp_page eng fr;
+          Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+          (* overlay: keys written by [own] in this range, decided from the
+             current page regardless of which page serves time t *)
+          let overlaid = Hashtbl.create 4 in
+          (match own with
+          | None -> ()
+          | Some _ ->
+              List.iter
+                (fun key ->
+                  if in_range key ~low ~high then
+                    match own_state page key with
+                    | `Mine payload ->
+                        Hashtbl.replace overlaid key ();
+                        f key payload
+                    | `Deleted -> Hashtbl.replace overlaid key ()
+                    | `Not_mine -> ())
+                (V.keys page));
+          let scan_page pid' =
+            BP.with_page eng.E.pool pid' (fun fr' ->
+                let page' = BP.bytes fr' in
+                if pid' <> pid then E.stamp_page eng fr';
+                List.iter
+                  (fun key ->
+                    if in_range key ~low ~high && not (Hashtbl.mem overlaid key) then begin
+                      Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+                      match V.find_stamped_as_of page' ~key ~asof:t with
+                      | Some slot
+                        when R.in_page_flags page' slot land R.f_delete_stub = 0 ->
+                          f key (payload_of page' slot key)
+                      | Some _ | None -> ()
+                    end)
+                  (V.keys page'))
+          in
+          (if Ts.compare t (P.split_time page) >= 0 then scan_page pid
+           else
+             match historical_page eng ti ~key:low ~t ~current_page:page with
+             | Some hpid -> scan_page hpid
+             | None -> ());
+          flush_range ()))
+    (clipped_ranges eng ti ?lo ?hi ())
+
+(* AS OF scan at time [t] (the paper's Section 5.2 experiment),
+   optionally bounded to a key window — the access path of the paper's
+   own example, [SELECT * FROM MovingObjects WHERE Oid < 10] under
+   [BEGIN TRAN AS OF ...]. *)
+let scan_as_of eng ?lo ?hi txn ti ~t f =
+  E.check_running txn;
+  if ti.Catalog.ti_mode <> Catalog.Immortal then
+    raise (Not_versioned (ti.Catalog.ti_name ^ ": AS OF needs an IMMORTAL table"));
+  scan_versioned_at eng ?lo ?hi ti ~t f
+
+(* Isolation-aware scan: what SELECT sees.  Serializable transactions
+   scan the locked current state; snapshot transactions scan their
+   snapshot (own writes visible); AS OF transactions scan history. *)
+let scan eng ?lo ?hi txn ti f =
+  E.check_running txn;
+  match (ti.Catalog.ti_mode, txn.E.tx_isolation) with
+  | Catalog.Conventional, _ | _, E.Serializable -> scan_current eng ?lo ?hi txn ti f
+  | _, E.Snapshot_isolation ->
+      scan_versioned_at eng ~own:txn ?lo ?hi ti ~t:txn.E.tx_snapshot f
+  | _, E.As_of t -> scan_as_of eng ?lo ?hi txn ti ~t f
+
+(* Time travel: the full version history of [key], newest first, as
+   (timestamp, payload option) — None marks a deletion. *)
+let history eng txn ti ~key =
+  E.check_running txn;
+  if ti.Catalog.ti_mode <> Catalog.Immortal then
+    raise (Not_versioned (ti.Catalog.ti_name ^ ": history needs an IMMORTAL table"));
+  let pid = locate_page eng ti ~key in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let collect_page pid' =
+    BP.with_page eng.E.pool pid' (fun fr ->
+        let page = BP.bytes fr in
+        E.stamp_page eng fr;
+        List.iter
+          (fun slot ->
+            match R.in_page_timestamp page slot with
+            | Some ts ->
+                (* redundant copies from time splits appear in two pages;
+                   dedupe on the start timestamp, unique per version *)
+                if not (Hashtbl.mem seen ts) then begin
+                  Hashtbl.add seen ts ();
+                  let v =
+                    if R.in_page_flags page slot land R.f_delete_stub <> 0 then None
+                    else Some (payload_of page slot key)
+                  in
+                  out := (ts, v) :: !out
+                end
+            | None -> () (* uncommitted: not part of history *))
+          (V.all_versions_of page ~key);
+        P.history_pointer page)
+  in
+  let rec walk pid' = if pid' <> P.no_page then walk (collect_page pid') in
+  walk pid;
+  List.sort (fun (a, _) (b, _) -> Ts.compare b a) !out
+
+(* --- maintenance hooks used by commit (eager timestamping) ------------------ *)
+
+(* Stamp every version the committing transaction wrote, *logging* each
+   patch — the eager strategy of Section 2.2, implemented for the
+   lazy-vs-eager ablation.  Revisits pages by key (they may have split
+   since the write, possibly causing extra I/O: the measured drawback). *)
+let eager_stamp_writes eng txn ~ts =
+  List.iter
+    (fun (table_id, key) ->
+      match E.table_by_id eng table_id with
+      | Some ti when is_versioned ti ->
+          let pid, _, _ = locate eng ti ~key in
+          BP.with_page eng.E.pool pid (fun fr ->
+              let page = BP.bytes fr in
+              List.iter
+                (fun slot ->
+                  match R.in_page_ttime page slot with
+                  | Tid.Unstamped tid when Tid.equal tid txn.E.tx_tid ->
+                      let at = R.tail_offset_in_body page slot + 2 in
+                      let old_b = P.read_cell_part page slot ~at ~len:12 in
+                      let new_b = Bytes.create 12 in
+                      Imdb_util.Codec.set_i64 new_b 0 (Ts.ttime ts);
+                      Imdb_util.Codec.set_u32 new_b 8 (Ts.sn ts);
+                      E.exec_op eng fr ~undoable:false
+                        (LR.Op_patch { slot; at; old_b; new_b });
+                      Imdb_util.Stats.incr Imdb_util.Stats.stamps_applied;
+                      Imdb_tstamp.Vtt.note_stamped (E.vtt eng) tid
+                        ~end_of_log:(Imdb_wal.Wal.next_lsn eng.E.wal)
+                  | _ -> ())
+                (V.all_versions_of page ~key))
+      | _ -> ())
+    txn.E.tx_writes

@@ -1,0 +1,199 @@
+(* Transaction lifecycle: commit processing and rollback.
+
+   Commit (Section 2.2, stage III): choose the commit timestamp — late,
+   so it agrees with serialization order — then, under lazy timestamping,
+   perform the *single* PTT insert for the transaction and write the
+   commit record; no updated record is revisited.  Under eager
+   timestamping every written version is revisited, stamped and logged
+   before the commit record — the strategy the paper rejects and we keep
+   as an ablation baseline.
+
+   Rollback uses guarded logical undo: each undoable log record's effect
+   is located through the table's router/tree *at rollback time* (time
+   splits and key splits may have moved it) and reverted only if still
+   present.  All undo effects are themselves logged redo-only, and the
+   guards make re-undoing after a crash idempotent, which replaces
+   textbook CLR chains in this engine. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+module P = Imdb_storage.Page
+module R = Imdb_storage.Record
+module BP = Imdb_buffer.Buffer_pool
+module LR = Imdb_wal.Log_record
+module V = Imdb_version.Vpage
+module E = Engine
+
+let begin_txn = E.begin_txn
+
+(* --- commit ---------------------------------------------------------------- *)
+
+let release eng txn =
+  Imdb_lock.Lock_manager.release_all eng.E.locks txn.E.tx_tid;
+  Tid.Table.remove eng.E.active txn.E.tx_tid;
+  txn.E.tx_state <- E.Finished
+
+(* Commit; returns the commit timestamp, or [None] for read-only
+   transactions (which leave no trace at all). *)
+let commit eng txn =
+  E.check_running txn;
+  if E.is_read_only txn then begin
+    (* nothing logged, nothing timestamped: vanish quietly *)
+    Imdb_tstamp.Vtt.drop (E.vtt eng) txn.E.tx_tid;
+    release eng txn;
+    None
+  end
+  else begin
+    let ts = Imdb_clock.Clock.next_commit_timestamp eng.E.clock in
+    txn.E.tx_commit_ts <- Some ts;
+    let persistent = ref false in
+    (match eng.E.config.E.timestamping with
+    | E.Lazy_stamping ->
+        if txn.E.tx_wrote_immortal then begin
+          (* the one commit-path write that replaces per-record revisits *)
+          persistent := true;
+          E.with_txn eng txn (fun () ->
+              Imdb_tstamp.Ptt.insert (E.ptt_exn eng) txn.E.tx_tid ts)
+        end
+    | E.Eager_stamping -> Table.eager_stamp_writes eng txn ~ts);
+    E.ensure_begun eng txn;
+    let _commit_lsn =
+      Imdb_wal.Wal.append eng.E.wal (LR.Commit { tid = txn.E.tx_tid; ts })
+    in
+    Imdb_wal.Wal.flush eng.E.wal;
+    Imdb_tstamp.Vtt.commit (E.vtt eng) txn.E.tx_tid ~ts ~persistent:!persistent
+      ~end_of_log:(Imdb_wal.Wal.next_lsn eng.E.wal);
+    Imdb_tstamp.Vtt.drop_if_drained_snapshot (E.vtt eng) txn.E.tx_tid;
+    ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid = txn.E.tx_tid }));
+    release eng txn;
+    Imdb_util.Stats.incr Imdb_util.Stats.txn_commits;
+    eng.E.commits_since_checkpoint <- eng.E.commits_since_checkpoint + 1;
+    E.maybe_auto_checkpoint eng;
+    Some ts
+  end
+
+(* --- rollback --------------------------------------------------------------- *)
+
+let tree_for eng table_id =
+  if table_id = Meta.catalog_table_id then Some (E.catalog_exn eng)
+  else if table_id = Meta.ptt_table_id then
+    Some (E.ptt_exn eng).Imdb_tstamp.Ptt.tree
+  else
+    match E.table_by_id eng table_id with
+    | Some ti when ti.Catalog.ti_mode = Catalog.Conventional ->
+        Some (Table.conv_tree eng ti)
+    | _ -> None
+
+let key_of_leaf_cell body = fst (Imdb_btree.Btree.decode_leaf_cell body)
+
+(* Undo one logged operation, if its effect is still present (guards make
+   this idempotent across crashes during rollback). *)
+let undo_op eng txn ~op =
+  match op with
+  | LR.Op_kv_insert { body; table_id; _ } -> (
+      match tree_for eng table_id with
+      | None -> ()
+      | Some tree ->
+          let key = key_of_leaf_cell body in
+          ignore (Imdb_btree.Btree.delete tree ~key))
+  | LR.Op_kv_replace { old_body; table_id; _ } -> (
+      match tree_for eng table_id with
+      | None -> ()
+      | Some tree ->
+          let key, value = Imdb_btree.Btree.decode_leaf_cell old_body in
+          Imdb_btree.Btree.insert ~undoable:false tree ~key ~value)
+  | LR.Op_kv_delete { body; table_id; _ } -> (
+      match tree_for eng table_id with
+      | None -> ()
+      | Some tree ->
+          let key, value = Imdb_btree.Btree.decode_leaf_cell body in
+          if not (Imdb_btree.Btree.mem tree ~key) then
+            Imdb_btree.Btree.insert ~undoable:false tree ~key ~value)
+  | LR.Op_version_insert { body; table_id; _ } -> (
+      match E.table_by_id eng table_id with
+      | None -> ()
+      | Some ti ->
+          let rcd = R.decode body in
+          let key = rcd.R.key in
+          let pid, _, _ = Table.locate eng ti ~key in
+          BP.with_page eng.E.pool pid (fun fr ->
+              let page = BP.bytes fr in
+              match V.find_current page ~key with
+              | Some slot
+                when R.in_page_ttime page slot = Tid.Unstamped txn.E.tx_tid -> (
+                  (* remove our version; restore the predecessor to
+                     currency if it is local *)
+                  let vp = R.in_page_vp page slot in
+                  let vp_local =
+                    vp <> R.no_vp
+                    && R.in_page_flags page slot land R.f_vp_in_history = 0
+                  in
+                  let cell = P.read_cell page slot in
+                  E.exec_op eng fr ~undoable:false (LR.Op_delete { slot; body = cell });
+                  Imdb_tstamp.Vtt.decr_ref_rollback (E.vtt eng) txn.E.tx_tid;
+                  if vp_local then
+                    let old_flags = R.in_page_flags page vp in
+                    let new_flags = old_flags land lnot R.f_non_current in
+                    if new_flags <> old_flags then
+                      E.exec_op eng fr ~undoable:false
+                        (LR.Op_patch
+                           {
+                             slot = vp;
+                             at = 0;
+                             old_b = Bytes.make 1 (Char.chr old_flags);
+                             new_b = Bytes.make 1 (Char.chr new_flags);
+                           }))
+              | Some _ | None -> () (* already undone *)))
+  | LR.Op_insert _ | LR.Op_delete _ | LR.Op_replace _ | LR.Op_patch _
+  | LR.Op_header _ | LR.Op_format _ | LR.Op_image _ ->
+      failwith "Txnmgr.undo_op: physical op in an undoable record"
+
+(* Walk the transaction's log chain newest-first, undoing every update. *)
+let rollback_chain eng txn ~from_lsn =
+  let rec go lsn =
+    if Int64.compare lsn LR.nil_lsn > 0 then
+      match Imdb_wal.Wal.read_at eng.E.wal lsn with
+      | LR.Update { prev_lsn; op; _ } ->
+          undo_op eng txn ~op;
+          go prev_lsn
+      | LR.Begin _ -> ()
+      | LR.Clr _ | LR.Redo_only _ | LR.Commit _ | LR.Abort _ | LR.End _
+      | LR.Checkpoint _ ->
+          () (* chain heads only link Begin/Update records *)
+  in
+  go from_lsn
+
+let abort eng txn =
+  (match txn.E.tx_state with
+  | E.Finished -> raise E.Txn_finished
+  | E.Running | E.Rolling_back -> ());
+  txn.E.tx_state <- E.Rolling_back;
+  if txn.E.tx_begun then begin
+    ignore (Imdb_wal.Wal.append eng.E.wal (LR.Abort { tid = txn.E.tx_tid }));
+    rollback_chain eng txn ~from_lsn:txn.E.tx_last_lsn;
+    ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid = txn.E.tx_tid }))
+  end;
+  Imdb_tstamp.Vtt.abort (E.vtt eng) txn.E.tx_tid;
+  Imdb_tstamp.Vtt.drop (E.vtt eng) txn.E.tx_tid;
+  Imdb_util.Stats.incr Imdb_util.Stats.txn_aborts;
+  release eng txn
+
+(* Recovery entry point: roll back a loser transaction found in the log.
+   Synthesizes a transaction handle around the recovered chain head. *)
+let rollback_loser eng ~tid ~last_lsn =
+  let txn =
+    {
+      E.tx_tid = tid;
+      tx_isolation = E.Serializable;
+      tx_snapshot = Ts.zero;
+      tx_state = E.Rolling_back;
+      tx_begun = true;
+      tx_last_lsn = last_lsn;
+      tx_writes = [];
+      tx_write_set = Hashtbl.create 1;
+      tx_wrote_immortal = false;
+      tx_commit_ts = None;
+    }
+  in
+  rollback_chain eng txn ~from_lsn:last_lsn;
+  ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid }))

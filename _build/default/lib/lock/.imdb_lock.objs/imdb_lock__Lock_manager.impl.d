@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Fmt Hashtbl Imdb_clock List

@@ -1,0 +1,156 @@
+(* Lock manager.
+
+   Strict two-phase locking for the serializable path (the paper's base
+   engine supports "serializable, via fine grained locking"); snapshot
+   isolation transactions bypass read locks entirely, which is the point
+   of the versioning machinery.
+
+   Resources are hierarchical: table locks in intention modes, record
+   locks in S/X.  The engine is single-threaded with logically interleaved
+   transactions, so a conflicting request never blocks a thread — it
+   either fails fast ([`Would_block]) or is declared a deadlock when the
+   wait-for graph (maintained from failed requests) contains a cycle.
+   Callers abort the victim and retry. *)
+
+type resource = Table of int | Record of int * string (* table_id, key *)
+
+let pp_resource ppf = function
+  | Table id -> Fmt.pf ppf "table:%d" id
+  | Record (id, k) -> Fmt.pf ppf "rec:%d/%S" id k
+
+type mode = IS | IX | S | X
+
+let pp_mode ppf m =
+  Fmt.string ppf (match m with IS -> "IS" | IX -> "IX" | S -> "S" | X -> "X")
+
+(* Standard multigranularity compatibility matrix. *)
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S) | (IX | S), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _, X | X, _ -> false
+  | IX, S | S, IX -> false
+
+(* Mode strength for upgrades: the least upper bound. *)
+let lub a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | S, IX | IX, S -> X (* SIX collapsed to X for simplicity *)
+  | S, _ | _, S -> S
+  | IX, _ | _, IX -> IX
+  | IS, IS -> IS
+
+type entry = { holders : (Imdb_clock.Tid.t, mode) Hashtbl.t }
+
+type t = {
+  table : (resource, entry) Hashtbl.t;
+  held : (Imdb_clock.Tid.t, resource list ref) Hashtbl.t;
+  (* wait-for edges recorded on blocked requests, for deadlock detection *)
+  waits : (Imdb_clock.Tid.t, Imdb_clock.Tid.t list) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 256; held = Hashtbl.create 64; waits = Hashtbl.create 16 }
+
+type outcome = Granted | Would_block of Imdb_clock.Tid.t list
+
+exception Deadlock of Imdb_clock.Tid.t
+
+let entry_of t res =
+  match Hashtbl.find_opt t.table res with
+  | Some e -> e
+  | None ->
+      let e = { holders = Hashtbl.create 4 } in
+      Hashtbl.add t.table res e;
+      e
+
+let note_held t tid res =
+  match Hashtbl.find_opt t.held tid with
+  | Some l -> if not (List.mem res !l) then l := res :: !l
+  | None -> Hashtbl.add t.held tid (ref [ res ])
+
+(* Does the wait-for graph, extended with edges tid->blockers, contain a
+   cycle reachable from [tid]? *)
+let creates_cycle t tid blockers =
+  let rec reachable seen from =
+    if List.mem tid from then true
+    else
+      match from with
+      | [] -> false
+      | x :: rest ->
+          if List.mem x seen then reachable seen rest
+          else
+            let succ = match Hashtbl.find_opt t.waits x with Some l -> l | None -> [] in
+            reachable (x :: seen) (succ @ rest)
+  in
+  reachable [] blockers
+
+let acquire t tid res mode =
+  let e = entry_of t res in
+  let mine = Hashtbl.find_opt e.holders tid in
+  let requested = match mine with Some m -> lub m mode | None -> mode in
+  let conflicts =
+    Hashtbl.fold
+      (fun other m acc ->
+        if Imdb_clock.Tid.equal other tid then acc
+        else if compatible requested m then acc
+        else other :: acc)
+      e.holders []
+  in
+  match conflicts with
+  | [] ->
+      Hashtbl.replace e.holders tid requested;
+      note_held t tid res;
+      Hashtbl.remove t.waits tid;
+      Granted
+  | blockers ->
+      if creates_cycle t tid blockers then begin
+        Hashtbl.remove t.waits tid;
+        raise (Deadlock tid)
+      end;
+      Hashtbl.replace t.waits tid blockers;
+      Would_block blockers
+
+(* Acquire or raise: the engine's normal path, where a block is surfaced
+   to the caller as an exception (no real threads to park).  Because the
+   requester does not actually wait, its wait-for edge is erased before
+   raising — otherwise stale edges would accumulate into phantom
+   deadlocks.  True waiting callers use [acquire] and keep their edge. *)
+exception Conflict of { tid : Imdb_clock.Tid.t; blockers : Imdb_clock.Tid.t list }
+
+let acquire_exn t tid res mode =
+  match acquire t tid res mode with
+  | Granted -> ()
+  | Would_block blockers ->
+      Hashtbl.remove t.waits tid;
+      raise (Conflict { tid; blockers })
+
+let holds t tid res =
+  match Hashtbl.find_opt t.table res with
+  | None -> None
+  | Some e -> Hashtbl.find_opt e.holders tid
+
+(* Strict 2PL: all locks released together at commit/abort. *)
+let release_all t tid =
+  (match Hashtbl.find_opt t.held tid with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun res ->
+          match Hashtbl.find_opt t.table res with
+          | None -> ()
+          | Some e ->
+              Hashtbl.remove e.holders tid;
+              if Hashtbl.length e.holders = 0 then Hashtbl.remove t.table res)
+        !l;
+      Hashtbl.remove t.held tid);
+  Hashtbl.remove t.waits tid
+
+let held_by t tid =
+  match Hashtbl.find_opt t.held tid with Some l -> !l | None -> []
+
+let active_locks t =
+  Hashtbl.fold
+    (fun res e acc ->
+      Hashtbl.fold (fun tid m acc -> (res, tid, m) :: acc) e.holders acc)
+    t.table []

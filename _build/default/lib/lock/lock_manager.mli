@@ -1,0 +1,47 @@
+(** Lock manager: strict two-phase locking for the serializable path,
+    with multigranularity intention locks and wait-for-graph deadlock
+    detection.
+
+    The engine is single-threaded with logically interleaved
+    transactions, so a conflicting request never parks a thread: it
+    either fails fast ([Would_block] / [Conflict]) or is declared a
+    deadlock when the wait-for graph closes a cycle.  Snapshot-isolation
+    readers never call in at all — that is the point of the versioning
+    machinery. *)
+
+type resource = Table of int | Record of int * string
+
+val pp_resource : Format.formatter -> resource -> unit
+
+type mode = IS | IX | S | X
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val compatible : mode -> mode -> bool
+(** The standard multigranularity compatibility matrix. *)
+
+type t
+
+val create : unit -> t
+
+type outcome = Granted | Would_block of Imdb_clock.Tid.t list
+
+exception Deadlock of Imdb_clock.Tid.t
+(** Raised (naming the requester, the victim) when granting the wait
+    would close a cycle. *)
+
+exception Conflict of { tid : Imdb_clock.Tid.t; blockers : Imdb_clock.Tid.t list }
+
+val acquire : t -> Imdb_clock.Tid.t -> resource -> mode -> outcome
+(** Acquire or upgrade; re-requests are idempotent.  @raise Deadlock *)
+
+val acquire_exn : t -> Imdb_clock.Tid.t -> resource -> mode -> unit
+(** Like [acquire] but a block raises [Conflict]. *)
+
+val holds : t -> Imdb_clock.Tid.t -> resource -> mode option
+
+val release_all : t -> Imdb_clock.Tid.t -> unit
+(** Strict 2PL: everything is released together at commit/abort. *)
+
+val held_by : t -> Imdb_clock.Tid.t -> resource list
+val active_locks : t -> (resource * Imdb_clock.Tid.t * mode) list

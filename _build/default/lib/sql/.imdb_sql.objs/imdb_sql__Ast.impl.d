@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Ast Fmt Imdb_clock Imdb_core List Parser Printf String

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Format Imdb_clock Imdb_core

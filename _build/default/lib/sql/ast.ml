@@ -1,0 +1,138 @@
+(* Abstract syntax for the SQL subset of the paper's Section 4:
+
+   {v
+     CREATE [IMMORTAL | SNAPSHOT] TABLE t (col TYPE [PRIMARY KEY], ...)
+     INSERT INTO t VALUES (v, ...)
+     UPDATE t SET col = v [, ...] WHERE ...
+     DELETE FROM t WHERE ...
+     SELECT * | col [, ...] FROM t [WHERE ...]
+     BEGIN TRAN [AS OF "<datetime>"]
+     COMMIT [TRAN] / ROLLBACK [TRAN]
+     SET ISOLATION { SERIALIZABLE | SNAPSHOT }
+     SELECT HISTORY(t, key)            -- time-travel extension
+     CHECKPOINT                         -- maintenance extension
+   v}
+
+   The AS OF clause attaches to BEGIN TRAN, as in the paper's example:
+   Begin Tran AS OF "8/12/2004 10:15:20". *)
+
+type literal =
+  | L_int of int
+  | L_string of string
+  | L_bool of bool
+  | L_float of float
+  | L_null
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type condition =
+  | C_compare of string * comparison * literal (* column op literal *)
+  | C_and of condition * condition
+  | C_or of condition * condition
+  | C_not of condition
+  | C_true
+
+type column_def = {
+  cd_name : string;
+  cd_type : string; (* resolved against Schema.type_of_name at execution *)
+  cd_primary : bool;
+}
+
+type table_kind = K_conventional | K_immortal | K_snapshot
+
+type statement =
+  | Create_table of { kind : table_kind; name : string; columns : column_def list }
+  | Alter_enable_snapshot of string
+      (** ALTER TABLE t ENABLE SNAPSHOT — the paper's §4.1 Alter Table *)
+  | Drop_table of string
+  | Insert of { table : string; values : literal list }
+  | Update of { table : string; assignments : (string * literal) list; where : condition }
+  | Delete of { table : string; where : condition }
+  | Select of { columns : string list option; (* None = * *) table : string; where : condition }
+  | Select_history of { table : string; key : literal }
+  | Begin_tran of { as_of : string option }
+  | Commit_tran
+  | Rollback_tran
+  | Set_isolation of [ `Serializable | `Snapshot ]
+  | Checkpoint_stmt
+
+let pp_literal ppf = function
+  | L_int i -> Fmt.int ppf i
+  | L_string s ->
+      (* escape embedded quotes, SQL style *)
+      let buf = Buffer.create (String.length s + 2) in
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Fmt.pf ppf "'%s'" (Buffer.contents buf)
+  | L_bool true -> Fmt.string ppf "TRUE"
+  | L_bool false -> Fmt.string ppf "FALSE"
+  | L_float f ->
+      (* a decimal form the lexer reparses exactly for test-range floats *)
+      Fmt.pf ppf "%.6f" f
+  | L_null -> Fmt.string ppf "NULL"
+
+(* Print a statement back to parseable SQL: the inverse of the parser, up
+   to formatting (conditions are fully parenthesized to pin structure).
+   Used by tools and by the parser round-trip property tests. *)
+
+let pp_comparison ppf op =
+  Fmt.string ppf
+    (match op with Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp_condition ppf = function
+  | C_true -> Fmt.string ppf "TRUE_COND" (* never printed: guarded below *)
+  | C_compare (col, op, lit) ->
+      Fmt.pf ppf "%s %a %a" col pp_comparison op pp_literal lit
+  | C_and (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_condition a pp_condition b
+  | C_or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_condition a pp_condition b
+  | C_not c -> Fmt.pf ppf "(NOT %a)" pp_condition c
+
+let pp_where ppf = function
+  | C_true -> ()
+  | c -> Fmt.pf ppf " WHERE %a" pp_condition c
+
+let pp_statement ppf = function
+  | Create_table { kind; name; columns } ->
+      let kw =
+        match kind with
+        | K_immortal -> "IMMORTAL "
+        | K_snapshot -> "SNAPSHOT "
+        | K_conventional -> ""
+      in
+      Fmt.pf ppf "CREATE %sTABLE %s (%s)" kw name
+        (String.concat ", "
+           (List.map
+              (fun cd ->
+                cd.cd_name ^ " " ^ cd.cd_type ^ if cd.cd_primary then " PRIMARY KEY" else "")
+              columns))
+  | Alter_enable_snapshot name -> Fmt.pf ppf "ALTER TABLE %s ENABLE SNAPSHOT" name
+  | Drop_table name -> Fmt.pf ppf "DROP TABLE %s" name
+  | Insert { table; values } ->
+      Fmt.pf ppf "INSERT INTO %s VALUES (%a)" table
+        (Fmt.list ~sep:(Fmt.any ", ") pp_literal)
+        values
+  | Update { table; assignments; where } ->
+      Fmt.pf ppf "UPDATE %s SET %s%a" table
+        (String.concat ", "
+           (List.map
+              (fun (c, l) -> Fmt.str "%s = %a" c pp_literal l)
+              assignments))
+        pp_where where
+  | Delete { table; where } -> Fmt.pf ppf "DELETE FROM %s%a" table pp_where where
+  | Select { columns; table; where } ->
+      Fmt.pf ppf "SELECT %s FROM %s%a"
+        (match columns with None -> "*" | Some cs -> String.concat ", " cs)
+        table pp_where where
+  | Select_history { table; key } ->
+      Fmt.pf ppf "SELECT HISTORY(%s, %a)" table pp_literal key
+  | Begin_tran { as_of = None } -> Fmt.string ppf "BEGIN TRAN"
+  | Begin_tran { as_of = Some ts } -> Fmt.pf ppf "BEGIN TRAN AS OF \"%s\"" ts
+  | Commit_tran -> Fmt.string ppf "COMMIT TRAN"
+  | Rollback_tran -> Fmt.string ppf "ROLLBACK TRAN"
+  | Set_isolation `Serializable -> Fmt.string ppf "SET ISOLATION SERIALIZABLE"
+  | Set_isolation `Snapshot -> Fmt.string ppf "SET ISOLATION SNAPSHOT"
+  | Checkpoint_stmt -> Fmt.string ppf "CHECKPOINT"
+
+let statement_to_string s = Fmt.str "%a" pp_statement s

@@ -1,0 +1,31 @@
+(** SQL execution over the {!Imdb_core.Db} API.
+
+    A session holds at most one open transaction, as in the paper's
+    examples ([Begin Tran AS OF "..." ... Commit Tran]); statements
+    outside an explicit transaction autocommit.  Point operations on the
+    primary key use the key access path; other WHERE clauses filter a
+    scan. *)
+
+exception Exec_error of string
+
+type result =
+  | R_ok of string
+  | R_rows of { header : string list; rows : Imdb_core.Schema.value list list }
+  | R_history of (Imdb_clock.Timestamp.t * Imdb_core.Schema.value list option) list
+
+type session = {
+  db : Imdb_core.Db.t;
+  mutable txn : Imdb_core.Db.txn option;
+  mutable isolation : Imdb_core.Db.isolation;
+}
+
+val make_session : Imdb_core.Db.t -> session
+
+val exec : session -> Ast.statement -> result
+(** Execute one statement.  @raise Exec_error and the engine's data
+    exceptions (e.g. {!Imdb_core.Table.Duplicate_key}). *)
+
+val exec_string : session -> string -> result list
+(** Parse and execute a script. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,109 @@
+(* Hand-rolled lexer for the SQL subset.  Keywords are case-insensitive;
+   strings accept single or double quotes (the paper's AS OF examples use
+   double quotes). *)
+
+type token =
+  | Ident of string (* uppercased keywords are matched by the parser *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Punct of char (* ( ) , ; * =  *)
+  | Op of string (* = <> != < <= > >= *)
+  | Eof
+
+exception Lex_error of string
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "%s" s
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "'%s'" s
+  | Punct c -> Fmt.char ppf c
+  | Op s -> Fmt.string ppf s
+  | Eof -> Fmt.string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then
+        (* line comment *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      else if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        emit (Ident (String.sub src i (j - i)));
+        go j
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let rec stop j seen_dot =
+          if j < n && (is_digit src.[j] || (src.[j] = '.' && not seen_dot)) then
+            stop (j + 1) (seen_dot || src.[j] = '.')
+          else j
+        in
+        let j = stop (i + 1) false in
+        let text = String.sub src i (j - i) in
+        if String.contains text '.' then emit (Float (float_of_string text))
+        else emit (Int (int_of_string text));
+        go j
+      end
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Lex_error "unterminated string")
+          else if src.[j] = quote then
+            if j + 1 < n && src.[j + 1] = quote then begin
+              Buffer.add_char buf quote;
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit (Str (Buffer.contents buf));
+        go j
+      end
+      else if c = '<' || c = '>' || c = '!' || c = '=' then begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "!=" | "<=" | ">=" ->
+            emit (Op two);
+            go (i + 2)
+        | _ ->
+            if c = '!' then raise (Lex_error "unexpected '!'");
+            emit (Op (String.make 1 c));
+            go (i + 1)
+      end
+      else if c = '(' || c = ')' || c = ',' || c = ';' || c = '*' || c = '.' then begin
+        emit (Punct c);
+        go (i + 1)
+      end
+      else if c = '[' then begin
+        (* bracket-quoted identifier, T-SQL style: [PRIMARY] *)
+        let rec stop j =
+          if j >= n then raise (Lex_error "unterminated [identifier]")
+          else if src.[j] = ']' then j
+          else stop (j + 1)
+        in
+        let j = stop (i + 1) in
+        emit (Ident (String.sub src (i + 1) (j - i - 1)));
+        go (j + 1)
+      end
+      else raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev (Eof :: !tokens)

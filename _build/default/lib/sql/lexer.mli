@@ -1,0 +1,19 @@
+(** Lexer for the SQL subset.  Keywords are case-insensitive; strings take
+    single or double quotes (the paper's AS OF examples use double);
+    [\[bracketed\]] identifiers are accepted T-SQL style. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Punct of char
+  | Op of string
+  | Eof
+
+exception Lex_error of string
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** @raise Lex_error *)

@@ -1,0 +1,267 @@
+(* Recursive-descent parser for the SQL subset. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+(* Case-insensitive keyword match. *)
+let is_kw t kw =
+  match t with
+  | Lexer.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let expect_kw st kw =
+  let t = next st in
+  if not (is_kw t kw) then fail "expected %s, got %a" kw Lexer.pp_token t
+
+let accept_kw st kw = if is_kw (peek st) kw then (advance st; true) else false
+
+let expect_punct st c =
+  match next st with
+  | Lexer.Punct p when p = c -> ()
+  | t -> fail "expected '%c', got %a" c Lexer.pp_token t
+
+let accept_punct st c =
+  match peek st with Lexer.Punct p when p = c -> advance st; true | _ -> false
+
+let ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  | t -> fail "expected identifier, got %a" Lexer.pp_token t
+
+let literal st =
+  match next st with
+  | Lexer.Int i -> L_int i
+  | Lexer.Float f -> L_float f
+  | Lexer.Str s -> L_string s
+  | Lexer.Ident s when String.uppercase_ascii s = "TRUE" -> L_bool true
+  | Lexer.Ident s when String.uppercase_ascii s = "FALSE" -> L_bool false
+  | Lexer.Ident s when String.uppercase_ascii s = "NULL" -> L_null
+  | t -> fail "expected literal, got %a" Lexer.pp_token t
+
+(* --- conditions ------------------------------------------------------- *)
+
+let comparison_of = function
+  | "=" -> Eq
+  | "<>" | "!=" -> Neq
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | op -> fail "unknown operator %s" op
+
+let rec parse_condition st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then C_or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_atom st in
+  if accept_kw st "AND" then C_and (left, parse_and st) else left
+
+and parse_atom st =
+  if accept_kw st "NOT" then C_not (parse_atom st)
+  else if accept_punct st '(' then begin
+    let c = parse_condition st in
+    expect_punct st ')';
+    c
+  end
+  else
+    let col = ident st in
+    match next st with
+    | Lexer.Op op -> C_compare (col, comparison_of op, literal st)
+    | t -> fail "expected comparison after %s, got %a" col Lexer.pp_token t
+
+(* --- statements ------------------------------------------------------- *)
+
+let parse_columns_defs st =
+  expect_punct st '(';
+  let rec go acc =
+    let name = ident st in
+    let ty = ident st in
+    let primary =
+      if accept_kw st "PRIMARY" then begin
+        expect_kw st "KEY";
+        true
+      end
+      else false
+    in
+    let def = { cd_name = name; cd_type = ty; cd_primary = primary } in
+    if accept_punct st ',' then go (def :: acc)
+    else begin
+      expect_punct st ')';
+      List.rev (def :: acc)
+    end
+  in
+  go []
+
+let parse_statement st =
+  let t = peek st in
+  if is_kw t "CREATE" then begin
+    advance st;
+    let kind =
+      if accept_kw st "IMMORTAL" then K_immortal
+      else if accept_kw st "SNAPSHOT" then K_snapshot
+      else K_conventional
+    in
+    expect_kw st "TABLE";
+    let name = ident st in
+    let columns = parse_columns_defs st in
+    (* tolerate the paper's ON [PRIMARY] storage clause *)
+    if accept_kw st "ON" then begin
+      (match peek st with
+      | Lexer.Ident _ -> advance st
+      | _ -> fail "expected filegroup after ON")
+    end;
+    Create_table { kind; name; columns }
+  end
+  else if is_kw t "ALTER" then begin
+    advance st;
+    expect_kw st "TABLE";
+    let name = ident st in
+    expect_kw st "ENABLE";
+    expect_kw st "SNAPSHOT";
+    Alter_enable_snapshot name
+  end
+  else if is_kw t "DROP" then begin
+    advance st;
+    expect_kw st "TABLE";
+    Drop_table (ident st)
+  end
+  else if is_kw t "INSERT" then begin
+    advance st;
+    expect_kw st "INTO";
+    let table = ident st in
+    expect_kw st "VALUES";
+    expect_punct st '(';
+    let rec vals acc =
+      let v = literal st in
+      if accept_punct st ',' then vals (v :: acc)
+      else begin
+        expect_punct st ')';
+        List.rev (v :: acc)
+      end
+    in
+    Insert { table; values = vals [] }
+  end
+  else if is_kw t "UPDATE" then begin
+    advance st;
+    let table = ident st in
+    expect_kw st "SET";
+    let rec assigns acc =
+      let col = ident st in
+      (match next st with
+      | Lexer.Op "=" -> ()
+      | tk -> fail "expected '=', got %a" Lexer.pp_token tk);
+      let v = literal st in
+      if accept_punct st ',' then assigns ((col, v) :: acc) else List.rev ((col, v) :: acc)
+    in
+    let assignments = assigns [] in
+    let where = if accept_kw st "WHERE" then parse_condition st else C_true in
+    Update { table; assignments; where }
+  end
+  else if is_kw t "DELETE" then begin
+    advance st;
+    expect_kw st "FROM";
+    let table = ident st in
+    let where = if accept_kw st "WHERE" then parse_condition st else C_true in
+    Delete { table; where }
+  end
+  else if is_kw t "SELECT" then begin
+    advance st;
+    if accept_kw st "HISTORY" then begin
+      expect_punct st '(';
+      let table = ident st in
+      expect_punct st ',';
+      let key = literal st in
+      expect_punct st ')';
+      Select_history { table; key }
+    end
+    else begin
+      let columns =
+        if accept_punct st '*' then None
+        else
+          let rec cols acc =
+            let c = ident st in
+            if accept_punct st ',' then cols (c :: acc) else List.rev (c :: acc)
+          in
+          Some (cols [])
+      in
+      expect_kw st "FROM";
+      let table = ident st in
+      let where = if accept_kw st "WHERE" then parse_condition st else C_true in
+      Select { columns; table; where }
+    end
+  end
+  else if is_kw t "BEGIN" then begin
+    advance st;
+    if is_kw (peek st) "TRAN" || is_kw (peek st) "TRANSACTION" then advance st;
+    let as_of =
+      if accept_kw st "AS" then begin
+        expect_kw st "OF";
+        match next st with
+        | Lexer.Str s -> Some s
+        | tk -> fail "expected datetime string after AS OF, got %a" Lexer.pp_token tk
+      end
+      else None
+    in
+    Begin_tran { as_of }
+  end
+  else if is_kw t "COMMIT" then begin
+    advance st;
+    if is_kw (peek st) "TRAN" || is_kw (peek st) "TRANSACTION" then advance st;
+    Commit_tran
+  end
+  else if is_kw t "ROLLBACK" then begin
+    advance st;
+    if is_kw (peek st) "TRAN" || is_kw (peek st) "TRANSACTION" then advance st;
+    Rollback_tran
+  end
+  else if is_kw t "SET" then begin
+    advance st;
+    expect_kw st "ISOLATION";
+    if accept_kw st "SERIALIZABLE" then Set_isolation `Serializable
+    else if accept_kw st "SNAPSHOT" then Set_isolation `Snapshot
+    else fail "expected SERIALIZABLE or SNAPSHOT"
+  end
+  else if is_kw t "CHECKPOINT" then begin
+    advance st;
+    Checkpoint_stmt
+  end
+  else fail "unexpected %a at statement start" Lexer.pp_token t
+
+(* Parse a script: semicolon-separated statements. *)
+let parse_script src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    (* swallow stray semicolons *)
+    let rec skip () = if accept_punct st ';' then skip () in
+    skip ();
+    match peek st with
+    | Lexer.Eof -> List.rev acc
+    | _ ->
+        let s = parse_statement st in
+        go (s :: acc)
+  in
+  go []
+
+let parse_one src =
+  match parse_script src with
+  | [ s ] -> s
+  | [] -> fail "empty statement"
+  | _ -> fail "expected a single statement"

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse_script : string -> Ast.statement list
+(** Parse semicolon-separated statements.  @raise Parse_error *)
+
+val parse_one : string -> Ast.statement
+(** Parse exactly one statement.  @raise Parse_error *)

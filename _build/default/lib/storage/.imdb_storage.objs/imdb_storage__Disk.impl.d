@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Bytes Hashtbl Imdb_util Printf Unix

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Bytes Checksum Codec Fmt Imdb_clock Imdb_util List Printf

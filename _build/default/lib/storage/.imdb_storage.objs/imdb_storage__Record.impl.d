@@ -1,0 +1,1 @@
+lib/storage/record.ml: Bytes Codec Fmt Imdb_clock Imdb_util Page String

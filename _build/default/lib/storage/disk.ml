@@ -1,0 +1,158 @@
+(* Page-granularity storage devices.
+
+   The engine talks to storage exclusively through this record of
+   functions so that the same code runs against a real file, an in-memory
+   simulated disk (deterministic benchmarks, crash tests), or a
+   failure-injecting wrapper.  Reads and writes are whole pages.
+
+   Durability model: [write_page] makes the page durable for the purposes
+   of crash simulation (the in-memory device keeps a separate "platter"
+   copy; the file device relies on [sync] for real durability).  A "crash"
+   in tests is simply dropping every volatile structure (buffer pool, VTT)
+   and reopening the engine over the same device. *)
+
+type t = {
+  page_size : int;
+  read_page : int -> bytes;
+      (** [read_page id] returns a fresh copy of the page's bytes.
+          Raises [Page_missing] if the page was never written. *)
+  write_page : int -> bytes -> unit;
+  page_exists : int -> bool;
+  page_count : unit -> int;  (** high-water mark + 1 over written page ids *)
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+exception Page_missing of int
+exception Io_failure of string
+
+let check_size t b =
+  if Bytes.length b <> t.page_size then
+    invalid_arg
+      (Printf.sprintf "Disk: page of %d bytes on device with page_size %d"
+         (Bytes.length b) t.page_size)
+
+(* ------------------------------------------------------------------ *)
+(* In-memory device                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let in_memory ~page_size () =
+  let platter : (int, bytes) Hashtbl.t = Hashtbl.create 256 in
+  let hwm = ref 0 in
+  let rec t =
+    {
+      page_size;
+      read_page =
+        (fun id ->
+          Imdb_util.Stats.incr Imdb_util.Stats.disk_reads;
+          match Hashtbl.find_opt platter id with
+          | Some b -> Bytes.copy b
+          | None -> raise (Page_missing id));
+      write_page =
+        (fun id b ->
+          check_size t b;
+          Imdb_util.Stats.incr Imdb_util.Stats.disk_writes;
+          Hashtbl.replace platter id (Bytes.copy b);
+          if id + 1 > !hwm then hwm := id + 1);
+      page_exists = (fun id -> Hashtbl.mem platter id);
+      page_count = (fun () -> !hwm);
+      sync = (fun () -> ());
+      close = (fun () -> ());
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* File-backed device                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let file ~path ~page_size () =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let closed = ref false in
+  let ensure_open () = if !closed then raise (Io_failure "disk closed") in
+  let file_pages () =
+    let len = (Unix.fstat fd).Unix.st_size in
+    (len + page_size - 1) / page_size
+  in
+  let rec t =
+    {
+      page_size;
+      read_page =
+        (fun id ->
+          ensure_open ();
+          Imdb_util.Stats.incr Imdb_util.Stats.disk_reads;
+          if id >= file_pages () then raise (Page_missing id);
+          let b = Bytes.create page_size in
+          ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+          let rec fill off =
+            if off < page_size then begin
+              let n = Unix.read fd b off (page_size - off) in
+              if n = 0 then raise (Page_missing id);
+              fill (off + n)
+            end
+          in
+          fill 0;
+          b);
+      write_page =
+        (fun id b ->
+          ensure_open ();
+          check_size t b;
+          Imdb_util.Stats.incr Imdb_util.Stats.disk_writes;
+          ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
+          let rec drain off =
+            if off < page_size then
+              drain (off + Unix.write fd b off (page_size - off))
+          in
+          drain 0);
+      page_exists = (fun id -> id < file_pages ());
+      page_count = (fun () -> file_pages ());
+      sync =
+        (fun () ->
+          ensure_open ();
+          Unix.fsync fd);
+      close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            Unix.close fd
+          end);
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type failure_plan = {
+  mutable writes_until_failure : int;
+      (** -1 = never fail; 0 = next write fails *)
+  mutable tear_on_failure : bool;
+      (** if set, the failing write persists only the first half of the
+          page (a torn write) before raising *)
+}
+
+let never_fail () = { writes_until_failure = -1; tear_on_failure = false }
+
+(* Wrap [inner] so that the [plan] can trigger a failure mid-run.  Used by
+   recovery tests to crash the engine at an exact write. *)
+let failing ~plan inner =
+  {
+    inner with
+    write_page =
+      (fun id b ->
+        if plan.writes_until_failure = 0 then begin
+          if plan.tear_on_failure then begin
+            (* Persist a torn page: first half new, second half stale/zero. *)
+            let torn =
+              try inner.read_page id with Page_missing _ -> Bytes.create inner.page_size
+            in
+            Bytes.blit b 0 torn 0 (inner.page_size / 2);
+            inner.write_page id torn
+          end;
+          raise (Io_failure "injected write failure")
+        end;
+        if plan.writes_until_failure > 0 then
+          plan.writes_until_failure <- plan.writes_until_failure - 1;
+        inner.write_page id b);
+  }

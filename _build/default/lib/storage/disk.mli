@@ -1,0 +1,41 @@
+(** Page-granularity storage devices.
+
+    The engine reads and writes whole pages through this record of
+    functions, so the same code runs over a real file, a deterministic
+    in-memory platter, or a failure-injecting wrapper.  A crash in tests
+    is simply dropping all volatile structures and reopening over the
+    same device: whatever [write_page] stored is what survives. *)
+
+type t = {
+  page_size : int;
+  read_page : int -> bytes;
+      (** Fresh copy of a page's bytes.  @raise Page_missing *)
+  write_page : int -> bytes -> unit;
+      (** Store a copy of the page (copy semantics: later mutation of the
+          argument does not affect the platter). *)
+  page_exists : int -> bool;
+  page_count : unit -> int;  (** one past the highest page id written *)
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+exception Page_missing of int
+exception Io_failure of string
+
+val in_memory : page_size:int -> unit -> t
+(** Deterministic in-memory device (tests, benchmarks, crash simulation). *)
+
+val file : path:string -> page_size:int -> unit -> t
+(** File-backed device; [sync] is fsync. *)
+
+(** Injected-failure control block for [failing]. *)
+type failure_plan = {
+  mutable writes_until_failure : int;  (** -1 never; 0 = next write fails *)
+  mutable tear_on_failure : bool;
+      (** the failing write persists only the first half of the page *)
+}
+
+val never_fail : unit -> failure_plan
+
+val failing : plan:failure_plan -> t -> t
+(** Wrap a device so the plan can crash it at an exact write. *)

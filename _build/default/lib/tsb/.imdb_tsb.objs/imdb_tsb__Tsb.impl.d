@@ -1,0 +1,1 @@
+lib/tsb/tsb.ml: Array Bytes Codec Fmt Fun Imdb_buffer Imdb_clock Imdb_storage Imdb_util Imdb_wal List Printf String

@@ -1,0 +1,1 @@
+lib/tsb/tsb.mli: Format Imdb_buffer Imdb_clock Imdb_wal

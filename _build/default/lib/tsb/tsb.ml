@@ -1,0 +1,470 @@
+(* Time-split B-tree index (Lomet & Salzberg, SIGMOD '89) — the temporal
+   index the paper names as its most important next step (Section 7.2):
+   "once we implement the TSB-tree ... we will index directly to the
+   appropriate page, avoiding the cost of searching down the page time
+   split chain".
+
+   We index the *historical* pages produced by data-page time splits.
+   Current pages are reached through the table's key router, exactly as
+   Immortal DB keeps using the B-tree for current data; an AS OF query
+   first probes the current page, and only when the requested time
+   precedes the page's split time does it consult this index — which then
+   lands on the right historical page in O(depth) instead of walking the
+   whole chain.
+
+   Every indexed page owns a rectangle in (key × time) space:
+
+       [key_low, key_high)  ×  [t_low, t_high)
+
+   with key_high = None meaning +inf.  Rectangles of distinct history
+   pages are disjoint by construction (time splits partition time within
+   a key range; key splits partition keys).  Index nodes split like TSB
+   index nodes: by time when the node spans multiple time boundaries
+   (entries straddling the split are posted redundantly to both halves,
+   the TSB-tree's signature redundancy), otherwise by key.
+
+   All structure modifications are redo-only logged, like other splits. *)
+
+open Imdb_util
+module P = Imdb_storage.Page
+module Ts = Imdb_clock.Timestamp
+
+type rect = {
+  key_low : string;
+  key_high : string option; (* None = +inf *)
+  t_low : Ts.t;
+  t_high : Ts.t; (* Ts.infinity = open *)
+}
+
+let rect_contains r ~key ~ts =
+  String.compare key r.key_low >= 0
+  && (match r.key_high with None -> true | Some h -> String.compare key h < 0)
+  && Ts.compare ts r.t_low >= 0
+  && Ts.compare ts r.t_high < 0
+
+let rect_key_overlaps r ~low ~high =
+  (* [low, high) intersects r's key range *)
+  (match r.key_high with None -> true | Some rh -> String.compare low rh < 0)
+  && match high with None -> true | Some h -> String.compare r.key_low h < 0
+
+let rect_time_overlaps r ~t0 ~t1 =
+  Ts.compare r.t_low t1 < 0 && Ts.compare t0 r.t_high < 0
+
+let pp_rect ppf r =
+  Fmt.pf ppf "[%S,%s) x [%a,%s)" r.key_low
+    (match r.key_high with None -> "+inf" | Some h -> Printf.sprintf "%S" h)
+    Ts.pp r.t_low
+    (if Ts.equal r.t_high Ts.infinity then "+inf" else Ts.to_string r.t_high)
+
+type entry = { rect : rect; child : int }
+
+(* --- entry codec --------------------------------------------------------- *)
+
+let encode_entry e =
+  let w = Codec.Writer.create ~size:64 () in
+  Codec.Writer.lstring w e.rect.key_low;
+  (match e.rect.key_high with
+  | None -> Codec.Writer.u8 w 0
+  | Some h ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.lstring w h);
+  let ts_buf = Bytes.create Ts.on_disk_size in
+  Ts.write ts_buf 0 e.rect.t_low;
+  Codec.Writer.bytes w ts_buf;
+  Ts.write ts_buf 0 e.rect.t_high;
+  Codec.Writer.bytes w ts_buf;
+  Codec.Writer.u32 w e.child;
+  Codec.Writer.contents w
+
+let decode_entry body =
+  let r = Codec.Reader.create body in
+  let key_low = Codec.Reader.lstring r in
+  let key_high = if Codec.Reader.u8 r = 1 then Some (Codec.Reader.lstring r) else None in
+  let t_low = Ts.read (Codec.Reader.bytes r Ts.on_disk_size) 0 in
+  let t_high = Ts.read (Codec.Reader.bytes r Ts.on_disk_size) 0 in
+  let child = Codec.Reader.u32 r in
+  { rect = { key_low; key_high; t_low; t_high }; child }
+
+(* --- tree ---------------------------------------------------------------- *)
+
+type io = {
+  exec : Imdb_buffer.Buffer_pool.frame -> Imdb_wal.Log_record.page_op -> unit;
+      (** redo-only log + apply + mark dirty *)
+  alloc : level:int -> int; (** fresh P_tsb_index page *)
+}
+
+type t = { pool : Imdb_buffer.Buffer_pool.t; io : io; root : int; table_id : int }
+
+let attach ~pool ~io ~root ~table_id = { pool; io; root; table_id }
+
+let create ~pool ~io ~table_id =
+  let root = io.alloc ~level:0 in
+  attach ~pool ~io ~root ~table_id
+
+let root t = t.root
+let is_leaf page = P.level page = 0
+
+let node_entries page =
+  P.fold_live page ~init:[] ~f:(fun acc slot -> decode_entry (P.read_cell page slot) :: acc)
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The historical page whose rectangle contains (key, ts), if any. *)
+let find t ~key ~ts =
+  let rec go page_id =
+    Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+        let page = Imdb_buffer.Buffer_pool.bytes fr in
+        let hit =
+          List.find_opt (fun e -> rect_contains e.rect ~key ~ts) (node_entries page)
+        in
+        match hit with
+        | None -> None
+        | Some e -> if is_leaf page then Some e.child else go e.child)
+  in
+  go t.root
+
+(* All indexed pages whose rectangle intersects the key range
+   [low, high) at time [ts] — the page set an AS OF range scan visits. *)
+let find_range t ~low ~high ~ts =
+  let results = ref [] in
+  let rec go page_id =
+    Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+        let page = Imdb_buffer.Buffer_pool.bytes fr in
+        List.iter
+          (fun e ->
+            if
+              rect_key_overlaps e.rect ~low ~high
+              && Ts.compare ts e.rect.t_low >= 0
+              && Ts.compare ts e.rect.t_high < 0
+            then if is_leaf page then results := e.child :: !results else go e.child)
+          (node_entries page))
+  in
+  go t.root;
+  List.sort_uniq compare !results
+
+(* ------------------------------------------------------------------ *)
+(* Insertion with node splitting                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The child of an internal node that should receive [rect]: the entry
+   whose rectangle contains the rect's reference point (t_low, key_low).
+   Because data rectangles never straddle index boundaries in the time
+   dimension at their low edge, and key-straddling entries are posted
+   redundantly, the reference-point rule is sufficient. *)
+let route_slot page rect =
+  let best = ref None in
+  P.iter_live page (fun slot ->
+      if !best = None then
+        let e = decode_entry (P.read_cell page slot) in
+        if rect_contains e.rect ~key:rect.key_low ~ts:rect.t_low then best := Some (slot, e));
+  !best
+
+(* Split an overfull index node.
+
+   Leaf index nodes hold entries for *historical data pages*, which are
+   immutable: entries straddling the split line may safely be posted
+   redundantly to both halves (the TSB-tree's signature redundancy).
+
+   Internal nodes hold entries for *index nodes*, which are mutable (they
+   split later); a redundantly posted child would be reachable from two
+   parents and a later split of it could only update one of them.  So
+   internal splits must choose a *clean guillotine line* that no child
+   rectangle strictly spans.  Such a line always exists: an internal
+   node's children arise from recursive guillotine splits of its region,
+   whose first cut spans the whole region and is never crossed by later
+   descendants.
+
+   Prefers time splits (migrating old entries away) over key splits, as
+   the TSB-tree does.  Returns (left_rect_hint, right_rect_hint, right_id). *)
+let split_node t fr ~node_rect =
+  let page = Imdb_buffer.Buffer_pool.bytes fr in
+  let page_id = P.page_id page in
+  let lvl = P.level page in
+  let entries = node_entries page in
+  let right_id = t.io.alloc ~level:lvl in
+  let clean_required = lvl > 0 in
+  let time_spans b e =
+    Ts.compare e.rect.t_low b < 0 && Ts.compare e.rect.t_high b > 0
+  in
+  let key_spans b e =
+    String.compare e.rect.key_low b < 0
+    && match e.rect.key_high with None -> true | Some h -> String.compare h b > 0
+  in
+  let time_bounds =
+    List.concat_map (fun e -> [ e.rect.t_low; e.rect.t_high ]) entries
+    |> List.filter (fun b ->
+           Ts.compare b node_rect.t_low > 0 && Ts.compare b node_rect.t_high < 0)
+    |> List.filter (fun b ->
+           (not clean_required) || not (List.exists (time_spans b) entries))
+    |> List.sort_uniq Ts.compare
+  in
+  let split =
+    match time_bounds with
+    | _ :: _ ->
+        let arr = Array.of_list time_bounds in
+        let tmid = arr.(Array.length arr / 2) in
+        `Time tmid
+    | [] ->
+        let key_bounds =
+          List.map (fun e -> e.rect.key_low) entries
+          |> List.filter (fun k -> String.compare k node_rect.key_low > 0)
+          |> List.filter (fun b ->
+                 (not clean_required) || not (List.exists (key_spans b) entries))
+          |> List.sort_uniq String.compare
+        in
+        (match key_bounds with
+        | [] -> `Stuck
+        | _ ->
+            let arr = Array.of_list key_bounds in
+            `Key arr.(Array.length arr / 2))
+  in
+  match split with
+  | `Stuck ->
+      failwith
+        (Printf.sprintf "Tsb: index node %d cannot be split (degenerate region)" page_id)
+  | `Time tmid ->
+      let left_es =
+        List.filter (fun e -> Ts.compare e.rect.t_low tmid < 0) entries
+      in
+      let right_es =
+        List.filter (fun e -> Ts.compare e.rect.t_high tmid > 0) entries
+      in
+      let rebuild img id es =
+        P.format img ~page_id:id ~page_type:P.P_tsb_index ~table_id:t.table_id ~level:lvl ();
+        List.iter (fun e -> ignore (P.insert img (encode_entry e))) es
+      in
+      let left_img = Bytes.copy page in
+      rebuild left_img page_id left_es;
+      let right_fr = Imdb_buffer.Buffer_pool.pin t.pool right_id in
+      Fun.protect
+        ~finally:(fun () -> Imdb_buffer.Buffer_pool.unpin t.pool right_fr)
+        (fun () ->
+          let right_img = Bytes.copy (Imdb_buffer.Buffer_pool.bytes right_fr) in
+          rebuild right_img right_id right_es;
+          t.io.exec fr (Imdb_wal.Log_record.Op_image { image = left_img });
+          t.io.exec right_fr (Imdb_wal.Log_record.Op_image { image = right_img }));
+      ( { node_rect with t_high = tmid },
+        { node_rect with t_low = tmid },
+        right_id )
+  | `Key kmid ->
+      let left_es =
+        List.filter (fun e -> String.compare e.rect.key_low kmid < 0) entries
+      in
+      let right_es =
+        List.filter
+          (fun e ->
+            match e.rect.key_high with
+            | None -> true
+            | Some h -> String.compare h kmid > 0)
+          entries
+      in
+      let rebuild img id es =
+        P.format img ~page_id:id ~page_type:P.P_tsb_index ~table_id:t.table_id ~level:lvl ();
+        List.iter (fun e -> ignore (P.insert img (encode_entry e))) es
+      in
+      let left_img = Bytes.copy page in
+      rebuild left_img page_id left_es;
+      let right_fr = Imdb_buffer.Buffer_pool.pin t.pool right_id in
+      Fun.protect
+        ~finally:(fun () -> Imdb_buffer.Buffer_pool.unpin t.pool right_fr)
+        (fun () ->
+          let right_img = Bytes.copy (Imdb_buffer.Buffer_pool.bytes right_fr) in
+          rebuild right_img right_id right_es;
+          t.io.exec fr (Imdb_wal.Log_record.Op_image { image = left_img });
+          t.io.exec right_fr (Imdb_wal.Log_record.Op_image { image = right_img }));
+      ( { node_rect with key_high = Some kmid },
+        { node_rect with key_low = kmid },
+        right_id )
+
+let everything =
+  { key_low = ""; key_high = None; t_low = Ts.zero; t_high = Ts.infinity }
+
+(* Insert an entry for historical page [child] covering [rect]. *)
+let insert t ~rect ~child =
+  let entry = { rect; child } in
+  let cell = encode_entry entry in
+  (* Path of (page_id, node_rect) from root down to the leaf node. *)
+  let rec descend page_id node_rect path =
+    Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+        let page = Imdb_buffer.Buffer_pool.bytes fr in
+        if is_leaf page then (page_id, node_rect, path)
+        else
+          match route_slot page rect with
+          | Some (_, e) -> descend e.child e.rect ((page_id, node_rect) :: path)
+          | None ->
+              failwith
+                (Fmt.str "Tsb: no route for %a in node %d" pp_rect rect page_id))
+  in
+  let rec insert_at budget page_id node_rect path =
+    if budget = 0 then failwith "Tsb.insert: no room after repeated splits";
+    let need_split =
+      Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+          let page = Imdb_buffer.Buffer_pool.bytes fr in
+          if P.fits page (Bytes.length cell) then begin
+            let slot = P.choose_insert_slot page in
+            t.io.exec fr (Imdb_wal.Log_record.Op_insert { slot; body = cell });
+            None
+          end
+          else Some (split_node t fr ~node_rect))
+    in
+    match need_split with
+    | None -> ()
+    | Some (left_rect, right_rect, right_id) ->
+        let (_ : int) = post_to_parent path ~page_id ~left_rect ~right_rect ~right_id in
+        (* Re-descend from the root: the split may have restructured the
+           path (in particular a root split moves the old root's contents
+           into a fresh child). *)
+        let leaf_id, leaf_rect, path' = descend t.root everything [] in
+        insert_at (budget - 1) leaf_id leaf_rect path'
+  and post_to_parent path ~page_id ~left_rect ~right_rect ~right_id =
+    (* Record that [page_id] now covers [left_rect] and the fresh
+       [right_id] covers [right_rect].  Returns the node that physically
+       holds what used to be [page_id]'s contents: [page_id] itself
+       normally, or the fresh left child after a root split relocation. *)
+    match path with
+    | (parent_id, parent_rect) :: above ->
+        (* update the existing entry for page_id to left_rect; add right *)
+        Imdb_buffer.Buffer_pool.with_page t.pool parent_id (fun fr ->
+            let page = Imdb_buffer.Buffer_pool.bytes fr in
+            P.iter_live page (fun slot ->
+                let e = decode_entry (P.read_cell page slot) in
+                if e.child = page_id then begin
+                  let old_body = P.read_cell page slot in
+                  let new_body = encode_entry { rect = left_rect; child = page_id } in
+                  t.io.exec fr
+                    (Imdb_wal.Log_record.Op_replace { slot; old_body; new_body })
+                end));
+        (* then insert the right entry (parent may itself split) *)
+        let right_cell = encode_entry { rect = right_rect; child = right_id } in
+        let need =
+          Imdb_buffer.Buffer_pool.with_page t.pool parent_id (fun fr ->
+              let page = Imdb_buffer.Buffer_pool.bytes fr in
+              if P.fits page (Bytes.length right_cell) then begin
+                let slot = P.choose_insert_slot page in
+                t.io.exec fr (Imdb_wal.Log_record.Op_insert { slot; body = right_cell });
+                None
+              end
+              else Some (split_node t fr ~node_rect:parent_rect))
+        in
+        (match need with
+        | None -> ()
+        | Some (pl, pr, prid) ->
+            (* the parent itself split before it could accept right_cell;
+               its left contents may have been relocated by a root split *)
+            let parent_left_home =
+              post_to_parent above ~page_id:parent_id ~left_rect:pl ~right_rect:pr
+                ~right_id:prid
+            in
+            let target, trect =
+              if rect_contains pr ~key:right_rect.key_low ~ts:right_rect.t_low then
+                (prid, pr)
+              else (parent_left_home, pl)
+            in
+            Imdb_buffer.Buffer_pool.with_page t.pool target (fun fr ->
+                let page = Imdb_buffer.Buffer_pool.bytes fr in
+                if not (P.fits page (Bytes.length right_cell)) then
+                  failwith
+                    (Fmt.str "Tsb: node %d full after split (%a)" target pp_rect trect);
+                let slot = P.choose_insert_slot page in
+                t.io.exec fr (Imdb_wal.Log_record.Op_insert { slot; body = right_cell })));
+        page_id
+    | [] ->
+        (* root split: move children under a new root structure, keeping
+           the root page id stable; the old root's (left-half) contents
+           move to a fresh child, whose id we return *)
+        let root_fr = Imdb_buffer.Buffer_pool.pin t.pool t.root in
+        Fun.protect
+          ~finally:(fun () -> Imdb_buffer.Buffer_pool.unpin t.pool root_fr)
+          (fun () ->
+            let rootp = Imdb_buffer.Buffer_pool.bytes root_fr in
+            let lvl = P.level rootp in
+            (* here page_id = t.root and it was already image-split into
+               (t.root = left, right_id); we push the left contents into a
+               fresh node and relevel the root *)
+            let left_id = t.io.alloc ~level:lvl in
+            let left_fr = Imdb_buffer.Buffer_pool.pin t.pool left_id in
+            Fun.protect
+              ~finally:(fun () -> Imdb_buffer.Buffer_pool.unpin t.pool left_fr)
+              (fun () ->
+                let left_img = Bytes.copy (Imdb_buffer.Buffer_pool.bytes left_fr) in
+                Bytes.blit rootp 0 left_img 0 (Bytes.length rootp);
+                P.set_page_id left_img left_id;
+                let root_img = Bytes.copy rootp in
+                P.format root_img ~page_id:t.root ~page_type:P.P_tsb_index
+                  ~table_id:t.table_id ~level:(lvl + 1) ();
+                ignore
+                  (P.insert root_img (encode_entry { rect = left_rect; child = left_id }));
+                ignore
+                  (P.insert root_img
+                     (encode_entry { rect = right_rect; child = right_id }));
+                t.io.exec left_fr (Imdb_wal.Log_record.Op_image { image = left_img });
+                t.io.exec root_fr (Imdb_wal.Log_record.Op_image { image = root_img });
+                left_id))
+  in
+  let leaf_id, leaf_rect, path = descend t.root everything [] in
+  insert_at 8 leaf_id leaf_rect path
+
+(* ------------------------------------------------------------------ *)
+(* Integrity & stats                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Invariant_violation of string
+
+(* Check that children lie within their parent rectangles and that leaf
+   rectangles are pairwise disjoint (allowing exact duplicates from
+   redundant posting).  Returns the number of leaf entries. *)
+let check_invariants t =
+  let leaf_rects = ref [] in
+  let rec walk page_id region =
+    Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+        let page = Imdb_buffer.Buffer_pool.bytes fr in
+        let es = node_entries page in
+        List.iter
+          (fun e ->
+            if
+              not
+                (rect_key_overlaps e.rect ~low:region.key_low ~high:region.key_high
+                && rect_time_overlaps e.rect ~t0:region.t_low ~t1:region.t_high)
+            then
+              raise
+                (Invariant_violation
+                   (Fmt.str "entry %a outside node region %a" pp_rect e.rect pp_rect
+                      region)))
+          es;
+        if is_leaf page then
+          List.iter (fun e -> leaf_rects := (e.rect, e.child) :: !leaf_rects) es
+        else List.iter (fun e -> walk e.child e.rect) es)
+  in
+  walk t.root everything;
+  (* disjointness among distinct pages, after clipping redundant copies *)
+  let rects = !leaf_rects in
+  List.iteri
+    (fun i (r1, c1) ->
+      List.iteri
+        (fun j (r2, c2) ->
+          if i < j && c1 <> c2 then
+            let key_olap =
+              rect_key_overlaps r1 ~low:r2.key_low ~high:r2.key_high
+            in
+            let t_olap = rect_time_overlaps r1 ~t0:r2.t_low ~t1:r2.t_high in
+            if key_olap && t_olap then
+              raise
+                (Invariant_violation
+                   (Fmt.str "overlapping leaf rects: %a (page %d) and %a (page %d)"
+                      pp_rect r1 c1 pp_rect r2 c2)))
+        rects)
+    rects;
+  List.length rects
+
+let entry_count t =
+  let n = ref 0 in
+  let rec walk page_id =
+    Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
+        let page = Imdb_buffer.Buffer_pool.bytes fr in
+        if is_leaf page then n := !n + P.live_count page
+        else List.iter (fun e -> walk e.child) (node_entries page))
+  in
+  walk t.root;
+  !n

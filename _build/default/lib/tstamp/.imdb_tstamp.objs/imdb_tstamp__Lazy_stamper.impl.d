@@ -1,0 +1,1 @@
+lib/tstamp/lazy_stamper.ml: Imdb_clock Imdb_version List Ptt Vtt

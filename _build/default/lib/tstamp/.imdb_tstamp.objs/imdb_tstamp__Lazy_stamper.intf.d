@@ -1,0 +1,1 @@
+lib/tstamp/lazy_stamper.mli: Imdb_clock Imdb_version Ptt Vtt

@@ -1,0 +1,1 @@
+lib/tstamp/ptt.ml: Bytes Imdb_btree Imdb_clock Imdb_util Option

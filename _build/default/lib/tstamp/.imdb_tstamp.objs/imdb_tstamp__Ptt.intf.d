@@ -1,0 +1,1 @@
+lib/tstamp/ptt.mli: Imdb_btree Imdb_buffer Imdb_clock

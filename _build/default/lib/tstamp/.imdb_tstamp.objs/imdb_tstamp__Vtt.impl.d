@@ -1,0 +1,1 @@
+lib/tstamp/vtt.ml: Fmt Imdb_clock Imdb_util Int64 Printf

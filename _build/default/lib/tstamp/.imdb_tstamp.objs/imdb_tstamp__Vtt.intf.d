@@ -1,0 +1,1 @@
+lib/tstamp/vtt.mli: Format Imdb_clock

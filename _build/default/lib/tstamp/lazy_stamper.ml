@@ -1,0 +1,91 @@
+(* Lazy timestamping: the four-stage protocol of Section 2.2, tying the
+   VTT and PTT together.
+
+   Normal-access stamping ([resolve]) may fault PTT entries into the VTT.
+   Flush-time stamping ([resolve_volatile_only]) consults the VTT alone:
+   the buffer pool calls it while evicting a page, and a PTT lookup there
+   could recurse into eviction.  Skipping a VTT miss is always safe — a
+   miss means either the transaction is still active (leave the TID), or
+   the record will be stamped on a later access (the PTT entry cannot be
+   collected while the refcount is positive).
+
+   No stamping is ever logged.  Durability of stamping is the GC rule's
+   job: a PTT entry survives until the redo-scan start point proves every
+   stamped page reached disk. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+
+type t = {
+  vtt : Vtt.t;
+  mutable ptt : Ptt.t option; (* None until the engine wires storage up *)
+  mutable end_of_log : unit -> int64; (* for lsn_at_zero bookkeeping *)
+  mutable unknown_tids : int; (* integrity counter: should stay 0 *)
+}
+
+let create () =
+  { vtt = Vtt.create (); ptt = None; end_of_log = (fun () -> 0L); unknown_tids = 0 }
+
+let set_ptt t ptt = t.ptt <- Some ptt
+let set_end_of_log t f = t.end_of_log <- f
+let vtt t = t.vtt
+let ptt_exn t =
+  match t.ptt with Some p -> p | None -> invalid_arg "Lazy_stamper: PTT not attached"
+
+(* Map a TID found in a record version to its fate.  Faults PTT entries
+   into the VTT on miss. *)
+let resolve t tid : Imdb_version.Vpage.resolution =
+  match Vtt.resolve t.vtt tid with
+  | Some (`Committed ts) -> Imdb_version.Vpage.Committed ts
+  | Some `Active -> Imdb_version.Vpage.Active
+  | Some `Aborted ->
+      (* rollback removes the versions; treat as active meanwhile *)
+      Imdb_version.Vpage.Active
+  | None -> (
+      match t.ptt with
+      | None ->
+          t.unknown_tids <- t.unknown_tids + 1;
+          Imdb_version.Vpage.Unknown
+      | Some ptt -> (
+          match Ptt.lookup ptt tid with
+          | Some ts ->
+              Vtt.cache_from_ptt t.vtt tid ts;
+              Imdb_version.Vpage.Committed ts
+          | None ->
+              t.unknown_tids <- t.unknown_tids + 1;
+              Imdb_version.Vpage.Unknown))
+
+(* VTT-only resolution for the buffer pool's pre-flush hook. *)
+let resolve_volatile_only t tid : Imdb_version.Vpage.resolution =
+  match Vtt.resolve t.vtt tid with
+  | Some (`Committed ts) -> Imdb_version.Vpage.Committed ts
+  | Some `Active | Some `Aborted -> Imdb_version.Vpage.Active
+  | None -> Imdb_version.Vpage.Active (* safe: stamp later, via the PTT *)
+
+let on_stamp t tid =
+  Vtt.note_stamped t.vtt tid ~end_of_log:(t.end_of_log ());
+  Vtt.drop_if_drained_snapshot t.vtt tid
+
+(* Stamp every committed version in [page].  Returns the number stamped;
+   the caller marks the page dirty (unlogged) when non-zero. *)
+let stamp_page t page =
+  Imdb_version.Vpage.stamp_committed page ~resolve:(resolve t) ~on_stamp:(on_stamp t)
+
+(* The pre-flush variant: volatile resolution only. *)
+let stamp_page_volatile t page =
+  Imdb_version.Vpage.stamp_committed page ~resolve:(resolve_volatile_only t)
+    ~on_stamp:(on_stamp t)
+
+(* Incremental PTT garbage collection (run after each checkpoint).
+   [redo_scan_start] is the LSN from which a crash's redo would begin; if
+   it has passed a transaction's lsn_at_zero, every unlogged stamp of that
+   transaction is on disk and the mapping can go.  Returns collected
+   TIDs. *)
+let garbage_collect t ~redo_scan_start =
+  let candidates = Vtt.gc_candidates t.vtt ~redo_scan_start in
+  List.iter
+    (fun (tid, persistent) ->
+      if persistent then ignore (Ptt.delete (ptt_exn t) tid);
+      Vtt.drop t.vtt tid)
+    candidates;
+  List.map fst candidates

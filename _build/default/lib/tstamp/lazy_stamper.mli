@@ -1,0 +1,35 @@
+(** Lazy timestamping: the four-stage protocol of paper Section 2.2,
+    tying VTT and PTT together.
+
+    Resolution during normal access may fault PTT entries into the VTT;
+    the buffer pool's pre-flush hook uses the volatile-only variant (a
+    PTT lookup there could recurse into eviction, and skipping a miss is
+    always safe: the PTT entry cannot be collected while the version's
+    refcount is positive).  No stamping is ever logged — durability is
+    the garbage-collection rule's job. *)
+
+type t
+
+val create : unit -> t
+val set_ptt : t -> Ptt.t -> unit
+val set_end_of_log : t -> (unit -> int64) -> unit
+val vtt : t -> Vtt.t
+
+val resolve : t -> Imdb_clock.Tid.t -> Imdb_version.Vpage.resolution
+(** VTT, then PTT (caching the hit in the VTT with undefined refcount). *)
+
+val resolve_volatile_only : t -> Imdb_clock.Tid.t -> Imdb_version.Vpage.resolution
+(** VTT only — for the pre-flush hook. *)
+
+val on_stamp : t -> Imdb_clock.Tid.t -> unit
+(** Reference-count bookkeeping for each version stamped. *)
+
+val stamp_page : t -> bytes -> int
+(** Stamp every committed version in the page (full resolution). *)
+
+val stamp_page_volatile : t -> bytes -> int
+(** The pre-flush variant. *)
+
+val garbage_collect : t -> redo_scan_start:int64 -> Imdb_clock.Tid.t list
+(** Incremental PTT GC, run after each checkpoint: delete every mapping
+    whose stamping is provably durable; returns the collected TIDs. *)

@@ -1,0 +1,61 @@
+(* The persistent timestamp table (paper Section 2.2).
+
+   A disk table (TID, Ttime, SN) organized as a B-tree ordered by TID —
+   since TIDs are assigned in ascending order, the live entries cluster at
+   the tail of the tree and lookups of recent transactions stay cheap even
+   if crashes leave a residue of uncollectable entries.
+
+   The commit-path insert is a normal logged B-tree update inside the
+   committing transaction (the single PTT update that replaces eager
+   timestamping's per-record revisit).  Deletions are garbage collection:
+   non-transactional, redo-only. *)
+
+module Ts = Imdb_clock.Timestamp
+module Tid = Imdb_clock.Tid
+
+type t = { tree : Imdb_btree.Btree.t }
+
+(* Order-preserving big-endian encoding of the TID. *)
+let key_of_tid tid =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Tid.to_int64 tid);
+  Bytes.to_string b
+
+let tid_of_key k = Tid.of_int64 (Bytes.get_int64_be (Bytes.of_string k) 0)
+
+let value_of_ts ts =
+  let b = Bytes.create Ts.on_disk_size in
+  Ts.write b 0 ts;
+  b
+
+let ts_of_value v = Ts.read v 0
+
+let create ~pool ~io ~table_id =
+  { tree = Imdb_btree.Btree.create ~pool ~io ~table_id ~name:"ptt" }
+
+let attach ~pool ~io ~root ~table_id =
+  { tree = Imdb_btree.Btree.attach ~pool ~io ~root ~table_id ~name:"ptt" }
+
+let root t = Imdb_btree.Btree.root t.tree
+
+(* Commit-path insert: one logged update per transaction. *)
+let insert t tid ts =
+  Imdb_util.Stats.incr Imdb_util.Stats.ptt_inserts;
+  Imdb_btree.Btree.insert t.tree ~key:(key_of_tid tid) ~value:(value_of_ts ts)
+
+let lookup t tid =
+  Imdb_util.Stats.incr Imdb_util.Stats.ptt_lookups;
+  Option.map ts_of_value (Imdb_btree.Btree.find t.tree ~key:(key_of_tid tid))
+
+(* Garbage collection delete: redo-only, never rolled back. *)
+let delete t tid =
+  Imdb_util.Stats.incr Imdb_util.Stats.ptt_deletes;
+  Imdb_btree.Btree.delete t.tree ~key:(key_of_tid tid)
+
+let count t = Imdb_btree.Btree.count t.tree
+
+let iter t f =
+  Imdb_btree.Btree.iter t.tree (fun k v -> f (tid_of_key k) (ts_of_value v))
+
+(* The oldest TID still recorded — a measure of how well GC keeps up. *)
+let min_tid t = Option.map (fun (k, _) -> tid_of_key k) (Imdb_btree.Btree.min_binding t.tree)

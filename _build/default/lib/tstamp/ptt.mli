@@ -1,0 +1,32 @@
+(** The persistent timestamp table (paper Section 2.2): a disk-resident
+    B-tree mapping TID -> commit timestamp, ordered by TID so that the
+    live entries cluster at the tail even when crashes leave a residue of
+    uncollectable ones.
+
+    The commit-path insert is the single logged write that lazy
+    timestamping performs per transaction; deletes are garbage
+    collection, redo-only. *)
+
+type t = { tree : Imdb_btree.Btree.t }
+
+val create : pool:Imdb_buffer.Buffer_pool.t -> io:Imdb_btree.Btree.io -> table_id:int -> t
+val attach :
+  pool:Imdb_buffer.Buffer_pool.t -> io:Imdb_btree.Btree.io -> root:int -> table_id:int -> t
+
+val root : t -> int
+
+val insert : t -> Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t -> unit
+(** The commit-path write: one logged B-tree insert per transaction. *)
+
+val lookup : t -> Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t option
+val delete : t -> Imdb_clock.Tid.t -> bool
+val count : t -> int
+val iter : t -> (Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t -> unit) -> unit
+
+val min_tid : t -> Imdb_clock.Tid.t option
+(** The oldest TID still recorded — a measure of how well GC keeps up. *)
+
+(**/**)
+
+val key_of_tid : Imdb_clock.Tid.t -> string
+val tid_of_key : string -> Imdb_clock.Tid.t

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, reflected), allocation-free: validates page images
+    and log frames; a mismatch signals a torn or corrupt write. *)
+
+val bytes_int : ?pos:int -> ?len:int -> bytes -> int
+(** CRC over the range as an unsigned int (fits 32 bits). *)
+
+val bytes : ?pos:int -> ?len:int -> bytes -> int32
+val string : string -> int32
+val to_int : int32 -> int

@@ -1,0 +1,30 @@
+(* Human-readable hex dump of byte ranges, used by the CLI page inspector
+   and by test failure output. *)
+
+let pp_line ppf b off len =
+  Fmt.pf ppf "%08x  " off;
+  for i = 0 to 15 do
+    if i = 8 then Fmt.pf ppf " ";
+    if i < len then Fmt.pf ppf "%02x " (Char.code (Bytes.get b (off + i)))
+    else Fmt.pf ppf "   "
+  done;
+  Fmt.pf ppf " |";
+  for i = 0 to len - 1 do
+    let c = Bytes.get b (off + i) in
+    Fmt.pf ppf "%c" (if c >= ' ' && c < '\x7f' then c else '.')
+  done;
+  Fmt.pf ppf "|"
+
+let pp ?(max_bytes = 512) ppf b =
+  let n = min (Bytes.length b) max_bytes in
+  let off = ref 0 in
+  while !off < n do
+    let len = min 16 (n - !off) in
+    pp_line ppf b !off len;
+    Fmt.pf ppf "@.";
+    off := !off + 16
+  done;
+  if Bytes.length b > max_bytes then
+    Fmt.pf ppf "... (%d more bytes)@." (Bytes.length b - max_bytes)
+
+let to_string ?max_bytes b = Fmt.str "%a" (pp ?max_bytes) b

@@ -1,0 +1,57 @@
+(* Deterministic pseudo-random number generator (splitmix64).
+
+   Workload generation and failure injection must be reproducible across
+   runs and platforms, so we avoid [Random] (whose sequence is not part of
+   the stdlib compatibility contract) and implement splitmix64, which has
+   a single 64-bit state and good statistical quality for this use. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound).  Keep 62 bits so the value fits OCaml's 63-bit
+   int without wrapping negative. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Exponentially distributed float with the given mean (for inter-arrival
+   style quantities in the workload generator). *)
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)
+
+let string t len =
+  String.init len (fun _ -> Char.chr (int_in t (Char.code 'a') (Char.code 'z')))

@@ -1,0 +1,69 @@
+(* Global named counters.
+
+   The paper's performance arguments are about work done on the commit
+   path, extra I/O for timestamp-table maintenance, and page accesses for
+   AS OF queries.  Wall-clock numbers are noisy on shared machines, so the
+   benches additionally report these deterministic counters.  Counters are
+   registered lazily by name; [snapshot]/[diff] let a bench bracket a
+   workload. *)
+
+type snapshot = (string * int) list
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add counters name r;
+      r
+
+let incr ?(by = 1) name =
+  let r = counter name in
+  r := !r + by
+
+let get name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0) counters
+
+let snapshot () : snapshot =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters []
+  |> List.sort compare
+
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k (-v)) before;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some d -> Hashtbl.replace tbl k (d + v)
+      | None -> Hashtbl.replace tbl k v)
+    after;
+  Hashtbl.fold (fun k v acc -> if v <> 0 then (k, v) :: acc else acc) tbl []
+  |> List.sort compare
+
+let pp_snapshot ppf (s : snapshot) =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-28s %d@." k v) s
+
+(* Canonical counter names used across the engine, collected here so that
+   producers and consumers cannot drift apart. *)
+let disk_reads = "disk.reads"
+let disk_writes = "disk.writes"
+let log_appends = "log.appends"
+let log_bytes = "log.bytes"
+let log_flushes = "log.flushes"
+let buf_hits = "buffer.hits"
+let buf_misses = "buffer.misses"
+let buf_evictions = "buffer.evictions"
+let pages_allocated = "pages.allocated"
+let stamps_applied = "tstamp.applied"
+let ptt_inserts = "ptt.inserts"
+let ptt_deletes = "ptt.deletes"
+let ptt_lookups = "ptt.lookups"
+let vtt_hits = "vtt.hits"
+let time_splits = "split.time"
+let key_splits = "split.key"
+let asof_pages = "asof.pages_visited"
+let asof_versions = "asof.versions_visited"
+let txn_commits = "txn.commits"
+let txn_aborts = "txn.aborts"

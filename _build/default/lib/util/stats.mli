@@ -1,0 +1,39 @@
+(** Global named work counters.
+
+    Wall-clock numbers are noisy; the benches additionally report these
+    deterministic counters (disk I/O, log volume, stamping, page visits),
+    reproducible bit-for-bit under the logical clock.  [snapshot]/[diff]
+    bracket a workload. *)
+
+type snapshot = (string * int) list
+
+val counter : string -> int ref
+val incr : ?by:int -> string -> unit
+val get : string -> int
+val reset_all : unit -> unit
+val snapshot : unit -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** Canonical counter names (producers and consumers share these). *)
+
+val disk_reads : string
+val disk_writes : string
+val log_appends : string
+val log_bytes : string
+val log_flushes : string
+val buf_hits : string
+val buf_misses : string
+val buf_evictions : string
+val pages_allocated : string
+val stamps_applied : string
+val ptt_inserts : string
+val ptt_deletes : string
+val ptt_lookups : string
+val vtt_hits : string
+val time_splits : string
+val key_splits : string
+val asof_pages : string
+val asof_versions : string
+val txn_commits : string
+val txn_aborts : string

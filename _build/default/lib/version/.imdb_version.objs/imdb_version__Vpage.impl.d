@@ -1,0 +1,1 @@
+lib/version/vpage.ml: Bytes Char Hashtbl Imdb_clock Imdb_storage Imdb_util List String

@@ -1,0 +1,1 @@
+lib/version/vpage.mli: Imdb_clock

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Bytes Codec Fmt Imdb_clock Imdb_storage Imdb_util List Printf

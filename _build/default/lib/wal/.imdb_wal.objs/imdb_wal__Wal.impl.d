@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Bytes Checksum Codec Imdb_util Int64 List Log_record Printf Stats Unix

@@ -1,0 +1,351 @@
+(* Log records.
+
+   The engine uses ARIES-style physiological logging: each data change is
+   a small operation against one page, replayable against the page image
+   ([redo]) and invertible for rollback ([invert]).  Page operations are
+   deterministic functions of the page image (see Page), so replaying the
+   logged operation history over the on-disk image reproduces the exact
+   page bytes.
+
+   Two envelopes carry page operations:
+   - [Update] is undoable and belongs to a transaction (prev_lsn chains
+     the transaction's log records for rollback);
+   - [Redo_only] covers structure modifications — page formats, time
+     splits, key splits, allocator updates — which, as in ARIES-IM nested
+     top actions, are never undone once logged.
+   - [Clr] compensates an [Update] during rollback; its op is applied at
+     redo but never undone ([undo_next] continues the rollback chain).
+
+   Notably absent, by design: timestamping of record versions.  The paper's
+   lazy timestamping is deliberately *not* logged; its durability is
+   guaranteed by the PTT + checkpoint-coupled garbage collection instead
+   (Section 2.2). *)
+
+open Imdb_util
+
+type page_op =
+  (* Physical ops: structure modifications, GC, and CLR compensations.
+     Logged redo-only (or inside CLRs); never undone themselves. *)
+  | Op_insert of { slot : int; body : bytes }
+  | Op_delete of { slot : int; body : bytes } (* body: the deleted cell, for redo symmetry *)
+  | Op_replace of { slot : int; old_body : bytes; new_body : bytes }
+  | Op_patch of { slot : int; at : int; old_b : bytes; new_b : bytes }
+  | Op_header of { at : int; old_b : bytes; new_b : bytes } (* raw header bytes *)
+  | Op_format of { page_type : Imdb_storage.Page.page_type; table_id : int; level : int }
+  | Op_image of { image : bytes } (* full after-image *)
+  (* Transactional ops with *logical* undo.  Redo is physical (replay the
+     exact slot operation); undo re-locates the key through the table's
+     router at rollback time, because time splits and key splits may have
+     moved the affected cells to other slots or pages since the update was
+     logged (the ARIES-IM approach).  The engine's rollback code owns the
+     undo semantics; [invert_op] rejects these. *)
+  | Op_kv_insert of { slot : int; body : bytes; table_id : int }
+      (* B-tree keyed cell insert (PTT, catalog, conventional tables);
+         undo: delete the cell's key from table [table_id]'s tree *)
+  | Op_kv_replace of { slot : int; old_body : bytes; new_body : bytes; table_id : int }
+      (* undo: re-insert the old (key, value) *)
+  | Op_kv_delete of { slot : int; body : bytes; table_id : int }
+      (* undo: re-insert the deleted (key, value) *)
+  | Op_version_insert of {
+      slot : int; (* slot the new version went to *)
+      body : bytes; (* the new version's record cell *)
+      pred_slot : int; (* predecessor's slot, or Record.no_vp *)
+      pred_old_flags : int; (* predecessor's flags before marking non-current *)
+      table_id : int;
+    }
+      (* Immortal/snapshot table version-chain insert: one record covers
+         both the new version and the flag patch on its predecessor.
+         undo: remove the newest version of the record's key and restore
+         the predecessor to currency, wherever splits have taken them. *)
+
+type body =
+  | Begin of { tid : Imdb_clock.Tid.t }
+  | Update of { tid : Imdb_clock.Tid.t; prev_lsn : int64; page_id : int; op : page_op }
+  | Clr of { tid : Imdb_clock.Tid.t; undo_next : int64; page_id : int; op : page_op }
+  | Redo_only of { page_id : int; op : page_op }
+  | Commit of { tid : Imdb_clock.Tid.t; ts : Imdb_clock.Timestamp.t }
+  | Abort of { tid : Imdb_clock.Tid.t }
+  | End of { tid : Imdb_clock.Tid.t }
+  | Checkpoint of {
+      att : (Imdb_clock.Tid.t * int64) list; (* active txns, last LSN *)
+      dpt : (int * int64) list; (* dirty pages, recLSN *)
+      next_tid : Imdb_clock.Tid.t;
+      clock : Imdb_clock.Timestamp.t; (* floor for commit timestamps *)
+    }
+
+let nil_lsn = 0L
+
+(* --- redo / undo ------------------------------------------------------- *)
+
+(* Apply [op] to [page].  The caller has already decided applicability
+   (page_lsn < record lsn). *)
+let redo_op page op =
+  let module P = Imdb_storage.Page in
+  let module R = Imdb_storage.Record in
+  match op with
+  | Op_insert { slot; body } -> P.insert_at_slot page slot body
+  | Op_delete { slot; _ } -> P.delete_slot page slot
+  | Op_replace { slot; new_body; _ } -> P.replace_at_slot page slot new_body
+  | Op_patch { slot; at; new_b; _ } -> P.patch_cell page slot ~at ~src:new_b
+  | Op_header { at; new_b; _ } -> Codec.set_bytes page at new_b
+  | Op_format { page_type; table_id; level } ->
+      let id = P.page_id page in
+      P.format page ~page_id:id ~page_type ~table_id ~level ()
+  | Op_image { image } -> Bytes.blit image 0 page 0 (Bytes.length image)
+  | Op_kv_insert { slot; body; _ } -> P.insert_at_slot page slot body
+  | Op_kv_replace { slot; new_body; _ } -> P.replace_at_slot page slot new_body
+  | Op_kv_delete { slot; _ } -> P.delete_slot page slot
+  | Op_version_insert { slot; body; pred_slot; pred_old_flags; _ } ->
+      P.insert_at_slot page slot body;
+      if pred_slot <> R.no_vp then
+        R.set_in_page_flags page pred_slot (pred_old_flags lor R.f_non_current)
+
+(* The inverse operation, for rollback CLRs.  Raises on redo-only ops,
+   which must never reach the undo path. *)
+let invert_op = function
+  | Op_insert { slot; body } -> Op_delete { slot; body }
+  | Op_delete { slot; body } -> Op_insert { slot; body }
+  | Op_replace { slot; old_body; new_body } ->
+      Op_replace { slot; old_body = new_body; new_body = old_body }
+  | Op_patch { slot; at; old_b; new_b } ->
+      Op_patch { slot; at; old_b = new_b; new_b = old_b }
+  | Op_header { at; old_b; new_b } -> Op_header { at; old_b = new_b; new_b = old_b }
+  | Op_format _ | Op_image _ -> invalid_arg "Log_record.invert_op: redo-only op"
+  | Op_kv_insert _ | Op_kv_replace _ | Op_kv_delete _ | Op_version_insert _ ->
+      invalid_arg "Log_record.invert_op: logical-undo op (engine rollback owns it)"
+
+(* --- serialization ------------------------------------------------------ *)
+
+let op_tag = function
+  | Op_insert _ -> 0
+  | Op_delete _ -> 1
+  | Op_replace _ -> 2
+  | Op_patch _ -> 3
+  | Op_header _ -> 4
+  | Op_format _ -> 5
+  | Op_image _ -> 6
+  | Op_kv_insert _ -> 7
+  | Op_kv_replace _ -> 8
+  | Op_kv_delete _ -> 9
+  | Op_version_insert _ -> 10
+
+let write_op w op =
+  let module W = Codec.Writer in
+  W.u8 w (op_tag op);
+  match op with
+  | Op_insert { slot; body } | Op_delete { slot; body } ->
+      W.u16 w slot;
+      W.lbytes w body
+  | Op_replace { slot; old_body; new_body } ->
+      W.u16 w slot;
+      W.lbytes w old_body;
+      W.lbytes w new_body
+  | Op_patch { slot; at; old_b; new_b } ->
+      W.u16 w slot;
+      W.u16 w at;
+      W.lbytes w old_b;
+      W.lbytes w new_b
+  | Op_header { at; old_b; new_b } ->
+      W.u16 w at;
+      W.lbytes w old_b;
+      W.lbytes w new_b
+  | Op_format { page_type; table_id; level } ->
+      W.u8 w (Imdb_storage.Page.int_of_page_type page_type);
+      W.u32 w table_id;
+      W.u16 w level
+  | Op_image { image } -> W.lbytes32 w image
+  | Op_kv_insert { slot; body; table_id } | Op_kv_delete { slot; body; table_id } ->
+      W.u16 w slot;
+      W.lbytes w body;
+      W.u32 w table_id
+  | Op_kv_replace { slot; old_body; new_body; table_id } ->
+      W.u16 w slot;
+      W.lbytes w old_body;
+      W.lbytes w new_body;
+      W.u32 w table_id
+  | Op_version_insert { slot; body; pred_slot; pred_old_flags; table_id } ->
+      W.u16 w slot;
+      W.lbytes w body;
+      W.u16 w pred_slot;
+      W.u8 w pred_old_flags;
+      W.u32 w table_id
+
+let read_op r =
+  let module R = Codec.Reader in
+  match R.u8 r with
+  | 0 ->
+      let slot = R.u16 r in
+      Op_insert { slot; body = R.lbytes r }
+  | 1 ->
+      let slot = R.u16 r in
+      Op_delete { slot; body = R.lbytes r }
+  | 2 ->
+      let slot = R.u16 r in
+      let old_body = R.lbytes r in
+      Op_replace { slot; old_body; new_body = R.lbytes r }
+  | 3 ->
+      let slot = R.u16 r in
+      let at = R.u16 r in
+      let old_b = R.lbytes r in
+      Op_patch { slot; at; old_b; new_b = R.lbytes r }
+  | 4 ->
+      let at = R.u16 r in
+      let old_b = R.lbytes r in
+      Op_header { at; old_b; new_b = R.lbytes r }
+  | 5 ->
+      let page_type = Imdb_storage.Page.page_type_of_int (R.u8 r) in
+      let table_id = R.u32 r in
+      Op_format { page_type; table_id; level = R.u16 r }
+  | 6 -> Op_image { image = R.lbytes32 r }
+  | 7 ->
+      let slot = R.u16 r in
+      let body = R.lbytes r in
+      Op_kv_insert { slot; body; table_id = R.u32 r }
+  | 8 ->
+      let slot = R.u16 r in
+      let old_body = R.lbytes r in
+      let new_body = R.lbytes r in
+      Op_kv_replace { slot; old_body; new_body; table_id = R.u32 r }
+  | 9 ->
+      let slot = R.u16 r in
+      let body = R.lbytes r in
+      Op_kv_delete { slot; body; table_id = R.u32 r }
+  | 10 ->
+      let slot = R.u16 r in
+      let body = R.lbytes r in
+      let pred_slot = R.u16 r in
+      let pred_old_flags = R.u8 r in
+      Op_version_insert { slot; body; pred_slot; pred_old_flags; table_id = R.u32 r }
+  | n -> failwith (Printf.sprintf "Log_record: bad op tag %d" n)
+
+let body_tag = function
+  | Begin _ -> 0
+  | Update _ -> 1
+  | Clr _ -> 2
+  | Redo_only _ -> 3
+  | Commit _ -> 4
+  | Abort _ -> 5
+  | End _ -> 6
+  | Checkpoint _ -> 7
+
+let encode body =
+  let module W = Codec.Writer in
+  let w = W.create () in
+  W.u8 w (body_tag body);
+  (match body with
+  | Begin { tid } -> W.i64 w (Imdb_clock.Tid.to_int64 tid)
+  | Update { tid; prev_lsn; page_id; op } ->
+      W.i64 w (Imdb_clock.Tid.to_int64 tid);
+      W.i64 w prev_lsn;
+      W.u32 w page_id;
+      write_op w op
+  | Clr { tid; undo_next; page_id; op } ->
+      W.i64 w (Imdb_clock.Tid.to_int64 tid);
+      W.i64 w undo_next;
+      W.u32 w page_id;
+      write_op w op
+  | Redo_only { page_id; op } ->
+      W.u32 w page_id;
+      write_op w op
+  | Commit { tid; ts } ->
+      W.i64 w (Imdb_clock.Tid.to_int64 tid);
+      W.i64 w (Imdb_clock.Timestamp.ttime ts);
+      W.u32 w (Imdb_clock.Timestamp.sn ts)
+  | Abort { tid } -> W.i64 w (Imdb_clock.Tid.to_int64 tid)
+  | End { tid } -> W.i64 w (Imdb_clock.Tid.to_int64 tid)
+  | Checkpoint { att; dpt; next_tid; clock } ->
+      W.u32 w (List.length att);
+      List.iter
+        (fun (tid, lsn) ->
+          W.i64 w (Imdb_clock.Tid.to_int64 tid);
+          W.i64 w lsn)
+        att;
+      W.u32 w (List.length dpt);
+      List.iter
+        (fun (pid, lsn) ->
+          W.u32 w pid;
+          W.i64 w lsn)
+        dpt;
+      W.i64 w (Imdb_clock.Tid.to_int64 next_tid);
+      W.i64 w (Imdb_clock.Timestamp.ttime clock);
+      W.u32 w (Imdb_clock.Timestamp.sn clock));
+  W.contents w
+
+let decode b =
+  let module R = Codec.Reader in
+  let r = R.create b in
+  let tid () = Imdb_clock.Tid.of_int64 (R.i64 r) in
+  match R.u8 r with
+  | 0 -> Begin { tid = tid () }
+  | 1 ->
+      let tid = tid () in
+      let prev_lsn = R.i64 r in
+      let page_id = R.u32 r in
+      Update { tid; prev_lsn; page_id; op = read_op r }
+  | 2 ->
+      let tid = tid () in
+      let undo_next = R.i64 r in
+      let page_id = R.u32 r in
+      Clr { tid; undo_next; page_id; op = read_op r }
+  | 3 ->
+      let page_id = R.u32 r in
+      Redo_only { page_id; op = read_op r }
+  | 4 ->
+      let tid = tid () in
+      let ttime = R.i64 r in
+      let sn = R.u32 r in
+      Commit { tid; ts = Imdb_clock.Timestamp.make ~ttime ~sn }
+  | 5 -> Abort { tid = tid () }
+  | 6 -> End { tid = tid () }
+  | 7 ->
+      let natt = R.u32 r in
+      let att = List.init natt (fun _ ->
+          let t = tid () in
+          let lsn = R.i64 r in
+          (t, lsn))
+      in
+      let ndpt = R.u32 r in
+      let dpt = List.init ndpt (fun _ ->
+          let pid = R.u32 r in
+          let lsn = R.i64 r in
+          (pid, lsn))
+      in
+      let next_tid = tid () in
+      let ttime = R.i64 r in
+      let sn = R.u32 r in
+      Checkpoint { att; dpt; next_tid; clock = Imdb_clock.Timestamp.make ~ttime ~sn }
+  | n -> failwith (Printf.sprintf "Log_record: bad body tag %d" n)
+
+let pp_op ppf = function
+  | Op_insert { slot; body } -> Fmt.pf ppf "insert slot=%d %dB" slot (Bytes.length body)
+  | Op_delete { slot; body } -> Fmt.pf ppf "delete slot=%d %dB" slot (Bytes.length body)
+  | Op_replace { slot; new_body; _ } ->
+      Fmt.pf ppf "replace slot=%d ->%dB" slot (Bytes.length new_body)
+  | Op_patch { slot; at; new_b; _ } ->
+      Fmt.pf ppf "patch slot=%d at=%d %dB" slot at (Bytes.length new_b)
+  | Op_header { at; new_b; _ } -> Fmt.pf ppf "header at=%d %dB" at (Bytes.length new_b)
+  | Op_format { page_type; _ } ->
+      Fmt.pf ppf "format %a" Imdb_storage.Page.pp_page_type page_type
+  | Op_image { image } -> Fmt.pf ppf "image %dB" (Bytes.length image)
+  | Op_kv_insert { slot; body; _ } -> Fmt.pf ppf "kv-insert slot=%d %dB" slot (Bytes.length body)
+  | Op_kv_replace { slot; new_body; _ } ->
+      Fmt.pf ppf "kv-replace slot=%d ->%dB" slot (Bytes.length new_body)
+  | Op_kv_delete { slot; body; _ } -> Fmt.pf ppf "kv-delete slot=%d %dB" slot (Bytes.length body)
+  | Op_version_insert { slot; pred_slot; body; _ } ->
+      Fmt.pf ppf "version-insert slot=%d pred=%d %dB" slot pred_slot (Bytes.length body)
+
+let pp ppf = function
+  | Begin { tid } -> Fmt.pf ppf "BEGIN %a" Imdb_clock.Tid.pp tid
+  | Update { tid; page_id; op; prev_lsn } ->
+      Fmt.pf ppf "UPDATE %a page=%d prev=%Ld %a" Imdb_clock.Tid.pp tid page_id prev_lsn
+        pp_op op
+  | Clr { tid; page_id; op; undo_next } ->
+      Fmt.pf ppf "CLR %a page=%d undo_next=%Ld %a" Imdb_clock.Tid.pp tid page_id
+        undo_next pp_op op
+  | Redo_only { page_id; op } -> Fmt.pf ppf "REDO_ONLY page=%d %a" page_id pp_op op
+  | Commit { tid; ts } ->
+      Fmt.pf ppf "COMMIT %a ts=%a" Imdb_clock.Tid.pp tid Imdb_clock.Timestamp.pp ts
+  | Abort { tid } -> Fmt.pf ppf "ABORT %a" Imdb_clock.Tid.pp tid
+  | End { tid } -> Fmt.pf ppf "END %a" Imdb_clock.Tid.pp tid
+  | Checkpoint { att; dpt; _ } ->
+      Fmt.pf ppf "CHECKPOINT att=%d dpt=%d" (List.length att) (List.length dpt)

@@ -1,0 +1,199 @@
+(* The write-ahead log.
+
+   An append-only stream of checksummed frames over a log device:
+
+   {v  frame := u32 payload_length | u32 crc32(payload) | payload  v}
+
+   The LSN of a record is the byte offset of its frame in the stream; the
+   LSN order is the total order of all logged actions.  The WAL object
+   buffers appended frames in memory; [flush] makes the prefix up to a
+   given LSN durable.  After a crash, [open_device] scans the durable
+   stream, stops at the first incomplete or corrupt frame (a torn tail)
+   and truncates it away.
+
+   The buffer-pool's WAL-before-data rule calls [flush ~lsn:(page lsn)]
+   before any page write, and commit calls [flush] at the commit record. *)
+
+open Imdb_util
+
+let frame_header = 8
+
+module Device = struct
+  type t = {
+    size : unit -> int; (* durable bytes *)
+    append : bytes -> unit; (* append durable bytes at the end *)
+    read : pos:int -> len:int -> bytes;
+    truncate : int -> unit; (* keep [0, n) *)
+    sync : unit -> unit;
+    close : unit -> unit;
+  }
+
+  let in_memory () =
+    (* manually managed growable store: [read] must be O(len), not a copy
+       of the whole log (recovery reads every frame individually) *)
+    let store = ref (Bytes.create 4096) in
+    let used = ref 0 in
+    let ensure extra =
+      if !used + extra > Bytes.length !store then begin
+        let cap = ref (Bytes.length !store) in
+        while !used + extra > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit !store 0 bigger 0 !used;
+        store := bigger
+      end
+    in
+    {
+      size = (fun () -> !used);
+      append =
+        (fun b ->
+          ensure (Bytes.length b);
+          Bytes.blit b 0 !store !used (Bytes.length b);
+          used := !used + Bytes.length b);
+      read =
+        (fun ~pos ~len ->
+          if pos < 0 || len < 0 || pos + len > !used then
+            failwith "Wal.Device.in_memory: read out of range";
+          Bytes.sub !store pos len);
+      truncate = (fun n -> if n < !used then used := n);
+      sync = (fun () -> ());
+      close = (fun () -> ());
+    }
+
+  let file ~path =
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    let size () = (Unix.fstat fd).Unix.st_size in
+    {
+      size;
+      append =
+        (fun b ->
+          ignore (Unix.lseek fd 0 Unix.SEEK_END);
+          let rec drain off =
+            if off < Bytes.length b then
+              drain (off + Unix.write fd b off (Bytes.length b - off))
+          in
+          drain 0);
+      read =
+        (fun ~pos ~len ->
+          let b = Bytes.create len in
+          ignore (Unix.lseek fd pos Unix.SEEK_SET);
+          let rec fill off =
+            if off < len then begin
+              let n = Unix.read fd b off (len - off) in
+              if n = 0 then failwith "Wal.Device.file: short read";
+              fill (off + n)
+            end
+          in
+          fill 0;
+          b);
+      truncate = (fun n -> Unix.ftruncate fd n);
+      sync = (fun () -> Unix.fsync fd);
+      close = (fun () -> Unix.close fd);
+    }
+end
+
+type t = {
+  device : Device.t;
+  mutable durable_end : int64; (* bytes durable on the device *)
+  mutable next_lsn : int64; (* end of log including the volatile tail *)
+  mutable tail : (int64 * bytes) list; (* unflushed frames, newest first *)
+}
+
+let frame_of payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (frame_header + len) in
+  Codec.set_u32 b 0 len;
+  Codec.set_u32 b 4 (Checksum.bytes_int payload);
+  Codec.set_bytes b frame_header payload;
+  b
+
+(* Scan the durable stream from offset 0, returning the offset of the
+   first invalid frame (= valid end of log). *)
+let scan_valid_end (d : Device.t) =
+  let total = d.size () in
+  let rec go pos =
+    if pos + frame_header > total then pos
+    else
+      let hdr = d.read ~pos ~len:frame_header in
+      let len = Codec.get_u32 hdr 0 in
+      let crc = Codec.get_u32 hdr 4 in
+      if len = 0 || pos + frame_header + len > total then pos
+      else
+        let payload = d.read ~pos:(pos + frame_header) ~len in
+        if Checksum.bytes_int payload <> crc then pos
+        else go (pos + frame_header + len)
+  in
+  go 0
+
+let open_device device =
+  let valid = scan_valid_end device in
+  if valid < device.Device.size () then device.Device.truncate valid;
+  {
+    device;
+    durable_end = Int64.of_int valid;
+    next_lsn = Int64.of_int valid;
+    tail = [];
+  }
+
+let next_lsn t = t.next_lsn
+let flushed_lsn t = t.durable_end
+
+let append t body =
+  let payload = Log_record.encode body in
+  let frame = frame_of payload in
+  let lsn = t.next_lsn in
+  t.tail <- (lsn, frame) :: t.tail;
+  t.next_lsn <- Int64.add t.next_lsn (Int64.of_int (Bytes.length frame));
+  Stats.incr Stats.log_appends;
+  Stats.incr ~by:(Bytes.length frame) Stats.log_bytes;
+  lsn
+
+(* Make everything up to and including the record at [lsn] durable (in
+   practice we flush the whole buffered tail; group commit for free). *)
+let flush ?lsn t =
+  let needed = match lsn with Some l -> l | None -> Int64.pred t.next_lsn in
+  if Int64.compare needed t.durable_end >= 0 && t.tail <> [] then begin
+    let frames = List.rev t.tail in
+    List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
+    t.device.Device.sync ();
+    t.tail <- [];
+    t.durable_end <- t.next_lsn;
+    Stats.incr Stats.log_flushes
+  end
+
+(* Drop the volatile tail: crash simulation. *)
+let crash_volatile t = t.tail <- []
+
+(* Iterate durable records from [from_lsn] (must be a frame boundary). *)
+let iter_from t ~from_lsn f =
+  let total = Int64.to_int t.durable_end in
+  let rec go pos =
+    if pos + frame_header <= total then begin
+      let hdr = t.device.Device.read ~pos ~len:frame_header in
+      let len = Codec.get_u32 hdr 0 in
+      let payload = t.device.Device.read ~pos:(pos + frame_header) ~len in
+      f (Int64.of_int pos) (Log_record.decode payload);
+      go (pos + frame_header + len)
+    end
+  in
+  go (Int64.to_int from_lsn)
+
+(* Read the single record at [lsn] (durable or volatile). *)
+let read_at t lsn =
+  let pos = Int64.to_int lsn in
+  if Int64.compare lsn t.durable_end >= 0 then
+    match List.assoc_opt lsn t.tail with
+    | Some frame ->
+        let len = Codec.get_u32 frame 0 in
+        Log_record.decode (Bytes.sub frame frame_header len)
+    | None -> failwith (Printf.sprintf "Wal.read_at: no record at lsn %Ld" lsn)
+  else begin
+    let hdr = t.device.Device.read ~pos ~len:frame_header in
+    let len = Codec.get_u32 hdr 0 in
+    Log_record.decode (t.device.Device.read ~pos:(pos + frame_header) ~len)
+  end
+
+let close t =
+  flush t;
+  t.device.Device.close ()

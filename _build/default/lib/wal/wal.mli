@@ -1,0 +1,50 @@
+(** The write-ahead log: an append-only stream of checksummed frames.
+
+    The LSN of a record is the byte offset of its frame; LSN order is the
+    total order of all logged actions.  Appends buffer in memory; [flush]
+    makes the prefix durable (the buffer pool calls it before any page
+    write — WAL before data — and commit calls it at the commit record).
+    Reopening after a crash scans the durable stream and truncates the
+    first torn or corrupt frame. *)
+
+(** Log storage devices. *)
+module Device : sig
+  type t = {
+    size : unit -> int;  (** durable bytes *)
+    append : bytes -> unit;
+    read : pos:int -> len:int -> bytes;
+    truncate : int -> unit;
+    sync : unit -> unit;
+    close : unit -> unit;
+  }
+
+  val in_memory : unit -> t
+  val file : path:string -> t
+end
+
+type t
+
+val open_device : Device.t -> t
+(** Open, scanning for the valid end of log (truncating a torn tail). *)
+
+val append : t -> Log_record.body -> int64
+(** Buffer a record; returns its LSN. *)
+
+val flush : ?lsn:int64 -> t -> unit
+(** Make the log durable through [lsn] (default: everything buffered). *)
+
+val next_lsn : t -> int64
+(** End of log, including the unflushed tail. *)
+
+val flushed_lsn : t -> int64
+
+val iter_from : t -> from_lsn:int64 -> (int64 -> Log_record.body -> unit) -> unit
+(** Iterate durable records from a frame boundary. *)
+
+val read_at : t -> int64 -> Log_record.body
+(** Read one record, durable or still buffered (rollback chains). *)
+
+val crash_volatile : t -> unit
+(** Crash simulation: drop the unflushed tail. *)
+
+val close : t -> unit

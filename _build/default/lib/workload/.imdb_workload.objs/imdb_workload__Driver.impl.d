@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Imdb_clock Imdb_core Imdb_util List Moving_objects Unix

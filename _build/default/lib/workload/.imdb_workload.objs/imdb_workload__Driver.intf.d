@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Imdb_clock Imdb_core Imdb_util Moving_objects

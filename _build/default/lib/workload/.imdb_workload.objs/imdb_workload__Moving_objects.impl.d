@@ -1,0 +1,1 @@
+lib/workload/moving_objects.ml: Hashtbl Imdb_util List Option Road_network

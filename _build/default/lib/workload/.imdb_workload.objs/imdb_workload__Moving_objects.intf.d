@@ -1,0 +1,1 @@
+lib/workload/moving_objects.mli: Road_network

@@ -1,0 +1,1 @@
+lib/workload/road_network.ml: Array Imdb_util List Set

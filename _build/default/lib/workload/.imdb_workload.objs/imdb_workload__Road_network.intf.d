@@ -1,0 +1,1 @@
+lib/workload/road_network.mli: Imdb_util

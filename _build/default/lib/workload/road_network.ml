@@ -1,0 +1,128 @@
+(* A road network for the moving-objects generator.
+
+   The paper drives its experiments with Brinkhoff's "Network-based
+   Generator of Moving Objects" over the Seattle road map.  We synthesize
+   an equivalent network: a grid of intersections with jittered
+   coordinates, edges between neighbours (some randomly removed to make
+   the topology irregular, while keeping the grid connected), and a speed
+   class per edge.  Shortest-path routing uses Dijkstra. *)
+
+type node = { nid : int; x : float; y : float }
+
+
+type t = {
+  nodes : node array;
+  adjacency : (int * float * float) list array; (* nid -> (neighbor, length, speed) *)
+}
+
+let node t nid = t.nodes.(nid)
+let size t = Array.length t.nodes
+
+(* Build a [cols] x [rows] grid.  [removal] is the probability that a
+   non-bridging edge is dropped.  Deterministic in [rng]. *)
+let generate ?(cols = 20) ?(rows = 20) ?(removal = 0.15) rng =
+  let n = cols * rows in
+  let jitter () = (Imdb_util.Rng.float rng -. 0.5) *. 0.6 in
+  let nodes =
+    Array.init n (fun i ->
+        let cx = i mod cols and cy = i / cols in
+        { nid = i; x = float_of_int cx +. jitter (); y = float_of_int cy +. jitter () })
+  in
+  let adjacency = Array.make n [] in
+  let add_edge a b =
+    let dx = nodes.(a).x -. nodes.(b).x and dy = nodes.(a).y -. nodes.(b).y in
+    let length = sqrt ((dx *. dx) +. (dy *. dy)) in
+    (* speed classes: freeway-ish to residential *)
+    let speed = [| 1.0; 0.7; 0.5; 0.3 |].(Imdb_util.Rng.int rng 4) in
+    adjacency.(a) <- (b, length, speed) :: adjacency.(a);
+    adjacency.(b) <- (a, length, speed) :: adjacency.(b)
+  in
+  for cy = 0 to rows - 1 do
+    for cx = 0 to cols - 1 do
+      let i = (cy * cols) + cx in
+      (* always keep the first row/column edges: guarantees connectivity *)
+      if cx + 1 < cols then
+        if cy = 0 || Imdb_util.Rng.float rng >= removal then add_edge i (i + 1);
+      if cy + 1 < rows then
+        if cx = 0 || Imdb_util.Rng.float rng >= removal then add_edge i (i + cols)
+    done
+  done;
+  { nodes; adjacency }
+
+(* Dijkstra shortest path by travel time; returns the node list from
+   [src] to [dst] inclusive, or None if unreachable (cannot happen with
+   the connectivity guarantee, but callers stay total). *)
+let shortest_path t ~src ~dst =
+  let n = size t in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref (Pq.singleton (0.0, src)) in
+  let rec loop () =
+    match Pq.min_elt_opt !pq with
+    | None -> ()
+    | Some ((d, u) as elt) ->
+        pq := Pq.remove elt !pq;
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          if u <> dst then begin
+            List.iter
+              (fun (v, length, speed) ->
+                let nd = d +. (length /. speed) in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  prev.(v) <- u;
+                  pq := Pq.add (nd, v) !pq
+                end)
+              t.adjacency.(u);
+            loop ()
+          end
+        end
+        else loop ()
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
+    Some (build [] dst)
+  end
+
+(* Straight-line interpolation along a path: the position after covering
+   [travelled] distance units. *)
+let position_along t path ~travelled =
+  let rec walk remaining = function
+    | [] -> invalid_arg "position_along: empty path"
+    | [ last ] ->
+        let nd = node t last in
+        (nd.x, nd.y)
+    | a :: (b :: _ as rest) ->
+        let na = node t a and nb = node t b in
+        let dx = nb.x -. na.x and dy = nb.y -. na.y in
+        let seg = sqrt ((dx *. dx) +. (dy *. dy)) in
+        if remaining <= seg || seg = 0.0 then
+          if seg = 0.0 then walk remaining rest
+          else
+            let f = remaining /. seg in
+            (na.x +. (f *. dx), na.y +. (f *. dy))
+        else walk (remaining -. seg) rest
+  in
+  walk travelled path
+
+let path_length t path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let na = node t a and nb = node t b in
+        let dx = nb.x -. na.x and dy = nb.y -. na.y in
+        go (acc +. sqrt ((dx *. dx) +. (dy *. dy))) rest
+    | _ -> acc
+  in
+  go 0.0 path
+
+let edge_count t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.adjacency / 2

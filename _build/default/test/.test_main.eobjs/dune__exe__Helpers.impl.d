@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fmt Imdb_clock Imdb_core Printf

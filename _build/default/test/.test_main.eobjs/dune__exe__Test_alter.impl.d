@@ -1,0 +1,1 @@
+test/test_alter.ml: Alcotest Helpers Imdb_core Imdb_sql List Printf String

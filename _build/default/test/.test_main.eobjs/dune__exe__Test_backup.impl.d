@@ -1,0 +1,1 @@
+test/test_backup.ml: Alcotest Helpers Imdb_clock Imdb_core List Printf

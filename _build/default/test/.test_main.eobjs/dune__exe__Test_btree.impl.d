@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bytes Imdb_btree Imdb_buffer Imdb_storage Imdb_util Imdb_wal List Map Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_buffer.ml: Alcotest Bytes Imdb_buffer Imdb_clock Imdb_storage Imdb_util Imdb_wal Int64 List

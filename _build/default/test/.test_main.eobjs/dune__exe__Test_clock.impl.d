@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Bytes Imdb_clock Int64 QCheck QCheck_alcotest

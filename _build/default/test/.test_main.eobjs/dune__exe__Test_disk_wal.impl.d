@@ -1,0 +1,1 @@
+test/test_disk_wal.ml: Alcotest Bytes Char Filename Fun Imdb_clock Imdb_storage Imdb_wal Int64 List String Sys

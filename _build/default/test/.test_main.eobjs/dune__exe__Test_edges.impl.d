@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Char Helpers Imdb_clock Imdb_core Imdb_util Imdb_workload List Printf String

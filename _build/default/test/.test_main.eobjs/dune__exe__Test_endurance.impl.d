@@ -1,0 +1,1 @@
+test/test_endurance.ml: Alcotest Array Filename Fun Helpers Imdb_clock Imdb_core Imdb_storage Imdb_util Imdb_wal List Option Printf String Sys

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Hashtbl Helpers Imdb_btree Imdb_buffer Imdb_clock Imdb_core Imdb_lock Imdb_tsb Imdb_tstamp Imdb_util Imdb_version Imdb_workload List Option Printf QCheck QCheck_alcotest

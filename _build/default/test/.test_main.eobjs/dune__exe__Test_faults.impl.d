@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Helpers Imdb_buffer Imdb_clock Imdb_core Imdb_storage Imdb_wal List Printf String

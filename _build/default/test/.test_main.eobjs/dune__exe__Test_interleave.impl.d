@@ -1,0 +1,1 @@
+test/test_interleave.ml: Alcotest Array Hashtbl Helpers Imdb_core Imdb_lock Imdb_util List Option Printf

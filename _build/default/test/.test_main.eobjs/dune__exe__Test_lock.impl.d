@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Imdb_clock Imdb_lock List

@@ -1,0 +1,1 @@
+test/test_page.ml: Alcotest Bytes Hashtbl Imdb_clock Imdb_storage List Printf QCheck QCheck_alcotest String

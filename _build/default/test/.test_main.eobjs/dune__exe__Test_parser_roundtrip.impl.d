@@ -1,0 +1,1 @@
+test/test_parser_roundtrip.ml: Float Imdb_sql List Option Printexc Printf QCheck QCheck_alcotest String

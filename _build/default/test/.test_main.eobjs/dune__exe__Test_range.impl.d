@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Helpers Imdb_clock Imdb_core Imdb_sql Imdb_util Imdb_workload List Printf

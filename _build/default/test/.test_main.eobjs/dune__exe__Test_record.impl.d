@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Bytes Imdb_clock Imdb_storage QCheck QCheck_alcotest

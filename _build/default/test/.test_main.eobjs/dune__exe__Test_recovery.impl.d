@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Hashtbl Helpers Imdb_clock Imdb_core Imdb_util List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Helpers Imdb_clock Imdb_core Imdb_util Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Helpers Imdb_clock Imdb_core Imdb_sql List Printf

@@ -1,0 +1,1 @@
+test/test_tsb.ml: Alcotest Array Imdb_buffer Imdb_clock Imdb_storage Imdb_tsb Imdb_util Imdb_wal Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tstamp.ml: Alcotest Helpers Imdb_clock Imdb_core Imdb_tstamp Imdb_util Int64 List Printf

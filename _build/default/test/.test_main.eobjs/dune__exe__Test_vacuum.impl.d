@@ -1,0 +1,1 @@
+test/test_vacuum.ml: Alcotest Helpers Imdb_core Imdb_tstamp List Printf

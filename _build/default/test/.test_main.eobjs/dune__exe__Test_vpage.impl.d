@@ -1,0 +1,1 @@
+test/test_vpage.ml: Alcotest Bytes Imdb_clock Imdb_storage Imdb_version Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Imdb_core Imdb_util Imdb_workload List

@@ -1,0 +1,214 @@
+(* B-tree: point ops, ordered iteration, floor/next search, splits,
+   deletion with page reclamation, and a model-based property against
+   Map. *)
+
+module Disk = Imdb_storage.Disk
+module P = Imdb_storage.Page
+module BP = Imdb_buffer.Buffer_pool
+module Wal = Imdb_wal.Wal
+module LR = Imdb_wal.Log_record
+module B = Imdb_btree.Btree
+
+(* A standalone btree over a fresh pool with a trivial redo-only logger
+   and a bump allocator: enough to exercise the structure in isolation. *)
+let standalone ?(page_size = 512) ?(capacity = 64) () =
+  let disk = Disk.in_memory ~page_size () in
+  let wal = Wal.open_device (Wal.Device.in_memory ()) in
+  let pool = BP.create ~capacity ~disk ~wal () in
+  (* page id 0 is the no_page sentinel (the meta page in the real engine) *)
+  let next = ref 1 in
+  let io =
+    {
+      B.exec =
+        (fun fr ~undoable:_ op ->
+          let lsn = Wal.append wal (LR.Redo_only { page_id = BP.page_id fr; op }) in
+          LR.redo_op (BP.bytes fr) op;
+          BP.mark_dirty_logged pool fr ~lsn);
+      alloc =
+        (fun ~ptype ~level ->
+          let pid = !next in
+          incr next;
+          let fr = BP.pin_new pool pid in
+          P.format (BP.bytes fr) ~page_id:pid ~page_type:ptype ~level ();
+          BP.mark_dirty_logged pool fr ~lsn:0L;
+          BP.unpin pool fr;
+          pid);
+      free = (fun pid -> BP.invalidate pool pid);
+    }
+  in
+  B.create ~pool ~io ~table_id:1 ~name:"test"
+
+let v s = Bytes.of_string s
+let k i = Printf.sprintf "key%05d" i
+
+let test_insert_find () =
+  let t = standalone () in
+  Alcotest.(check bool) "empty find" true (B.find t ~key:"a" = None);
+  B.insert t ~key:"a" ~value:(v "1");
+  B.insert t ~key:"b" ~value:(v "2");
+  Alcotest.(check bool) "find a" true (B.find t ~key:"a" = Some (v "1"));
+  Alcotest.(check bool) "find b" true (B.find t ~key:"b" = Some (v "2"));
+  Alcotest.(check bool) "find missing" true (B.find t ~key:"c" = None);
+  (* replace *)
+  B.insert t ~key:"a" ~value:(v "1'");
+  Alcotest.(check bool) "replaced" true (B.find t ~key:"a" = Some (v "1'"));
+  Alcotest.(check int) "count" 2 (B.count t)
+
+let test_many_inserts_split () =
+  let t = standalone () in
+  let n = 500 in
+  for i = 1 to n do
+    B.insert t ~key:(k i) ~value:(v (string_of_int i))
+  done;
+  Alcotest.(check int) "all present" n (B.count t);
+  Alcotest.(check int) "invariants hold" n (B.check_invariants t);
+  for i = 1 to n do
+    match B.find t ~key:(k i) with
+    | Some value when Bytes.to_string value = string_of_int i -> ()
+    | _ -> Alcotest.failf "key %d lost" i
+  done
+
+let test_descending_and_random_insert () =
+  let t = standalone () in
+  for i = 300 downto 1 do
+    B.insert t ~key:(k i) ~value:(v "x")
+  done;
+  Alcotest.(check int) "descending inserts" 300 (B.check_invariants t);
+  let t2 = standalone () in
+  let rng = Imdb_util.Rng.create 5 in
+  let keys = Array.init 300 (fun i -> i) in
+  Imdb_util.Rng.shuffle rng keys;
+  Array.iter (fun i -> B.insert t2 ~key:(k i) ~value:(v "y")) keys;
+  Alcotest.(check int) "random inserts" 300 (B.check_invariants t2)
+
+let test_iteration_order () =
+  let t = standalone () in
+  let rng = Imdb_util.Rng.create 9 in
+  let keys = Array.init 200 (fun i -> i) in
+  Imdb_util.Rng.shuffle rng keys;
+  Array.iter (fun i -> B.insert t ~key:(k i) ~value:(v "z")) keys;
+  let seen = ref [] in
+  B.iter t (fun key _ -> seen := key :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "all iterated" 200 (List.length seen);
+  Alcotest.(check bool) "sorted" true (seen = List.sort compare seen);
+  (* bounded iteration *)
+  let ranged = ref [] in
+  B.iter ~from:(k 50) ~upto:(k 59) t (fun key _ -> ranged := key :: !ranged);
+  Alcotest.(check int) "range size" 10 (List.length !ranged)
+
+let test_floor_next () =
+  let t = standalone () in
+  List.iter (fun i -> B.insert t ~key:(k i) ~value:(v (string_of_int i))) [ 10; 20; 30 ];
+  let floor key = Option.map fst (B.find_floor t ~key) in
+  Alcotest.(check (option string)) "exact" (Some (k 20)) (floor (k 20));
+  Alcotest.(check (option string)) "between" (Some (k 20)) (floor (k 25));
+  Alcotest.(check (option string)) "below all" None (floor (k 5));
+  Alcotest.(check (option string)) "above all" (Some (k 30)) (floor (k 99));
+  let next key = Option.map fst (B.find_next t ~key) in
+  Alcotest.(check (option string)) "next of exact" (Some (k 20)) (next (k 10));
+  Alcotest.(check (option string)) "next between" (Some (k 30)) (next (k 25));
+  Alcotest.(check (option string)) "next of max" None (next (k 30))
+
+let test_delete () =
+  let t = standalone () in
+  for i = 1 to 300 do
+    B.insert t ~key:(k i) ~value:(v "d")
+  done;
+  (* delete a stretch: the emptied leaves are reclaimed *)
+  for i = 50 to 250 do
+    Alcotest.(check bool) "delete present" true (B.delete t ~key:(k i))
+  done;
+  Alcotest.(check bool) "delete absent" false (B.delete t ~key:(k 60));
+  Alcotest.(check int) "remaining" 99 (B.count t);
+  Alcotest.(check int) "invariants after deletes" 99 (B.check_invariants t);
+  Alcotest.(check bool) "floor over the gap" true
+    (Option.map fst (B.find_floor t ~key:(k 200)) = Some (k 49));
+  (* reinsert into the gap *)
+  for i = 100 to 120 do
+    B.insert t ~key:(k i) ~value:(v "r")
+  done;
+  Alcotest.(check int) "after reinsert" 120 (B.check_invariants t)
+
+let test_large_values () =
+  let t = standalone ~page_size:1024 () in
+  let big = Bytes.make 300 'B' in
+  B.insert t ~key:"big1" ~value:big;
+  B.insert t ~key:"big2" ~value:big;
+  B.insert t ~key:"big3" ~value:big;
+  Alcotest.(check bool) "big value intact" true (B.find t ~key:"big2" = Some big);
+  (* oversize entries are rejected cleanly *)
+  (match B.insert t ~key:"huge" ~value:(Bytes.make 600 'H') with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "oversize entry accepted")
+
+(* Model-based property: random op sequences agree with Map. *)
+let prop_vs_map =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 400)
+        (frequency
+           [
+             (5, map (fun i -> `Insert (i mod 100)) nat);
+             (2, map (fun i -> `Delete (i mod 100)) nat);
+             (2, map (fun i -> `Find (i mod 100)) nat);
+             (1, map (fun i -> `Floor (i mod 100)) nat);
+           ]))
+  in
+  QCheck.Test.make ~name:"btree vs Map model" ~count:30 (QCheck.make gen)
+    (fun ops ->
+      let t = standalone ~page_size:512 () in
+      let module M = Map.Make (String) in
+      let model = ref M.empty in
+      List.iteri
+        (fun step op ->
+          match op with
+          | `Insert i ->
+              let key = k i and value = Printf.sprintf "v%d-%d" i step in
+              B.insert t ~key ~value:(Bytes.of_string value);
+              model := M.add key value !model
+          | `Delete i ->
+              let key = k i in
+              let in_tree = B.delete t ~key in
+              let in_model = M.mem key !model in
+              if in_tree <> in_model then
+                QCheck.Test.fail_reportf "delete presence mismatch on %s" key;
+              model := M.remove key !model
+          | `Find i ->
+              let key = k i in
+              let tree = Option.map Bytes.to_string (B.find t ~key) in
+              let m = M.find_opt key !model in
+              if tree <> m then QCheck.Test.fail_reportf "find mismatch on %s" key
+          | `Floor i ->
+              let key = k i in
+              let tree = Option.map fst (B.find_floor t ~key) in
+              let m =
+                M.fold
+                  (fun mk _ acc ->
+                    if String.compare mk key <= 0 then
+                      match acc with
+                      | Some best when String.compare best mk >= 0 -> acc
+                      | _ -> Some mk
+                    else acc)
+                  !model None
+              in
+              if tree <> m then QCheck.Test.fail_reportf "floor mismatch on %s" key)
+        ops;
+      (* final sweep *)
+      ignore (B.check_invariants t);
+      M.for_all
+        (fun key value -> B.find t ~key = Some (Bytes.of_string value))
+        !model
+      && B.count t = M.cardinal !model)
+
+let suite =
+  [
+    Alcotest.test_case "insert & find" `Quick test_insert_find;
+    Alcotest.test_case "splits under load" `Quick test_many_inserts_split;
+    Alcotest.test_case "descending & random inserts" `Quick test_descending_and_random_insert;
+    Alcotest.test_case "iteration order" `Quick test_iteration_order;
+    Alcotest.test_case "floor & next" `Quick test_floor_next;
+    Alcotest.test_case "delete & reclaim" `Quick test_delete;
+    Alcotest.test_case "large values" `Quick test_large_values;
+    QCheck_alcotest.to_alcotest prop_vs_map;
+  ]

@@ -1,0 +1,152 @@
+(* Buffer pool: caching, LRU eviction, the WAL-before-data rule, the
+   pre-flush stamping hook, and checkpoint-sweep flushing. *)
+
+module Disk = Imdb_storage.Disk
+module P = Imdb_storage.Page
+module BP = Imdb_buffer.Buffer_pool
+module Wal = Imdb_wal.Wal
+module LR = Imdb_wal.Log_record
+module Tid = Imdb_clock.Tid
+
+let setup ?(capacity = 4) () =
+  let disk = Disk.in_memory ~page_size:512 () in
+  let wal = Wal.open_device (Wal.Device.in_memory ()) in
+  let pool = BP.create ~capacity ~disk ~wal () in
+  (disk, wal, pool)
+
+let new_page pool pid =
+  let fr = BP.pin_new pool pid in
+  P.format (BP.bytes fr) ~page_id:pid ~page_type:P.P_data ();
+  fr
+
+let test_pin_miss_hit () =
+  let disk, _, pool = setup () in
+  (* seed a page on disk *)
+  let b = Bytes.make 512 '\000' in
+  P.format b ~page_id:1 ~page_type:P.P_data ();
+  P.seal b;
+  disk.Disk.write_page 1 b;
+  Imdb_util.Stats.reset_all ();
+  BP.with_page pool 1 (fun _ -> ());
+  Alcotest.(check int) "first access misses" 1 (Imdb_util.Stats.get Imdb_util.Stats.buf_misses);
+  BP.with_page pool 1 (fun _ -> ());
+  Alcotest.(check int) "second access hits" 1 (Imdb_util.Stats.get Imdb_util.Stats.buf_hits)
+
+let test_corrupt_detection () =
+  let disk, _, pool = setup () in
+  let b = Bytes.make 512 'g' in
+  disk.Disk.write_page 2 b;
+  (* garbage, not sealed *)
+  (match BP.pin pool 2 with
+  | exception BP.Corrupt_page 2 -> ()
+  | _ -> Alcotest.fail "expected Corrupt_page")
+
+let test_eviction_lru_and_writeback () =
+  let disk, _, pool = setup ~capacity:4 () in
+  (* four dirty pages fill the pool *)
+  for pid = 0 to 3 do
+    let fr = new_page pool pid in
+    BP.mark_dirty_logged pool fr ~lsn:0L;
+    BP.unpin pool fr
+  done;
+  Alcotest.(check int) "nothing written yet" 0 (disk.Disk.page_count ());
+  (* touch pages 1..3 so page 0 is LRU *)
+  for pid = 1 to 3 do
+    BP.with_page pool pid (fun _ -> ())
+  done;
+  (* a fifth page forces one eviction: the LRU victim (0) is written *)
+  let fr = new_page pool 4 in
+  BP.unpin pool fr;
+  Alcotest.(check bool) "victim written back" true (disk.Disk.page_exists 0);
+  Alcotest.(check bool) "hot pages kept" false (disk.Disk.page_exists 2);
+  (* page 0 reads back fine (sealed on writeback) *)
+  BP.with_page pool 0 (fun fr -> Alcotest.(check int) "round trip" 0 (P.page_id (BP.bytes fr)))
+
+let test_pinned_never_evicted () =
+  let _, _, pool = setup ~capacity:4 () in
+  let pins = List.init 4 (fun pid -> new_page pool pid) in
+  (match BP.pin_new pool 9 with
+  | exception BP.Buffer_full -> ()
+  | _ -> Alcotest.fail "expected Buffer_full");
+  List.iter (fun fr -> BP.unpin pool fr) pins
+
+let test_wal_before_data () =
+  let _, wal, pool = setup () in
+  let fr = new_page pool 0 in
+  let lsn = Wal.append wal (LR.Redo_only { page_id = 0; op = LR.Op_format { page_type = P.P_data; table_id = 0; level = 0 } }) in
+  BP.mark_dirty_logged pool fr ~lsn;
+  Alcotest.(check bool) "log volatile before flush" true
+    (Int64.compare (Wal.flushed_lsn wal) lsn <= 0);
+  BP.unpin pool fr;
+  BP.flush_page pool 0;
+  (* the flush must have pushed the log past the page lsn first *)
+  Alcotest.(check bool) "wal flushed before page" true
+    (Int64.compare (Wal.flushed_lsn wal) lsn > 0)
+
+let test_pre_flush_hook () =
+  let _, _, pool = setup () in
+  let hook_ran = ref 0 in
+  BP.set_pre_flush pool (fun page ->
+      incr hook_ran;
+      (* the hook may mutate the image before it is sealed *)
+      P.set_next_page page 777);
+  let fr = new_page pool 0 in
+  BP.mark_dirty_logged pool fr ~lsn:0L;
+  BP.unpin pool fr;
+  BP.flush_page pool 0;
+  Alcotest.(check int) "hook ran once" 1 !hook_ran;
+  (* drop and reload from disk: the hook's change was persisted *)
+  BP.drop_all pool;
+  BP.with_page pool 0 (fun fr ->
+      Alcotest.(check int) "hook mutation persisted" 777 (P.next_page (BP.bytes fr)))
+
+let test_dirty_table_and_unlogged () =
+  let _, wal, pool = setup () in
+  let fr = new_page pool 0 in
+  ignore (Wal.append wal (LR.Begin { tid = Tid.of_int 1 }));
+  BP.mark_dirty_unlogged pool fr;
+  let dpt = BP.dirty_page_table pool in
+  (match dpt with
+  | [ (0, rec_lsn) ] ->
+      (* recLSN for an unlogged dirtying = current end of log *)
+      Alcotest.(check int64) "recLSN is end of log" (Wal.next_lsn wal) rec_lsn
+  | _ -> Alcotest.fail "expected one dirty page");
+  BP.unpin pool fr
+
+let test_flush_older_than () =
+  let _, _, pool = setup ~capacity:8 () in
+  let dirty_at pid lsn =
+    let fr = new_page pool pid in
+    BP.mark_dirty_logged pool fr ~lsn;
+    BP.unpin pool fr
+  in
+  dirty_at 0 10L;
+  dirty_at 1 20L;
+  dirty_at 2 30L;
+  let n = BP.flush_older_than pool ~rec_lsn_limit:20L in
+  Alcotest.(check int) "two pages swept" 2 n;
+  Alcotest.(check int) "one dirty page left" 1 (List.length (BP.dirty_page_table pool))
+
+let test_invalidate () =
+  let disk, _, pool = setup () in
+  let fr = new_page pool 5 in
+  BP.mark_dirty_logged pool fr ~lsn:0L;
+  (match BP.invalidate pool 5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "invalidating a pinned page must fail");
+  BP.unpin pool fr;
+  BP.invalidate pool 5;
+  Alcotest.(check bool) "dropped without write" false (disk.Disk.page_exists 5)
+
+let suite =
+  [
+    Alcotest.test_case "pin miss/hit" `Quick test_pin_miss_hit;
+    Alcotest.test_case "corrupt page detection" `Quick test_corrupt_detection;
+    Alcotest.test_case "LRU eviction & writeback" `Quick test_eviction_lru_and_writeback;
+    Alcotest.test_case "pinned never evicted" `Quick test_pinned_never_evicted;
+    Alcotest.test_case "WAL before data" `Quick test_wal_before_data;
+    Alcotest.test_case "pre-flush hook" `Quick test_pre_flush_hook;
+    Alcotest.test_case "dirty table & unlogged recLSN" `Quick test_dirty_table_and_unlogged;
+    Alcotest.test_case "flush_older_than sweep" `Quick test_flush_older_than;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+  ]

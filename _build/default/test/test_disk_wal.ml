@@ -1,0 +1,248 @@
+(* Storage devices and the write-ahead log. *)
+
+module Disk = Imdb_storage.Disk
+module P = Imdb_storage.Page
+module Wal = Imdb_wal.Wal
+module LR = Imdb_wal.Log_record
+module Tid = Imdb_clock.Tid
+module Ts = Imdb_clock.Timestamp
+
+let page_of_string s ~page_size =
+  let b = Bytes.make page_size '\000' in
+  Bytes.blit_string s 0 b 100 (String.length s);
+  b
+
+let disk_behaviour mk () =
+  let d = mk () in
+  Alcotest.(check bool) "page 0 missing" false (d.Disk.page_exists 0);
+  (match d.Disk.read_page 0 with
+  | exception Disk.Page_missing 0 -> ()
+  | _ -> Alcotest.fail "expected Page_missing");
+  let p = page_of_string "first" ~page_size:d.Disk.page_size in
+  d.Disk.write_page 3 p;
+  Alcotest.(check bool) "page 3 exists" true (d.Disk.page_exists 3);
+  Alcotest.(check int) "count covers hwm" 4 (d.Disk.page_count ());
+  let r = d.Disk.read_page 3 in
+  Alcotest.(check bool) "roundtrip" true (Bytes.equal p r);
+  (* write-then-mutate: the device stores a copy *)
+  Bytes.set p 100 'X';
+  let r2 = d.Disk.read_page 3 in
+  Alcotest.(check bool) "copy semantics" true (Bytes.get r2 100 = 'f');
+  (* overwrite *)
+  d.Disk.write_page 3 (page_of_string "second" ~page_size:d.Disk.page_size);
+  Alcotest.(check bool) "overwrite" true
+    (Bytes.get (d.Disk.read_page 3) 100 = 's');
+  d.Disk.close ()
+
+let test_mem_disk () = disk_behaviour (fun () -> Disk.in_memory ~page_size:1024 ()) ()
+
+let test_file_disk () =
+  let path = Filename.temp_file "imdb_disk" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (disk_behaviour (fun () -> Disk.file ~path ~page_size:1024 ()))
+
+let test_file_disk_persistence () =
+  let path = Filename.temp_file "imdb_disk" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d = Disk.file ~path ~page_size:512 () in
+      d.Disk.write_page 1 (page_of_string "persist" ~page_size:512);
+      d.Disk.sync ();
+      d.Disk.close ();
+      let d2 = Disk.file ~path ~page_size:512 () in
+      Alcotest.(check bool) "page survives reopen" true
+        (Bytes.get (d2.Disk.read_page 1) 100 = 'p');
+      d2.Disk.close ())
+
+let test_failure_injection () =
+  let plan = Disk.never_fail () in
+  let d = Disk.failing ~plan (Disk.in_memory ~page_size:512 ()) in
+  let p = page_of_string "ok" ~page_size:512 in
+  d.Disk.write_page 0 p;
+  plan.Disk.writes_until_failure <- 1;
+  d.Disk.write_page 1 p;
+  (match d.Disk.write_page 2 p with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "expected injected failure");
+  Alcotest.(check bool) "failed write not persisted" false (d.Disk.page_exists 2);
+  (* torn write: first half reaches the platter *)
+  let plan2 = Disk.never_fail () in
+  plan2.Disk.writes_until_failure <- 0;
+  plan2.Disk.tear_on_failure <- true;
+  let d2 = Disk.failing ~plan:plan2 (Disk.in_memory ~page_size:512 ()) in
+  (match d2.Disk.write_page 0 p with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "expected torn-write failure");
+  Alcotest.(check bool) "torn page exists" true (d2.Disk.page_exists 0);
+  Alcotest.(check bool) "torn page differs" false (Bytes.equal p (d2.Disk.read_page 0))
+
+(* --- WAL -------------------------------------------------------------------- *)
+
+let test_wal_append_read () =
+  let w = Wal.open_device (Wal.Device.in_memory ()) in
+  let l1 = Wal.append w (LR.Begin { tid = Tid.of_int 1 }) in
+  let l2 =
+    Wal.append w
+      (LR.Commit { tid = Tid.of_int 1; ts = Ts.make ~ttime:100L ~sn:0 })
+  in
+  Alcotest.(check int64) "first lsn" 0L l1;
+  Alcotest.(check bool) "lsns grow" true (Int64.compare l2 l1 > 0);
+  (* read from the volatile tail *)
+  (match Wal.read_at w l1 with
+  | LR.Begin { tid } -> Alcotest.(check bool) "tid" true (Tid.equal tid (Tid.of_int 1))
+  | _ -> Alcotest.fail "wrong record");
+  Wal.flush w;
+  (* read from the durable region *)
+  (match Wal.read_at w l2 with
+  | LR.Commit { ts; _ } ->
+      Alcotest.(check bool) "ts" true (Ts.equal ts (Ts.make ~ttime:100L ~sn:0))
+  | _ -> Alcotest.fail "wrong record")
+
+let test_wal_crash_drops_tail () =
+  let dev = Wal.Device.in_memory () in
+  let w = Wal.open_device dev in
+  ignore (Wal.append w (LR.Begin { tid = Tid.of_int 1 }));
+  Wal.flush w;
+  ignore (Wal.append w (LR.Begin { tid = Tid.of_int 2 }));
+  (* crash: tail never flushed *)
+  Wal.crash_volatile w;
+  let w2 = Wal.open_device dev in
+  let seen = ref [] in
+  Wal.iter_from w2 ~from_lsn:0L (fun _ body -> seen := body :: !seen);
+  Alcotest.(check int) "only flushed record survives" 1 (List.length !seen)
+
+let test_wal_torn_tail_truncated () =
+  let dev = Wal.Device.in_memory () in
+  let w = Wal.open_device dev in
+  ignore (Wal.append w (LR.Begin { tid = Tid.of_int 1 }));
+  ignore (Wal.append w (LR.End { tid = Tid.of_int 1 }));
+  Wal.flush w;
+  let good_size = dev.Wal.Device.size () in
+  (* simulate a torn frame: append garbage that looks like a partial frame *)
+  dev.Wal.Device.append (Bytes.of_string "\x40\x00\x00\x00\xde\xad");
+  let w2 = Wal.open_device dev in
+  Alcotest.(check int64) "torn tail truncated" (Int64.of_int good_size)
+    (Wal.next_lsn w2);
+  let seen = ref 0 in
+  Wal.iter_from w2 ~from_lsn:0L (fun _ _ -> incr seen);
+  Alcotest.(check int) "both good records intact" 2 !seen
+
+let test_wal_corrupt_middle_frame () =
+  (* a bit flip in a flushed frame's payload must stop the scan there *)
+  let dev = Wal.Device.in_memory () in
+  let w = Wal.open_device dev in
+  ignore (Wal.append w (LR.Begin { tid = Tid.of_int 1 }));
+  let l2 = ignore (Wal.append w (LR.Begin { tid = Tid.of_int 2 })) in
+  ignore l2;
+  Wal.flush w;
+  (* flip a byte inside the second frame's payload *)
+  let all = dev.Wal.Device.read ~pos:0 ~len:(dev.Wal.Device.size ()) in
+  let mid = Bytes.length all - 2 in
+  Bytes.set all mid (Char.chr (Char.code (Bytes.get all mid) lxor 0xff));
+  dev.Wal.Device.truncate 0;
+  dev.Wal.Device.append all;
+  let w2 = Wal.open_device dev in
+  let seen = ref 0 in
+  Wal.iter_from w2 ~from_lsn:0L (fun _ _ -> incr seen);
+  Alcotest.(check int) "scan stops before corrupt frame" 1 !seen
+
+let test_wal_all_record_types_roundtrip () =
+  let samples =
+    [
+      LR.Begin { tid = Tid.of_int 5 };
+      LR.Update
+        {
+          tid = Tid.of_int 5;
+          prev_lsn = 17L;
+          page_id = 3;
+          op = LR.Op_insert { slot = 2; body = Bytes.of_string "cell" };
+        };
+      LR.Update
+        {
+          tid = Tid.of_int 5;
+          prev_lsn = 17L;
+          page_id = 3;
+          op =
+            LR.Op_version_insert
+              {
+                slot = 4;
+                body = Bytes.of_string "vcell";
+                pred_slot = 1;
+                pred_old_flags = 2;
+                table_id = 10;
+              };
+        };
+      LR.Clr
+        {
+          tid = Tid.of_int 5;
+          undo_next = 3L;
+          page_id = 2;
+          op = LR.Op_patch { slot = 0; at = 4; old_b = Bytes.of_string "ab"; new_b = Bytes.of_string "cd" };
+        };
+      LR.Redo_only
+        { page_id = 9; op = LR.Op_format { page_type = P.P_history; table_id = 4; level = 0 } };
+      LR.Redo_only { page_id = 9; op = LR.Op_image { image = Bytes.make 300 'i' } };
+      LR.Redo_only
+        {
+          page_id = 1;
+          op = LR.Op_header { at = 40; old_b = Bytes.make 4 '\000'; new_b = Bytes.make 4 '\001' };
+        };
+      LR.Redo_only
+        {
+          page_id = 1;
+          op =
+            LR.Op_kv_replace
+              { slot = 3; old_body = Bytes.of_string "o"; new_body = Bytes.of_string "n"; table_id = 2 };
+        };
+      LR.Redo_only
+        { page_id = 1; op = LR.Op_kv_delete { slot = 3; body = Bytes.of_string "d"; table_id = 2 } };
+      LR.Commit { tid = Tid.of_int 5; ts = Ts.make ~ttime:999L ~sn:77 };
+      LR.Abort { tid = Tid.of_int 5 };
+      LR.End { tid = Tid.of_int 5 };
+      LR.Checkpoint
+        {
+          att = [ (Tid.of_int 5, 10L); (Tid.of_int 6, 20L) ];
+          dpt = [ (1, 5L); (2, 7L) ];
+          next_tid = Tid.of_int 7;
+          clock = Ts.make ~ttime:500L ~sn:2;
+        };
+    ]
+  in
+  List.iter
+    (fun body ->
+      let b = LR.encode body in
+      let body' = LR.decode b in
+      if body' <> body then
+        Alcotest.failf "roundtrip mismatch: %a vs %a" LR.pp body LR.pp body')
+    samples
+
+let test_wal_file_device () =
+  let path = Filename.temp_file "imdb_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Wal.open_device (Wal.Device.file ~path) in
+      ignore (Wal.append w (LR.Begin { tid = Tid.of_int 1 }));
+      Wal.flush w;
+      Wal.close w;
+      let w2 = Wal.open_device (Wal.Device.file ~path) in
+      let seen = ref 0 in
+      Wal.iter_from w2 ~from_lsn:0L (fun _ _ -> incr seen);
+      Alcotest.(check int) "record survives reopen" 1 !seen;
+      Wal.close w2)
+
+let suite =
+  [
+    Alcotest.test_case "mem disk" `Quick test_mem_disk;
+    Alcotest.test_case "file disk" `Quick test_file_disk;
+    Alcotest.test_case "file disk persistence" `Quick test_file_disk_persistence;
+    Alcotest.test_case "failure injection" `Quick test_failure_injection;
+    Alcotest.test_case "wal append/read" `Quick test_wal_append_read;
+    Alcotest.test_case "wal crash drops tail" `Quick test_wal_crash_drops_tail;
+    Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail_truncated;
+    Alcotest.test_case "wal corrupt frame" `Quick test_wal_corrupt_middle_frame;
+    Alcotest.test_case "log record roundtrips" `Quick test_wal_all_record_types_roundtrip;
+    Alcotest.test_case "wal file device" `Quick test_wal_file_device;
+  ]

@@ -1,0 +1,197 @@
+(* Endurance & environment tests: tiny buffer pools (eviction pressure and
+   flush-time stamping), file-backed databases with true reopen, and the
+   split-store baseline's unit behavior. *)
+
+open Helpers
+module Db = Imdb_core.Db
+module E = Imdb_core.Engine
+module S = Imdb_core.Schema
+module Ts = Imdb_clock.Timestamp
+module Ss = Imdb_core.Split_store
+
+(* --- buffer pressure --------------------------------------------------------- *)
+
+(* A pool of 8 pages forces constant eviction: every write-back runs the
+   pre-flush stamping hook, history pages cycle in and out of cache, and
+   reads fault pages back with their TIDs resolved through the PTT. *)
+let test_tiny_pool_end_to_end () =
+  let config = { E.default_config with E.pool_capacity = 8; E.auto_checkpoint_every = 50 } in
+  let db, clock = fresh_db ~config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  let stamps = ref [] in
+  (* fat payloads so history outgrows the 8-frame pool quickly *)
+  let fat u = Printf.sprintf "v%d-%s" u (String.make 180 'x') in
+  for i = 1 to 10 do
+    tick clock;
+    ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row i (fat 0))))
+  done;
+  for u = 1 to 400 do
+    tick clock;
+    let k = 1 + (u mod 10) in
+    let ts =
+      commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row k (fat u)))
+    in
+    if u mod 50 = 0 then stamps := (k, u, ts) :: !stamps
+  done;
+  Alcotest.(check bool) "evictions happened" true
+    (Imdb_util.Stats.get Imdb_util.Stats.buf_evictions > 0);
+  (* current state correct *)
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "ten rows" 10 (List.length (Db.scan_rows db txn ~table:"t")));
+  (* sampled historical states correct despite all the page cycling *)
+  List.iter
+    (fun (k, u, ts) ->
+      let got = Db.as_of db ts (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int k)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "as of update %d" u)
+        true
+        (got = Some (row k (fat u))))
+    !stamps;
+  Db.close db
+
+let test_tiny_pool_with_crash () =
+  let config = { E.default_config with E.pool_capacity = 8; E.auto_checkpoint_every = 40 } in
+  let db, clock = fresh_db ~config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  for u = 1 to 200 do
+    tick clock;
+    ignore
+      (commit_write db (fun txn ->
+           Db.upsert_row db txn ~table:"t" (row (u mod 7) (Printf.sprintf "v%d" u))))
+  done;
+  let db = Db.crash_and_reopen ~config ~clock db in
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "seven keys" 7 (List.length (Db.scan_rows db txn ~table:"t")));
+  check_row db ~table:"t" ~id:(200 mod 7) (Some (row (200 mod 7) "v200"));
+  Db.close db
+
+(* --- file-backed database ----------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "imdb_e2e" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_file_backed_reopen () =
+  with_temp_dir (fun dir ->
+      let t1 =
+        let db = Db.open_dir dir in
+        Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+        let ts = ref Ts.zero in
+        for i = 1 to 50 do
+          Db.with_txn db (fun txn ->
+              Db.insert_row db txn ~table:"t" (row i (Printf.sprintf "v%d" i)))
+        done;
+        ts := Imdb_clock.Clock.last_issued (Db.engine db).E.clock;
+        Db.with_txn db (fun txn -> Db.update_row db txn ~table:"t" (row 25 "updated"));
+        Db.close db;
+        !ts
+      in
+      (* a genuinely new process-like open: everything from the files *)
+      let db = Db.open_dir dir in
+      Db.exec db (fun txn ->
+          Alcotest.(check int) "fifty rows" 50 (List.length (Db.scan_rows db txn ~table:"t")));
+      check_row db ~table:"t" ~id:25 (Some (row 25 "updated"));
+      (* history crossed the reopen *)
+      Alcotest.(check bool) "as-of before update" true
+        (Db.as_of db t1 (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int 25))
+        = Some (row 25 "v25"));
+      Db.close db)
+
+let test_file_backed_dirty_reopen () =
+  (* close WITHOUT flushing (simulated kill -9): recovery from the files *)
+  with_temp_dir (fun dir ->
+      let db = Db.open_dir dir in
+      Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+      for i = 1 to 20 do
+        Db.with_txn db (fun txn ->
+            Db.insert_row db txn ~table:"t" (row i "durable"))
+      done;
+      (* abandon the handle: no flush_all, no close *)
+      let eng = Db.engine db in
+      Imdb_wal.Wal.flush eng.E.wal;
+      eng.E.disk.Imdb_storage.Disk.sync ();
+      (* reopen fresh over the same directory *)
+      let db2 = Db.open_dir dir in
+      Db.exec db2 (fun txn ->
+          Alcotest.(check int) "recovered rows" 20
+            (List.length (Db.scan_rows db2 txn ~table:"t")));
+      Db.close db2;
+      eng.E.disk.Imdb_storage.Disk.close ())
+
+(* --- split store units --------------------------------------------------------- *)
+
+let fresh_ss () =
+  let clock = Imdb_clock.Clock.create_logical () in
+  let db = Db.open_memory ~clock () in
+  let ss = Ss.create (Db.engine db) ~table_id:50 in
+  (db, clock, ss)
+
+let test_split_store_basics () =
+  let db, clock, ss = fresh_ss () in
+  let tickc () = Imdb_clock.Clock.advance clock 20L in
+  tickc ();
+  let t1 =
+    let txn = Db.begin_txn db in
+    Ss.insert ss txn ~key:"a" ~payload:"v1";
+    Option.get (Db.commit db txn)
+  in
+  tickc ();
+  let t2 =
+    let txn = Db.begin_txn db in
+    Ss.update ss txn ~key:"a" ~payload:"v2";
+    Option.get (Db.commit db txn)
+  in
+  tickc ();
+  Db.exec db (fun txn ->
+      Alcotest.(check (option string)) "current" (Some "v2") (Ss.read_current ss txn ~key:"a");
+      Alcotest.(check (option string)) "as of t1" (Some "v1") (Ss.read_as_of ss txn ~key:"a" ~ts:t1);
+      Alcotest.(check (option string)) "as of t2" (Some "v2") (Ss.read_as_of ss txn ~key:"a" ~ts:t2);
+      Alcotest.(check (option string)) "before history" None
+        (Ss.read_as_of ss txn ~key:"a" ~ts:Ts.zero));
+  Alcotest.(check int) "one archived version" 1 (Ss.history_count ss);
+  Db.close db
+
+let test_split_store_delete () =
+  let db, clock, ss = fresh_ss () in
+  let tickc () = Imdb_clock.Clock.advance clock 20L in
+  tickc ();
+  let t1 =
+    let txn = Db.begin_txn db in
+    Ss.insert ss txn ~key:"k" ~payload:"alive";
+    Option.get (Db.commit db txn)
+  in
+  tickc ();
+  let _t2 =
+    let txn = Db.begin_txn db in
+    Ss.delete ss txn ~key:"k";
+    Option.get (Db.commit db txn)
+  in
+  Db.exec db (fun txn ->
+      Alcotest.(check (option string)) "deleted now" None (Ss.read_current ss txn ~key:"k");
+      Alcotest.(check (option string)) "alive at t1" (Some "alive")
+        (Ss.read_as_of ss txn ~key:"k" ~ts:t1);
+      (* scans agree *)
+      let now = ref [] in
+      Ss.scan_as_of ss txn ~ts:(Imdb_clock.Clock.last_issued clock) (fun k _ -> now := k :: !now);
+      Alcotest.(check int) "scan sees deletion" 0 (List.length !now);
+      let old = ref [] in
+      Ss.scan_as_of ss txn ~ts:t1 (fun k _ -> old := k :: !old);
+      Alcotest.(check int) "scan at t1" 1 (List.length !old));
+  Db.close db
+
+let suite =
+  [
+    Alcotest.test_case "tiny pool end-to-end" `Quick test_tiny_pool_end_to_end;
+    Alcotest.test_case "tiny pool with crash" `Quick test_tiny_pool_with_crash;
+    Alcotest.test_case "file-backed clean reopen" `Quick test_file_backed_reopen;
+    Alcotest.test_case "file-backed dirty reopen" `Quick test_file_backed_dirty_reopen;
+    Alcotest.test_case "split store basics" `Quick test_split_store_basics;
+    Alcotest.test_case "split store delete" `Quick test_split_store_delete;
+  ]

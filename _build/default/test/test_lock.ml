@@ -1,0 +1,111 @@
+(* Lock manager: compatibility, upgrades, release, deadlock detection. *)
+
+module L = Imdb_lock.Lock_manager
+module Tid = Imdb_clock.Tid
+
+let t1 = Tid.of_int 1
+let t2 = Tid.of_int 2
+let t3 = Tid.of_int 3
+let rec_a = L.Record (1, "a")
+let tbl = L.Table 1
+
+let test_compatibility () =
+  let lm = L.create () in
+  (* S + S compatible *)
+  Alcotest.(check bool) "S grant" true (L.acquire lm t1 rec_a L.S = L.Granted);
+  Alcotest.(check bool) "S+S" true (L.acquire lm t2 rec_a L.S = L.Granted);
+  (* X conflicts with S *)
+  (match L.acquire lm t3 rec_a L.X with
+  | L.Would_block blockers -> Alcotest.(check int) "two blockers" 2 (List.length blockers)
+  | L.Granted -> Alcotest.fail "X granted over S");
+  (* intention locks *)
+  Alcotest.(check bool) "IS" true (L.acquire lm t1 tbl L.IS = L.Granted);
+  Alcotest.(check bool) "IX+IS" true (L.acquire lm t2 tbl L.IX = L.Granted);
+  (match L.acquire lm t3 tbl L.X with
+  | L.Would_block _ -> ()
+  | L.Granted -> Alcotest.fail "table X granted over intents")
+
+let test_upgrade_and_reentry () =
+  let lm = L.create () in
+  Alcotest.(check bool) "S" true (L.acquire lm t1 rec_a L.S = L.Granted);
+  (* self-upgrade S -> X with no other holders *)
+  Alcotest.(check bool) "upgrade to X" true (L.acquire lm t1 rec_a L.X = L.Granted);
+  Alcotest.(check bool) "holds X" true (L.holds lm t1 rec_a = Some L.X);
+  (* re-request is idempotent *)
+  Alcotest.(check bool) "reentrant" true (L.acquire lm t1 rec_a L.X = L.Granted);
+  (* but another reader now blocks *)
+  (match L.acquire lm t2 rec_a L.S with
+  | L.Would_block _ -> ()
+  | L.Granted -> Alcotest.fail "S granted over X")
+
+let test_upgrade_blocked_by_other_reader () =
+  let lm = L.create () in
+  ignore (L.acquire lm t1 rec_a L.S);
+  ignore (L.acquire lm t2 rec_a L.S);
+  (match L.acquire lm t1 rec_a L.X with
+  | L.Would_block blockers ->
+      Alcotest.(check bool) "blocked by the other reader" true
+        (List.exists (Tid.equal t2) blockers)
+  | L.Granted -> Alcotest.fail "upgrade granted over concurrent reader")
+
+let test_release_all () =
+  let lm = L.create () in
+  ignore (L.acquire lm t1 rec_a L.X);
+  ignore (L.acquire lm t1 tbl L.IX);
+  Alcotest.(check int) "holds two" 2 (List.length (L.held_by lm t1));
+  L.release_all lm t1;
+  Alcotest.(check int) "holds none" 0 (List.length (L.held_by lm t1));
+  Alcotest.(check bool) "lock free again" true (L.acquire lm t2 rec_a L.X = L.Granted)
+
+let test_deadlock_cycle () =
+  let lm = L.create () in
+  let rec_b = L.Record (1, "b") in
+  ignore (L.acquire lm t1 rec_a L.X);
+  ignore (L.acquire lm t2 rec_b L.X);
+  (* t1 waits for b (held by t2) *)
+  (match L.acquire lm t1 rec_b L.X with
+  | L.Would_block _ -> ()
+  | L.Granted -> Alcotest.fail "b granted to t1");
+  (* t2 requesting a completes the cycle: deadlock *)
+  (match L.acquire lm t2 rec_a L.X with
+  | exception L.Deadlock victim ->
+      Alcotest.(check bool) "victim is requester" true (Tid.equal victim t2)
+  | _ -> Alcotest.fail "deadlock undetected");
+  (* after releasing t1, t2 can proceed *)
+  L.release_all lm t1;
+  Alcotest.(check bool) "t2 proceeds after release" true
+    (L.acquire lm t2 rec_a L.X = L.Granted)
+
+let test_three_party_cycle () =
+  let lm = L.create () in
+  let r1 = L.Record (1, "r1") and r2 = L.Record (1, "r2") and r3 = L.Record (1, "r3") in
+  ignore (L.acquire lm t1 r1 L.X);
+  ignore (L.acquire lm t2 r2 L.X);
+  ignore (L.acquire lm t3 r3 L.X);
+  ignore (L.acquire lm t1 r2 L.X); (* t1 -> t2 *)
+  ignore (L.acquire lm t2 r3 L.X); (* t2 -> t3 *)
+  (match L.acquire lm t3 r1 L.X with
+  | exception L.Deadlock _ -> ()
+  | _ -> Alcotest.fail "three-party deadlock undetected")
+
+let test_no_false_deadlock () =
+  let lm = L.create () in
+  let rec_b = L.Record (1, "b") in
+  ignore (L.acquire lm t1 rec_a L.X);
+  (* t2 waits on a; t3 waits on a too: a queue, not a cycle *)
+  (match L.acquire lm t2 rec_a L.X with L.Would_block _ -> () | _ -> Alcotest.fail "?");
+  (match L.acquire lm t3 rec_a L.X with L.Would_block _ -> () | _ -> Alcotest.fail "?");
+  (* an unrelated grant must not be declared a deadlock *)
+  Alcotest.(check bool) "independent resource fine" true
+    (L.acquire lm t2 rec_b L.X = L.Granted)
+
+let suite =
+  [
+    Alcotest.test_case "compatibility" `Quick test_compatibility;
+    Alcotest.test_case "upgrade & reentry" `Quick test_upgrade_and_reentry;
+    Alcotest.test_case "upgrade blocked" `Quick test_upgrade_blocked_by_other_reader;
+    Alcotest.test_case "release all" `Quick test_release_all;
+    Alcotest.test_case "deadlock cycle" `Quick test_deadlock_cycle;
+    Alcotest.test_case "three-party cycle" `Quick test_three_party_cycle;
+    Alcotest.test_case "no false deadlock" `Quick test_no_false_deadlock;
+  ]

@@ -1,0 +1,158 @@
+(* Parser round-trip property: print a random AST as SQL, reparse, and
+   require structural equality.  This exercises every statement form, the
+   lexer's string escaping, keyword case-insensitivity, and condition
+   precedence/parenthesization. *)
+
+module Ast = Imdb_sql.Ast
+
+(* --- generators ------------------------------------------------------------ *)
+
+let gen_ident =
+  QCheck.Gen.(
+    let* first = oneofl [ "tbl"; "col"; "Emp"; "MovingObjects"; "x" ] in
+    let* n = int_bound 99 in
+    return (Printf.sprintf "%s%d" first n))
+
+let gen_literal =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun i -> Ast.L_int i) (int_range (-1000) 1000));
+        (3, map (fun s -> Ast.L_string s)
+             (oneofl [ "a"; "it's"; "two words"; ""; "O''Brien"; "x=y" ]));
+        (1, return (Ast.L_bool true));
+        (1, return (Ast.L_bool false));
+        (1, map (fun f -> Ast.L_float (Float.of_int f /. 8.0)) (int_range (-800) 800));
+      ])
+
+let gen_comparison = QCheck.Gen.oneofl Ast.[ Eq; Neq; Lt; Le; Gt; Ge ]
+
+let rec gen_condition depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      let* col = gen_ident in
+      let* op = gen_comparison in
+      let* lit = gen_literal in
+      return (Ast.C_compare (col, op, lit))
+    else
+      frequency
+        [
+          (3, gen_condition 0);
+          ( 1,
+            let* a = gen_condition (depth - 1) in
+            let* b = gen_condition (depth - 1) in
+            return (Ast.C_and (a, b)) );
+          ( 1,
+            let* a = gen_condition (depth - 1) in
+            let* b = gen_condition (depth - 1) in
+            return (Ast.C_or (a, b)) );
+          (1, map (fun c -> Ast.C_not c) (gen_condition (depth - 1)));
+        ])
+
+let gen_column_def primary =
+  QCheck.Gen.(
+    let* name = gen_ident in
+    let* ty = oneofl [ "INT"; "VARCHAR"; "BOOL"; "FLOAT" ] in
+    return { Ast.cd_name = name; cd_type = ty; cd_primary = primary })
+
+let gen_statement =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          let* kind = oneofl Ast.[ K_conventional; K_immortal; K_snapshot ] in
+          let* name = gen_ident in
+          let* first = gen_column_def true in
+          let* rest = list_size (int_range 0 4) (gen_column_def false) in
+          return (Ast.Create_table { kind; name; columns = first :: rest }) );
+        (1, map (fun n -> Ast.Alter_enable_snapshot n) gen_ident);
+        (1, map (fun n -> Ast.Drop_table n) gen_ident);
+        ( 2,
+          let* table = gen_ident in
+          let* values = list_size (int_range 1 5) gen_literal in
+          return (Ast.Insert { table; values }) );
+        ( 2,
+          let* table = gen_ident in
+          let* n = int_range 1 3 in
+          let* assignments = list_size (return n) (pair gen_ident gen_literal) in
+          let* where = gen_condition 2 in
+          return (Ast.Update { table; assignments; where }) );
+        ( 2,
+          let* table = gen_ident in
+          let* where = gen_condition 2 in
+          return (Ast.Delete { table; where }) );
+        ( 3,
+          let* table = gen_ident in
+          let* columns =
+            oneof [ return None; map Option.some (list_size (int_range 1 3) gen_ident) ]
+          in
+          let* where = gen_condition 2 in
+          return (Ast.Select { columns; table; where }) );
+        ( 1,
+          let* table = gen_ident in
+          let* key = gen_literal in
+          return (Ast.Select_history { table; key }) );
+        (1, return (Ast.Begin_tran { as_of = None }));
+        (1, return (Ast.Begin_tran { as_of = Some "2004-08-12 10:15:20" }));
+        (1, return Ast.Commit_tran);
+        (1, return Ast.Rollback_tran);
+        (1, return (Ast.Set_isolation `Serializable));
+        (1, return (Ast.Set_isolation `Snapshot));
+        (1, return Ast.Checkpoint_stmt);
+      ])
+
+(* Floats are printed with 6 decimals; normalize before comparing. *)
+let norm_lit = function
+  | Ast.L_float f -> Ast.L_float (Float.of_string (Printf.sprintf "%.6f" f))
+  | l -> l
+
+let rec norm_cond = function
+  | Ast.C_compare (c, op, l) -> Ast.C_compare (c, op, norm_lit l)
+  | Ast.C_and (a, b) -> Ast.C_and (norm_cond a, norm_cond b)
+  | Ast.C_or (a, b) -> Ast.C_or (norm_cond a, norm_cond b)
+  | Ast.C_not c -> Ast.C_not (norm_cond c)
+  | Ast.C_true -> Ast.C_true
+
+let norm = function
+  | Ast.Insert i -> Ast.Insert { i with values = List.map norm_lit i.values }
+  | Ast.Update u ->
+      Ast.Update
+        {
+          u with
+          assignments = List.map (fun (c, l) -> (c, norm_lit l)) u.assignments;
+          where = norm_cond u.where;
+        }
+  | Ast.Delete d -> Ast.Delete { d with where = norm_cond d.where }
+  | Ast.Select s -> Ast.Select { s with where = norm_cond s.where }
+  | Ast.Select_history h -> Ast.Select_history { h with key = norm_lit h.key }
+  | s -> s
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"SQL print/parse roundtrip" ~count:500
+    (QCheck.make ~print:Ast.statement_to_string gen_statement)
+    (fun stmt ->
+      let sql = Ast.statement_to_string stmt in
+      match Imdb_sql.Parser.parse_one sql with
+      | parsed ->
+          if norm parsed <> norm stmt then
+            QCheck.Test.fail_reportf "roundtrip changed %S -> %S" sql
+              (Ast.statement_to_string parsed)
+          else true
+      | exception e ->
+          QCheck.Test.fail_reportf "failed to reparse %S: %s" sql
+            (Printexc.to_string e))
+
+(* scripts of several statements survive concatenation with semicolons *)
+let prop_script_roundtrip =
+  QCheck.Test.make ~name:"SQL script roundtrip" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 6) gen_statement))
+    (fun stmts ->
+      let sql = String.concat ";\n" (List.map Ast.statement_to_string stmts) in
+      let parsed = Imdb_sql.Parser.parse_script sql in
+      List.length parsed = List.length stmts
+      && List.for_all2 (fun a b -> norm a = norm b) parsed stmts)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_script_roundtrip ]

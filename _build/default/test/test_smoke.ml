@@ -1,0 +1,243 @@
+(* End-to-end smoke tests: the engine's basic promises, exercised through
+   the public Db API.  Detailed per-module suites live alongside. *)
+
+open Helpers
+module Db = Imdb_core.Db
+module S = Imdb_core.Schema
+module Ts = Imdb_clock.Timestamp
+
+let test_create_and_roundtrip () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "one")));
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 2 "two")));
+  check_row db ~table:"t" ~id:1 (Some (row 1 "one"));
+  check_row db ~table:"t" ~id:2 (Some (row 2 "two"));
+  check_row db ~table:"t" ~id:3 None;
+  Db.close db
+
+let test_update_and_as_of () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  let t1 = commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "v1")) in
+  tick clock;
+  let t2 = commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row 1 "v2")) in
+  tick clock;
+  let t3 = commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row 1 "v3")) in
+  (* current state *)
+  check_row db ~table:"t" ~id:1 (Some (row 1 "v3"));
+  (* as-of each commit point *)
+  let read_as_of ts =
+    Db.as_of db ts (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int 1))
+  in
+  Alcotest.(check (option (list (module struct
+    type t = S.value
+
+    let pp = S.pp_value
+    let equal a b = S.compare_values a b = 0
+  end))))
+    "as of t1" (Some (row 1 "v1")) (read_as_of t1);
+  Alcotest.(check bool) "as of t2 sees v2" true (read_as_of t2 = Some (row 1 "v2"));
+  Alcotest.(check bool) "as of t3 sees v3" true (read_as_of t3 = Some (row 1 "v3"));
+  (* before the first insert the key did not exist *)
+  let before = Ts.make ~ttime:(Int64.sub (Ts.ttime t1) 20L) ~sn:0 in
+  Alcotest.(check bool) "before t1: absent" true (read_as_of before = None);
+  Alcotest.(check bool) "between: floor to t2" true
+    (read_as_of (Ts.make ~ttime:(Ts.ttime t2) ~sn:(Ts.sn t2 + 1)) = Some (row 1 "v2"));
+  ignore t3;
+  Db.close db
+
+let test_delete_stub () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  let t1 = commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 7 "alive")) in
+  tick clock;
+  let t2 =
+    commit_write db (fun txn -> Db.delete_row db txn ~table:"t" ~key:(S.V_int 7))
+  in
+  tick clock;
+  check_row db ~table:"t" ~id:7 None;
+  (* at t1 it existed; at t2 (deletion time) it is gone *)
+  Alcotest.(check bool) "alive at t1" true
+    (Db.as_of db t1 (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int 7))
+    = Some (row 7 "alive"));
+  Alcotest.(check bool) "dead at t2" true
+    (Db.as_of db t2 (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int 7)) = None);
+  (* re-insert after delete *)
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 7 "back")));
+  check_row db ~table:"t" ~id:7 (Some (row 7 "back"));
+  Db.close db
+
+let test_abort_rolls_back () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "keep")));
+  tick clock;
+  let txn = Db.begin_txn db in
+  Db.update_row db txn ~table:"t" (row 1 "doomed");
+  Db.insert_row db txn ~table:"t" (row 2 "doomed-too");
+  Db.abort db txn;
+  check_row db ~table:"t" ~id:1 (Some (row 1 "keep"));
+  check_row db ~table:"t" ~id:2 None;
+  Db.close db
+
+let test_history () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "a")));
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row 1 "b")));
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.delete_row db txn ~table:"t" ~key:(S.V_int 1)));
+  let hist =
+    Db.exec db (fun txn -> Db.history_rows db txn ~table:"t" ~key:(S.V_int 1))
+  in
+  Alcotest.(check int) "three history entries" 3 (List.length hist);
+  (match hist with
+  | (_, None) :: (_, Some b) :: (_, Some a) :: [] ->
+      Alcotest.(check bool) "newest is deletion" true true;
+      Alcotest.(check bool) "then b" true (b = row 1 "b");
+      Alcotest.(check bool) "then a" true (a = row 1 "a")
+  | _ -> Alcotest.fail "unexpected history shape");
+  Db.close db
+
+let test_many_updates_force_time_splits () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  (* few keys, many updates: forces time splits in the single data page *)
+  let n_keys = 5 and n_updates = 400 in
+  for k = 1 to n_keys do
+    tick clock;
+    ignore
+      (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row k "v0")))
+  done;
+  for u = 1 to n_updates do
+    let k = 1 + (u mod n_keys) in
+    tick clock;
+    ignore
+      (commit_write db (fun txn ->
+           Db.update_row db txn ~table:"t" (row k (Printf.sprintf "v%d" u))))
+  done;
+  Alcotest.(check bool) "time splits happened" true
+    (Imdb_util.Stats.get Imdb_util.Stats.time_splits > 0);
+  (* current state is the last write of each key *)
+  Db.exec db (fun txn ->
+      let rows = Db.scan_rows db txn ~table:"t" in
+      Alcotest.(check int) "all keys current" n_keys (List.length rows));
+  (* history of key 1 has one version per write *)
+  let hist =
+    Db.exec db (fun txn -> Db.history_rows db txn ~table:"t" ~key:(S.V_int 1))
+  in
+  let expected = 1 + (n_updates / n_keys) in
+  Alcotest.(check int) "full history retained" expected (List.length hist);
+  Db.close db
+
+let test_crash_recovery_basic () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "durable")));
+  tick clock;
+  (* an uncommitted transaction that must vanish *)
+  let txn = Db.begin_txn db in
+  Db.insert_row db txn ~table:"t" (row 2 "volatile");
+  (* crash without commit *)
+  let db = Db.crash_and_reopen ~clock db in
+  check_row db ~table:"t" ~id:1 (Some (row 1 "durable"));
+  check_row db ~table:"t" ~id:2 None;
+  (* engine remains writable after recovery *)
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 3 "post")));
+  check_row db ~table:"t" ~id:3 (Some (row 3 "post"));
+  Db.close db
+
+let test_snapshot_isolation_reads () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "old")));
+  tick clock;
+  (* reader takes its snapshot now *)
+  let reader = Db.begin_txn ~isolation:Db.Snapshot_isolation db in
+  let before = Db.get_row db reader ~table:"t" ~key:(S.V_int 1) in
+  (* writer commits a new version meanwhile *)
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row 1 "new")));
+  let after = Db.get_row db reader ~table:"t" ~key:(S.V_int 1) in
+  ignore (Db.commit db reader);
+  Alcotest.(check bool) "snapshot stable (before)" true (before = Some (row 1 "old"));
+  Alcotest.(check bool) "snapshot stable (after)" true (after = Some (row 1 "old"));
+  (* a fresh reader sees the new version *)
+  Db.exec db ~isolation:Db.Snapshot_isolation (fun txn ->
+      Alcotest.(check bool) "fresh snapshot sees new" true
+        (Db.get_row db txn ~table:"t" ~key:(S.V_int 1) = Some (row 1 "new")));
+  Db.close db
+
+let test_si_first_committer_wins () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "base")));
+  tick clock;
+  let t1 = Db.begin_txn ~isolation:Db.Snapshot_isolation db in
+  (* a competing writer begins after t1's snapshot and commits first *)
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.update_row db txn ~table:"t" (row 1 "winner")));
+  (match Db.update_row db t1 ~table:"t" (row 1 "loser") with
+  | () -> Alcotest.fail "expected a write conflict"
+  | exception Imdb_core.Table.Write_conflict _ -> ());
+  Db.abort db t1;
+  check_row db ~table:"t" ~id:1 (Some (row 1 "winner"));
+  Db.close db
+
+let test_conventional_table () =
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"c" ~mode:Db.Conventional ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"c" (row 1 "x")));
+  ignore (commit_write db (fun txn -> Db.update_row db txn ~table:"c" (row 1 "y")));
+  check_row db ~table:"c" ~id:1 (Some (row 1 "y"));
+  ignore (commit_write db (fun txn -> Db.delete_row db txn ~table:"c" ~key:(S.V_int 1)));
+  check_row db ~table:"c" ~id:1 None;
+  Db.close db
+
+let test_reopen_clean () =
+  (* clean close + reopen: catalog and data intact, VTT empty but PTT
+     resolves any unstamped tails *)
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  for k = 1 to 20 do
+    tick clock;
+    ignore
+      (commit_write db (fun txn ->
+           Db.insert_row db txn ~table:"t" (row k (Printf.sprintf "v%d" k))))
+  done;
+  let db = Db.crash_and_reopen ~clock db in
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "20 rows after reopen" 20
+        (List.length (Db.scan_rows db txn ~table:"t")));
+  check_row db ~table:"t" ~id:13 (Some (row 13 "v13"));
+  Db.close db
+
+let suite =
+  [
+    Alcotest.test_case "create & roundtrip" `Quick test_create_and_roundtrip;
+    Alcotest.test_case "update & AS OF" `Quick test_update_and_as_of;
+    Alcotest.test_case "delete stubs" `Quick test_delete_stub;
+    Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+    Alcotest.test_case "history (time travel)" `Quick test_history;
+    Alcotest.test_case "time splits under update load" `Quick
+      test_many_updates_force_time_splits;
+    Alcotest.test_case "crash recovery" `Quick test_crash_recovery_basic;
+    Alcotest.test_case "snapshot isolation reads" `Quick test_snapshot_isolation_reads;
+    Alcotest.test_case "SI first-committer-wins" `Quick test_si_first_committer_wins;
+    Alcotest.test_case "conventional tables" `Quick test_conventional_table;
+    Alcotest.test_case "reopen clean" `Quick test_reopen_clean;
+  ]

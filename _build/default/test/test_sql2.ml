@@ -1,0 +1,172 @@
+(* SQL layer, part 2: isolation sessions, DDL variants, non-key WHERE
+   clauses, and error surfaces. *)
+
+open Helpers
+module Db = Imdb_core.Db
+module S = Imdb_core.Schema
+module Sql = Imdb_sql.Executor
+
+let exec1 session src =
+  match Sql.exec_string session src with
+  | [ r ] -> r
+  | rs -> Alcotest.fail (Printf.sprintf "expected one result, got %d" (List.length rs))
+
+let rows = function
+  | Sql.R_rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let msg = function
+  | Sql.R_ok m -> m
+  | _ -> Alcotest.fail "expected ok"
+
+let setup () =
+  let db, clock = fresh_db () in
+  let s = Sql.make_session db in
+  ignore (exec1 s "CREATE IMMORTAL TABLE emp (id INT PRIMARY KEY, dept VARCHAR, salary INT)");
+  tick clock;
+  ignore (exec1 s "INSERT INTO emp VALUES (1, 'eng', 100)");
+  ignore (exec1 s "INSERT INTO emp VALUES (2, 'eng', 200)");
+  ignore (exec1 s "INSERT INTO emp VALUES (3, 'ops', 300)");
+  tick clock;
+  (db, clock, s)
+
+let test_multi_row_update () =
+  let db, _clock, s = setup () in
+  Alcotest.(check string) "two updated" "2 row(s) updated"
+    (msg (exec1 s "UPDATE emp SET salary = 150 WHERE dept = 'eng'"));
+  let r = rows (exec1 s "SELECT id FROM emp WHERE salary = 150") in
+  Alcotest.(check int) "both eng rows" 2 (List.length r);
+  Db.close db
+
+let test_multi_row_delete () =
+  let db, _clock, s = setup () in
+  Alcotest.(check string) "deleted" "2 row(s) deleted"
+    (msg (exec1 s "DELETE FROM emp WHERE salary <= 200"));
+  let r = rows (exec1 s "SELECT * FROM emp") in
+  Alcotest.(check int) "one left" 1 (List.length r);
+  Db.close db
+
+let test_where_combinators () =
+  let db, _clock, s = setup () in
+  let count q = List.length (rows (exec1 s q)) in
+  Alcotest.(check int) "AND" 1 (count "SELECT * FROM emp WHERE dept = 'eng' AND salary > 100");
+  Alcotest.(check int) "OR" 2 (count "SELECT * FROM emp WHERE id = 1 OR id = 3");
+  Alcotest.(check int) "NOT" 2 (count "SELECT * FROM emp WHERE NOT dept = 'ops'");
+  Alcotest.(check int) "parens" 2
+    (count "SELECT * FROM emp WHERE (id = 1 OR id = 2) AND dept = 'eng'");
+  Alcotest.(check int) "neq" 2 (count "SELECT * FROM emp WHERE id <> 3");
+  Alcotest.(check int) "range" 2 (count "SELECT * FROM emp WHERE salary >= 200");
+  Db.close db
+
+let test_snapshot_session () =
+  let db, clock, s = setup () in
+  ignore (exec1 s "SET ISOLATION SNAPSHOT");
+  ignore (exec1 s "BEGIN TRAN");
+  let before = rows (exec1 s "SELECT salary FROM emp WHERE id = 1") in
+  (* a concurrent writer commits through its own session *)
+  let s2 = Sql.make_session db in
+  tick clock;
+  ignore (exec1 s2 "UPDATE emp SET salary = 999 WHERE id = 1");
+  let after = rows (exec1 s "SELECT salary FROM emp WHERE id = 1") in
+  ignore (exec1 s "COMMIT");
+  Alcotest.(check bool) "snapshot stable" true (before = after);
+  Alcotest.(check bool) "value is old" true (before = [ [ S.V_int 100 ] ]);
+  (* a fresh statement sees the new value *)
+  Alcotest.(check bool) "now sees 999" true
+    (rows (exec1 s "SELECT salary FROM emp WHERE id = 1") = [ [ S.V_int 999 ] ]);
+  Db.close db
+
+let test_snapshot_table_ddl () =
+  let db, _clock, s = setup () in
+  ignore (exec1 s "CREATE SNAPSHOT TABLE cache (k INT PRIMARY KEY, v VARCHAR)");
+  ignore (exec1 s "INSERT INTO cache VALUES (1, 'x')");
+  Alcotest.(check int) "snapshot table readable" 1
+    (List.length (rows (exec1 s "SELECT * FROM cache")));
+  let ti = Db.table_info db "cache" in
+  Alcotest.(check bool) "mode is snapshot" true
+    (ti.Imdb_core.Catalog.ti_mode = Imdb_core.Catalog.Snapshot_table);
+  Db.close db
+
+let test_drop_table () =
+  let db, _clock, s = setup () in
+  ignore (exec1 s "DROP TABLE emp");
+  (match Sql.exec_string s "SELECT * FROM emp" with
+  | exception Db.No_such_table _ -> ()
+  | _ -> Alcotest.fail "dropped table still queryable");
+  (match Sql.exec_string s "DROP TABLE emp" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "double drop accepted");
+  Db.close db
+
+let test_as_of_write_rejected () =
+  let db, clock, s = setup () in
+  tick clock;
+  let now = Imdb_clock.Clock.last_issued clock in
+  ignore
+    (exec1 s (Printf.sprintf "BEGIN TRAN AS OF \"%s\"" (Imdb_clock.Timestamp.to_string now)));
+  (match Sql.exec_string s "UPDATE emp SET salary = 1 WHERE id = 1" with
+  | exception Imdb_core.Engine.Read_only_txn -> ()
+  | _ -> Alcotest.fail "write accepted inside AS OF transaction");
+  ignore (exec1 s "ROLLBACK");
+  Db.close db
+
+let test_nested_begin_rejected () =
+  let db, _clock, s = setup () in
+  ignore (exec1 s "BEGIN TRAN");
+  (match Sql.exec_string s "BEGIN TRAN" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "nested BEGIN accepted");
+  ignore (exec1 s "COMMIT");
+  (match Sql.exec_string s "COMMIT" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "COMMIT without txn accepted");
+  Db.close db
+
+let test_primary_key_rules () =
+  let db, _clock, s = setup () in
+  (match Sql.exec_string s "CREATE TABLE bad (a INT, b INT PRIMARY KEY)" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "non-first primary key accepted");
+  (match Sql.exec_string s "UPDATE emp SET id = 9 WHERE id = 1" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "primary key update accepted");
+  Db.close db
+
+let test_checkpoint_statement () =
+  let db, _clock, s = setup () in
+  (match exec1 s "CHECKPOINT" with
+  | Sql.R_ok _ -> ()
+  | _ -> Alcotest.fail "checkpoint failed");
+  Db.close db
+
+let test_string_escapes_and_types () =
+  let db, _clock, s = setup () in
+  ignore (exec1 s "CREATE TABLE t2 (k VARCHAR PRIMARY KEY, f FLOAT, b BOOL)");
+  ignore (exec1 s "INSERT INTO t2 VALUES ('it''s', 3.5, TRUE)");
+  (match rows (exec1 s "SELECT * FROM t2 WHERE k = 'it''s'") with
+  | [ [ S.V_string k; S.V_float f; S.V_bool b ] ] ->
+      Alcotest.(check string) "escaped quote" "it's" k;
+      Alcotest.(check (float 0.0001)) "float" 3.5 f;
+      Alcotest.(check bool) "bool" true b
+  | _ -> Alcotest.fail "row mismatch");
+  (* int literal into float column coerces; string into int does not *)
+  ignore (exec1 s "INSERT INTO t2 VALUES ('x', 4, FALSE)");
+  (match Sql.exec_string s "INSERT INTO t2 VALUES ('y', 'oops', TRUE)" with
+  | exception Sql.Exec_error _ -> ()
+  | _ -> Alcotest.fail "type mismatch accepted");
+  Db.close db
+
+let suite =
+  [
+    Alcotest.test_case "multi-row UPDATE" `Quick test_multi_row_update;
+    Alcotest.test_case "multi-row DELETE" `Quick test_multi_row_delete;
+    Alcotest.test_case "WHERE combinators" `Quick test_where_combinators;
+    Alcotest.test_case "snapshot session" `Quick test_snapshot_session;
+    Alcotest.test_case "CREATE SNAPSHOT TABLE" `Quick test_snapshot_table_ddl;
+    Alcotest.test_case "DROP TABLE" `Quick test_drop_table;
+    Alcotest.test_case "AS OF writes rejected" `Quick test_as_of_write_rejected;
+    Alcotest.test_case "nested BEGIN rejected" `Quick test_nested_begin_rejected;
+    Alcotest.test_case "primary key rules" `Quick test_primary_key_rules;
+    Alcotest.test_case "CHECKPOINT statement" `Quick test_checkpoint_statement;
+    Alcotest.test_case "strings & types" `Quick test_string_escapes_and_types;
+  ]

@@ -1,0 +1,354 @@
+(* Versioned pages: chains, stamping, as-of selection, and the time-split
+   classification — including property tests of the split invariants. *)
+
+module P = Imdb_storage.Page
+module R = Imdb_storage.Record
+module V = Imdb_version.Vpage
+module Tid = Imdb_clock.Tid
+module Ts = Imdb_clock.Timestamp
+
+let fresh ?(size = 8192) () =
+  let b = Bytes.make size '\000' in
+  P.format b ~page_id:5 ~page_type:P.P_data ();
+  b
+
+let write page ?(stub = false) ~key ~payload ~tid () =
+  match V.plan_insert page ~key ~payload ~tid:(Tid.of_int tid) ~delete_stub:stub with
+  | Some pi ->
+      V.apply_insert page pi;
+      pi.V.pi_slot
+  | None -> Alcotest.fail "page unexpectedly full"
+
+let stamp page slot ms =
+  R.set_in_page_ttime page slot (Tid.Stamped (Int64.of_int ms));
+  R.set_in_page_sn page slot 0
+
+let ts ms = Ts.make ~ttime:(Int64.of_int ms) ~sn:0
+
+let test_chain_building () =
+  let page = fresh () in
+  let s1 = write page ~key:"a" ~payload:"v1" ~tid:1 () in
+  let s2 = write page ~key:"a" ~payload:"v2" ~tid:2 () in
+  let s3 = write page ~key:"a" ~payload:"v3" ~tid:3 () in
+  (* the head is the newest; older versions are flagged non-current *)
+  Alcotest.(check (option int)) "current is newest" (Some s3) (V.find_current page ~key:"a");
+  Alcotest.(check bool) "old flagged" true
+    (R.in_page_flags page s1 land R.f_non_current <> 0);
+  let slots, tail = V.chain page ~slot:s3 in
+  Alcotest.(check (list int)) "chain order" [ s3; s2; s1 ] slots;
+  Alcotest.(check bool) "chain ends" true (tail = V.Chain_end);
+  Alcotest.(check int) "all versions" 3 (List.length (V.all_versions_of page ~key:"a"))
+
+let test_multiple_keys () =
+  let page = fresh () in
+  ignore (write page ~key:"a" ~payload:"a1" ~tid:1 ());
+  ignore (write page ~key:"b" ~payload:"b1" ~tid:1 ());
+  ignore (write page ~key:"a" ~payload:"a2" ~tid:2 ());
+  Alcotest.(check int) "two heads" 2 (List.length (V.current_slots page));
+  Alcotest.(check (list string)) "keys" [ "a"; "b" ] (V.keys page)
+
+let test_stamping () =
+  let page = fresh () in
+  let s1 = write page ~key:"a" ~payload:"v1" ~tid:1 () in
+  let s2 = write page ~key:"a" ~payload:"v2" ~tid:2 () in
+  let resolved = ref [] in
+  let resolve tid =
+    if Tid.equal tid (Tid.of_int 1) then V.Committed (ts 100) else V.Active
+  in
+  let n = V.stamp_committed page ~resolve ~on_stamp:(fun t -> resolved := t :: !resolved) in
+  Alcotest.(check int) "one stamped" 1 n;
+  Alcotest.(check bool) "stamped value" true
+    (R.in_page_timestamp page s1 = Some (ts 100));
+  Alcotest.(check bool) "active left alone" true (R.in_page_timestamp page s2 = None);
+  Alcotest.(check bool) "still has unstamped" true (V.has_unstamped page);
+  Alcotest.(check bool) "key has unstamped" true (V.key_has_unstamped page ~key:"a");
+  (* second pass: tid 2 commits *)
+  let n2 =
+    V.stamp_committed page
+      ~resolve:(fun _ -> V.Committed (ts 200))
+      ~on_stamp:(fun _ -> ())
+  in
+  Alcotest.(check int) "second stamped" 1 n2;
+  Alcotest.(check bool) "no unstamped left" false (V.has_unstamped page)
+
+let test_find_stamped_as_of () =
+  let page = fresh () in
+  let s1 = write page ~key:"a" ~payload:"v1" ~tid:1 () in
+  let s2 = write page ~key:"a" ~payload:"v2" ~tid:2 () in
+  let s3 = write page ~key:"a" ~payload:"v3" ~tid:3 () in
+  stamp page s1 100;
+  stamp page s2 200;
+  stamp page s3 300;
+  let check_at t expect =
+    Alcotest.(check (option int))
+      (Printf.sprintf "as of %d" t)
+      expect
+      (V.find_stamped_as_of page ~key:"a" ~asof:(ts t))
+  in
+  check_at 50 None;
+  check_at 100 (Some s1);
+  check_at 150 (Some s1);
+  check_at 200 (Some s2);
+  check_at 999 (Some s3)
+
+let test_as_of_tie_break () =
+  (* several updates by one transaction share a timestamp: the newest
+     (chain head of the tie group) must win *)
+  let page = fresh () in
+  let s1 = write page ~key:"a" ~payload:"first" ~tid:1 () in
+  let s2 = write page ~key:"a" ~payload:"second" ~tid:1 () in
+  stamp page s1 100;
+  stamp page s2 100;
+  Alcotest.(check (option int)) "newest of tie" (Some s2)
+    (V.find_stamped_as_of page ~key:"a" ~asof:(ts 100))
+
+let test_delete_stub_chain () =
+  let page = fresh () in
+  let s1 = write page ~key:"a" ~payload:"alive" ~tid:1 () in
+  let s2 = write page ~key:"a" ~payload:"" ~stub:true ~tid:2 () in
+  stamp page s1 100;
+  stamp page s2 200;
+  (* the stub is the current version *)
+  Alcotest.(check (option int)) "stub is head" (Some s2) (V.find_current page ~key:"a");
+  Alcotest.(check bool) "stub flag" true
+    (R.in_page_flags page s2 land R.f_delete_stub <> 0);
+  (* as-of before deletion sees the record; at deletion sees the stub *)
+  Alcotest.(check (option int)) "before delete" (Some s1)
+    (V.find_stamped_as_of page ~key:"a" ~asof:(ts 150));
+  Alcotest.(check (option int)) "at delete" (Some s2)
+    (V.find_stamped_as_of page ~key:"a" ~asof:(ts 200))
+
+(* --- time splits ----------------------------------------------------------- *)
+
+(* Build a page with a deterministic multi-key history, split it, and
+   check the Fig. 3 classification plus the fundamental invariant: every
+   version alive in a page's time range is present in that page. *)
+
+type version_spec = { vkey : string; vms : int option (* None = uncommitted *); vstub : bool }
+
+let build_page specs =
+  let page = fresh () in
+  List.iteri
+    (fun i spec ->
+      let slot =
+        write page ~key:spec.vkey ~stub:spec.vstub
+          ~payload:(Printf.sprintf "%s@%d" spec.vkey i)
+          ~tid:(1000 + i) ()
+      in
+      match spec.vms with Some ms -> stamp page slot ms | None -> ())
+    specs;
+  page
+
+(* Reference visibility: among stamped versions of [key] in [specs] (in
+   insertion order = oldest first), the visible payload at time [t],
+   where a newer version ends the previous one and stubs mean absent. *)
+let reference_visible specs ~key ~t =
+  let versions =
+    List.mapi (fun i s -> (i, s)) specs
+    |> List.filter (fun (_, s) -> s.vkey = key && s.vms <> None)
+    |> List.filter (fun (_, s) -> Option.get s.vms <= t)
+  in
+  match List.rev versions with
+  | [] -> None
+  | (i, s) :: _ -> if s.vstub then None else Some (Printf.sprintf "%s@%d" key i)
+
+let payload_at page slot =
+  let key = R.in_page_key page slot in
+  Bytes.to_string
+    (P.read_cell_part page slot ~at:(5 + String.length key)
+       ~len:(P.cell_length page slot - R.fixed_overhead - String.length key))
+
+let test_fig3_classification () =
+  (* the paper's example: split at 300 *)
+  let specs =
+    [
+      { vkey = "A"; vms = Some 100; vstub = false };
+      { vkey = "B"; vms = Some 120; vstub = false };
+      { vkey = "C"; vms = Some 110; vstub = false };
+      { vkey = "C"; vms = Some 200; vstub = false };
+      { vkey = "B"; vms = Some 400; vstub = false };
+      { vkey = "C"; vms = Some 450; vstub = true };
+    ]
+  in
+  let page = build_page specs in
+  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 in
+  Alcotest.(check int) "three redundant copies" 3 images.V.si_copied;
+  (* current page: A(100), B(120), B(400), C(200), C-stub(450) = 5 *)
+  Alcotest.(check int) "current live" 5 images.V.si_current_live;
+  (* history page: A(100), B(120), C(110), C(200) = 4 *)
+  Alcotest.(check int) "history live" 4 images.V.si_history_live;
+  (* headers *)
+  Alcotest.(check bool) "current split time" true
+    (Ts.equal (P.split_time images.V.si_current) (ts 300));
+  Alcotest.(check int) "current history ptr" 6 (P.history_pointer images.V.si_current);
+  Alcotest.(check bool) "history covers from zero" true
+    (Ts.equal (P.split_time images.V.si_history) Ts.zero)
+
+let test_split_preserves_current_slots () =
+  let specs =
+    [
+      { vkey = "A"; vms = Some 100; vstub = false };
+      { vkey = "A"; vms = Some 200; vstub = false };
+      { vkey = "B"; vms = Some 150; vstub = false };
+      { vkey = "B"; vms = None; vstub = false (* uncommitted *) };
+    ]
+  in
+  let page = build_page specs in
+  let a_head = Option.get (V.find_current page ~key:"A") in
+  let b_head = Option.get (V.find_current page ~key:"B") in
+  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 in
+  let cur = images.V.si_current in
+  (* survivors keep their slot numbers (in-flight undo depends on it) *)
+  Alcotest.(check (option int)) "A head slot stable" (Some a_head)
+    (V.find_current cur ~key:"A");
+  Alcotest.(check (option int)) "B head slot stable" (Some b_head)
+    (V.find_current cur ~key:"B");
+  (* the uncommitted version stayed current-only *)
+  Alcotest.(check bool) "uncommitted unstamped" true (V.has_unstamped cur);
+  Alcotest.(check bool) "history fully stamped" false
+    (V.has_unstamped images.V.si_history)
+
+(* Property: random histories split at random times keep every reference-
+   visible state readable from the correct page. *)
+let prop_time_split_completeness =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 25 in
+      let* stamped = list_size (return n)
+        (triple (int_range 0 3) (int_range 1 40) bool)
+      in
+      return stamped)
+  in
+  QCheck.Test.make ~name:"time split preserves visibility" ~count:150
+    (QCheck.make gen)
+    (fun raw ->
+      (* build a monotone history over keys k0..k3 *)
+      let time = ref 0 in
+      let specs =
+        List.map
+          (fun (k, dt, stub) ->
+            time := !time + dt;
+            { vkey = Printf.sprintf "k%d" k; vms = Some !time; vstub = stub })
+          raw
+      in
+      let page = build_page specs in
+      let split_ms = 1 + (!time / 2) in
+      let images = V.time_split ~page ~split_time:(ts split_ms) ~history_page_id:6 in
+      (* probe every key at every interesting time against the reference *)
+      let keys = List.sort_uniq compare (List.map (fun s -> s.vkey) specs) in
+      let times = List.filter_map (fun s -> s.vms) specs in
+      let ok = ref true in
+      List.iter
+        (fun key ->
+          List.iter
+            (fun t ->
+              let expect = reference_visible specs ~key ~t in
+              (* pick the page covering t, as the engine would *)
+              let target =
+                if t >= split_ms then images.V.si_current else images.V.si_history
+              in
+              let got =
+                match V.find_stamped_as_of target ~key ~asof:(ts t) with
+                | Some slot
+                  when R.in_page_flags target slot land R.f_delete_stub = 0 ->
+                    Some (payload_at target slot)
+                | Some _ | None -> None
+              in
+              if got <> expect then begin
+                ok := false;
+                QCheck.Test.fail_reportf
+                  "key %s at %d (split %d): expected %s, got %s" key t split_ms
+                  (Option.value expect ~default:"-")
+                  (Option.value got ~default:"-")
+              end)
+            (0 :: times))
+        keys;
+      !ok)
+
+(* Property: key split preserves every version and routes keys correctly. *)
+let prop_key_split =
+  let gen = QCheck.Gen.(list_size (int_range 4 25) (pair (int_range 0 9) (int_range 1 30))) in
+  QCheck.Test.make ~name:"key split preserves versions" ~count:150 (QCheck.make gen)
+    (fun raw ->
+      let time = ref 0 in
+      let specs =
+        List.map
+          (fun (k, dt) ->
+            time := !time + dt;
+            { vkey = Printf.sprintf "k%d" k; vms = Some !time; vstub = false })
+          raw
+      in
+      let page = build_page specs in
+      if List.length (V.keys page) < 2 then true
+      else begin
+        let ks = V.key_split ~page ~right_page_id:7 in
+        let count_versions img key = List.length (V.all_versions_of img ~key) in
+        List.for_all
+          (fun key ->
+            let total = count_versions page key in
+            let left = count_versions ks.V.ks_left key in
+            let right = count_versions ks.V.ks_right key in
+            let correct_side =
+              if String.compare key ks.V.ks_separator < 0 then
+                left = total && right = 0
+              else left = 0 && right = total
+            in
+            if not correct_side then
+              QCheck.Test.fail_reportf "key %s: %d = %d + %d (sep %s)" key total left
+                right ks.V.ks_separator;
+            correct_side)
+          (V.keys page)
+      end)
+
+let test_gc_versions () =
+  let specs =
+    [
+      { vkey = "a"; vms = Some 100; vstub = false };
+      { vkey = "a"; vms = Some 200; vstub = false };
+      { vkey = "a"; vms = Some 300; vstub = false };
+      { vkey = "b"; vms = Some 150; vstub = true };
+      { vkey = "c"; vms = None; vstub = false };
+    ]
+  in
+  let page = build_page specs in
+  (* one active snapshot at 250: a@100 is invisible to it (dead at 200);
+     a@200 is its visible version; chain heads and uncommitted versions
+     always survive *)
+  let img, dropped = V.gc_versions ~page ~snapshots:[ ts 250 ] in
+  Alcotest.(check int) "one dropped" 1 dropped;
+  Alcotest.(check (option int)) "snapshot read still works"
+    (V.find_stamped_as_of img ~key:"a" ~asof:(ts 250) )
+    (V.find_stamped_as_of img ~key:"a" ~asof:(ts 299));
+  (* newest version still current *)
+  (match V.find_current img ~key:"a" with
+  | Some slot -> Alcotest.(check bool) "current is 300" true
+      (R.in_page_timestamp img slot = Some (ts 300))
+  | None -> Alcotest.fail "lost the current version");
+  (* uncommitted survives GC *)
+  Alcotest.(check bool) "uncommitted kept" true (V.find_current img ~key:"c" <> None);
+  (* b's stub is a chain head: kept, so reads keep saying "deleted" *)
+  (match V.find_current img ~key:"b" with
+  | Some slot ->
+      Alcotest.(check bool) "stub kept" true
+        (R.in_page_flags img slot land R.f_delete_stub <> 0)
+  | None -> Alcotest.fail "stub head dropped");
+  (* with no active snapshots, only heads and uncommitted versions remain *)
+  let img2, dropped2 = V.gc_versions ~page ~snapshots:[] in
+  Alcotest.(check int) "aggressive GC" 2 dropped2;
+  Alcotest.(check bool) "current still reads" true
+    (V.find_current img2 ~key:"a" <> None)
+
+let suite =
+  [
+    Alcotest.test_case "chain building" `Quick test_chain_building;
+    Alcotest.test_case "multiple keys" `Quick test_multiple_keys;
+    Alcotest.test_case "stamping" `Quick test_stamping;
+    Alcotest.test_case "as-of selection" `Quick test_find_stamped_as_of;
+    Alcotest.test_case "as-of tie break" `Quick test_as_of_tie_break;
+    Alcotest.test_case "delete stub chain" `Quick test_delete_stub_chain;
+    Alcotest.test_case "Fig 3 classification" `Quick test_fig3_classification;
+    Alcotest.test_case "split preserves slots" `Quick test_split_preserves_current_slots;
+    QCheck_alcotest.to_alcotest prop_time_split_completeness;
+    QCheck_alcotest.to_alcotest prop_key_split;
+    Alcotest.test_case "snapshot version GC" `Quick test_gc_versions;
+  ]
