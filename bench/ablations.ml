@@ -10,7 +10,7 @@ module S = Imdb_core.Schema
 module Ts = Imdb_clock.Timestamp
 module Driver = Imdb_workload.Driver
 module Mo = Imdb_workload.Moving_objects
-module Stats = Imdb_util.Stats
+module M = Imdb_obs.Metrics
 
 (* --- Ext A: TSB-indexed AS OF vs page-chain traversal --------------------- *)
 
@@ -51,7 +51,6 @@ let lazy_eager ~scale =
   let batch = 50 in
   let key_space = 20000 in
   let run mode =
-    Stats.reset_all ();
     Gc.compact ();
     let config =
       { E.default_config with E.timestamping = mode; E.pool_capacity = 64 }
@@ -74,9 +73,10 @@ let lazy_eager ~scale =
       commit_time := !commit_time +. (Unix.gettimeofday () -. c0)
     done;
     let total = Unix.gettimeofday () -. t0 in
-    let misses = Stats.get Stats.buf_misses in
-    let log_recs = Stats.get Stats.log_appends in
-    let log_bytes = Stats.get Stats.log_bytes in
+    let m = Db.metrics db in
+    let misses = M.get m M.buf_misses in
+    let log_recs = M.get m M.log_appends in
+    let log_bytes = M.get m M.log_bytes in
     Db.close db;
     (total, !commit_time, misses, log_recs, log_bytes)
   in
@@ -180,10 +180,11 @@ let split_store ~scale =
             ~payload:(encode_payload x y));
       ignore (Db.commit db2 txn))
     events;
-  let with_misses f =
-    let before = Stats.get Stats.buf_misses in
+  let with_misses db f =
+    let m = Db.metrics db in
+    let before = M.get m M.buf_misses in
     let t, v = Harness.time_it f in
-    (t, v, Stats.get Stats.buf_misses - before)
+    (t, v, M.get m M.buf_misses - before)
   in
   (* full AS OF scans *)
   let scan_rows =
@@ -191,14 +192,14 @@ let split_store ~scale =
       (fun pc ->
         let ts = probe pc in
         let t_int, n_int, m_int =
-          with_misses (fun () ->
+          with_misses db (fun () ->
               let c = ref 0 in
               Db.as_of db ts (fun txn ->
                   Db.scan db txn ~table:"MovingObjects" (fun _ _ -> incr c));
               !c)
         in
         let t_split, n_split, m_split =
-          with_misses (fun () ->
+          with_misses db2 (fun () ->
               let c = ref 0 in
               Db.exec db2 (fun txn ->
                   Imdb_core.Split_store.scan_as_of ss txn ~ts (fun _ _ -> incr c));
@@ -224,7 +225,7 @@ let split_store ~scale =
       (fun pc ->
         let ts = probe pc in
         let t_int, _, m_int =
-          with_misses (fun () ->
+          with_misses db (fun () ->
               for oid = 1 to inserts do
                 ignore
                   (Db.as_of db ts (fun txn ->
@@ -232,7 +233,7 @@ let split_store ~scale =
               done)
         in
         let t_split, _, m_split =
-          with_misses (fun () ->
+          with_misses db2 (fun () ->
               for oid = 1 to inserts do
                 ignore
                   (Db.exec db2 (fun txn ->
@@ -286,14 +287,14 @@ let util ~scale =
       (Table.router_ranges eng ti);
     let n_pages = List.length !utils in
     let mean = List.fold_left ( +. ) 0.0 !utils /. float_of_int (max 1 n_pages) in
-    let ks = Stats.get Stats.key_splits and tss = Stats.get Stats.time_splits in
+    let m = Db.metrics db in
+    let ks = M.get m M.key_splits and tss = M.get m M.time_splits in
     Db.close db;
     (mean, n_pages, ks, tss)
   in
   let rows =
     List.map
       (fun threshold ->
-        Stats.reset_all ();
         let mean, pages, ks, tss = run threshold in
         [
           Fmt.str "%.2f" threshold;
@@ -399,13 +400,14 @@ let space ~scale =
   let events = Mo.generate ~seed:42 ~inserts ~total () in
   let logical_bytes = total * 33 (* ~ one version's record bytes *) in
   let run mode =
-    Stats.reset_all ();
     let db, clock = Driver.fresh_moving_objects ~mode () in
     ignore (Driver.run_events ~clock db ~table:"MovingObjects" events);
     let hwm = (Db.engine db).E.meta.Imdb_core.Meta.hwm in
-    let copied = Stats.get "split.copied" in
+    let m = Db.metrics db in
+    let copied = M.get m M.split_copied in
+    let tss = M.get m M.time_splits and kss = M.get m M.key_splits in
     Db.close db;
-    (hwm, Stats.get Stats.time_splits, Stats.get Stats.key_splits, copied)
+    (hwm, tss, kss, copied)
   in
   let rows =
     List.map
@@ -450,17 +452,15 @@ let recovery ~scale =
   let rows =
     List.map
       (fun every ->
-        Stats.reset_all ();
         let config = { E.default_config with E.auto_checkpoint_every = every } in
         let db, clock = Driver.fresh_moving_objects ~config ~mode:Db.Immortal () in
         let load = Driver.run_events ~clock db ~table:"MovingObjects" events in
-        let before = Stats.snapshot () in
         let t0 = Unix.gettimeofday () in
         let db = Db.crash_and_reopen ~config ~clock db in
         let recovery_s = Unix.gettimeofday () -. t0 in
-        let after = Stats.snapshot () in
-        let d = Stats.diff ~before ~after in
-        let get name = match List.assoc_opt name d with Some v -> v | None -> 0 in
+        (* the reopened engine carries a fresh registry, so its counters
+           are exactly the work recovery did *)
+        let get name = M.get (Db.metrics db) name in
         (* recovered data sanity: all objects present *)
         let _, n = Driver.timed_scan_current db ~table:"MovingObjects" in
         Db.close db;
@@ -468,7 +468,7 @@ let recovery ~scale =
           (if every = 0 then "never" else string_of_int every);
           Harness.ms load.Driver.rr_elapsed_s;
           Harness.ms recovery_s;
-          string_of_int (get Stats.disk_reads);
+          string_of_int (get M.disk_reads);
           string_of_int n;
         ])
       [ 0; 4000; 1000; 250 ]

@@ -13,7 +13,7 @@
 module Db = Imdb_core.Db
 module Driver = Imdb_workload.Driver
 module Mo = Imdb_workload.Moving_objects
-module Stats = Imdb_util.Stats
+module M = Imdb_obs.Metrics
 
 let inserts_default = 500
 
@@ -25,7 +25,6 @@ let bench_config =
   { Imdb_core.Engine.default_config with Imdb_core.Engine.auto_checkpoint_every = 1000 }
 
 let run_one ~mode ~events =
-  Stats.reset_all ();
   Gc.compact ();
   let db, clock = Driver.fresh_moving_objects ~config:bench_config ~mode () in
   let result = Driver.run_events ~clock db ~table:"MovingObjects" events in
@@ -34,7 +33,7 @@ let run_one ~mode ~events =
 
 let fig5 ~scale =
   let points = [ 1000; 2000; 4000; 8000; 16000; 32000 ] in
-  let rows =
+  let data =
     List.map
       (fun n ->
         let n = Harness.scaled ~scale n in
@@ -42,17 +41,40 @@ let fig5 ~scale =
         let events = Mo.generate ~seed:42 ~inserts ~total:n () in
         let conv = run_one ~mode:Db.Conventional ~events in
         let imm = run_one ~mode:Db.Immortal ~events in
+        (n, conv, imm))
+      points
+  in
+  let rows =
+    List.map
+      (fun (n, conv, imm) ->
         [
           Printf.sprintf "%dK" (n / 1000);
           Harness.ms conv.Driver.rr_elapsed_s;
           Harness.ms imm.Driver.rr_elapsed_s;
           Harness.pct imm.Driver.rr_elapsed_s conv.Driver.rr_elapsed_s;
-          string_of_int (Driver.counter imm Stats.ptt_inserts);
-          string_of_int (Driver.counter imm Stats.log_bytes - Driver.counter conv Stats.log_bytes);
-          string_of_int (Driver.counter imm Stats.time_splits);
+          string_of_int (Driver.counter imm M.ptt_inserts);
+          string_of_int (Driver.counter imm M.log_bytes - Driver.counter conv M.log_bytes);
+          string_of_int (Driver.counter imm M.time_splits);
         ])
-      points
+      data
   in
+  let module J = Imdb_obs.Json in
+  Harness.emit_json ~name:"fig5"
+    (J.Obj
+       [
+         ("schema_version", J.Int M.schema_version);
+         ( "points",
+           J.List
+             (List.map
+                (fun (n, conv, imm) ->
+                  J.Obj
+                    [
+                      ("txns", J.Int n);
+                      ("conventional", Harness.json_of_counters conv.Driver.rr_counters);
+                      ("immortal", Harness.json_of_counters imm.Driver.rr_counters);
+                    ])
+                data) );
+       ]);
   Harness.print_table
     ~title:
       "Fig 5: transaction overhead (500 inserts, rest single-record updates; \
@@ -73,7 +95,6 @@ let fig5 ~scale =
   let inserts = min inserts_default n in
   let events = Mo.generate ~seed:42 ~inserts ~total:n () in
   let run_batched ~mode ~batch =
-    Stats.reset_all ();
     Gc.compact ();
     let db, clock = Driver.fresh_moving_objects ~config:bench_config ~mode () in
     let r = Driver.run_events_batched ~clock ~batch db ~table:"MovingObjects" events in
@@ -90,7 +111,7 @@ let fig5 ~scale =
           Harness.ms conv.Driver.rr_elapsed_s;
           Harness.ms imm.Driver.rr_elapsed_s;
           Harness.pct imm.Driver.rr_elapsed_s conv.Driver.rr_elapsed_s;
-          string_of_int (Driver.counter imm Stats.ptt_inserts);
+          string_of_int (Driver.counter imm M.ptt_inserts);
         ])
       [ 1; 10; 100; 1000 ]
   in

@@ -80,6 +80,34 @@ let fig6 ~scale =
              all_series)
       depths
   in
+  let module J = Imdb_obs.Json in
+  Harness.emit_json ~name:"fig6"
+    (J.Obj
+       [
+         ("schema_version", J.Int Imdb_obs.Metrics.schema_version);
+         ("txns", J.Int total);
+         ( "series",
+           J.List
+             (List.map
+                (fun (label, times) ->
+                  J.Obj
+                    [
+                      ("config", J.String label);
+                      ( "depths",
+                        J.List
+                          (List.map
+                             (fun (pc, (m : Driver.scan_measure)) ->
+                               J.Obj
+                                 [
+                                   ("pct", J.Int pc);
+                                   ("pages", J.Int m.Driver.sm_pages);
+                                   ("rows", J.Int m.Driver.sm_rows);
+                                   ("misses", J.Int m.Driver.sm_misses);
+                                 ])
+                             times) );
+                    ])
+                all_series) );
+       ]);
   Harness.print_table
     ~title:
       (Printf.sprintf

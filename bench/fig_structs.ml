@@ -85,7 +85,7 @@ let fig3 ~scale:_ =
   let c2 = write ~stub:true ~key:"RecC" ~payload:"" ~tid:6 () in
   stamp_at 450 0 c2;
   let split_time = Ts.make ~ttime:300L ~sn:0 in
-  let images = V.time_split ~page ~split_time ~history_page_id:10 in
+  let images = V.time_split ~page ~split_time ~history_page_id:10 () in
   let dump title img =
     Fmt.pr "--- %s (split_time=%Ld)@." title (Ts.ttime (P.split_time img));
     P.iter_live img (fun slot ->

@@ -46,3 +46,29 @@ let register ~name ~doc run = registry := { ex_name = name; ex_doc = doc; ex_run
 let all () = List.rev !registry
 
 let scaled ~scale n = max 1 (int_of_float (float_of_int n *. scale))
+
+(* --- JSON sink -------------------------------------------------------------
+
+   With `--json DIR`, each experiment that calls [emit_json] drops a
+   BENCH_<name>.json into DIR.  Experiments put only deterministic
+   quantities there (logical work counters, page/row counts — never wall
+   time), so scripts/bench_check.sh can diff them against checked-in
+   baselines with a tight tolerance. *)
+
+let json_dir : string option ref = ref None
+let set_json_dir dir = json_dir := Some dir
+
+let json_of_counters counters =
+  Imdb_obs.Json.Obj (List.map (fun (k, v) -> (k, Imdb_obs.Json.Int v)) counters)
+
+let emit_json ~name doc =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+      let oc = open_out path in
+      output_string oc (Imdb_obs.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote %s@." path

@@ -2,7 +2,9 @@
 
    `dune exec bench/main.exe` runs every experiment at paper scale;
    `dune exec bench/main.exe -- fig5 fig6` runs a subset;
-   `dune exec bench/main.exe -- --scale 0.1` shrinks workloads 10x.
+   `dune exec bench/main.exe -- --scale 0.1` shrinks workloads 10x;
+   `dune exec bench/main.exe -- --json DIR` also writes BENCH_*.json
+   files of the deterministic counters (consumed by scripts/bench_check.sh).
 
    One experiment regenerates each figure of the paper's evaluation
    (Figs. 1-6) plus the ablations indexed in DESIGN.md (Ext A-F). *)
@@ -22,6 +24,9 @@ let () =
         parse rest
     | "--quick" :: rest ->
         scale := 0.05;
+        parse rest
+    | "--json" :: dir :: rest ->
+        Harness.set_json_dir dir;
         parse rest
     | "--list" :: _ ->
         List.iter

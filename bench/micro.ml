@@ -98,6 +98,24 @@ let run ~scale:_ =
   in
   Harness.print_table ~title:"micro-benchmarks (bechamel, OLS)"
     ~header:[ "primitive"; "ns/op"; "r^2" ]
-    rows
+    rows;
+  let module J = Imdb_obs.Json in
+  Harness.emit_json ~name:"micro"
+    (J.Obj
+       [
+         ("schema_version", J.Int Imdb_obs.Metrics.schema_version);
+         ( "ns_per_op",
+           J.Obj
+             (List.filter_map
+                (function
+                  | [ name; est; _r2 ] ->
+                      Some
+                        ( name,
+                          match float_of_string_opt est with
+                          | Some f -> J.Float f
+                          | None -> J.Null )
+                  | _ -> None)
+                rows) );
+       ])
 
 let () = Harness.register ~name:"micro" ~doc:"engine primitives (bechamel)" run

@@ -5,7 +5,7 @@
      imdb tables DIR                          list tables
      imdb history DIR TABLE KEY               show a record's version history
      imdb workload DIR [-n N] [--objects K]   load a moving-objects stream
-     imdb stats DIR                           storage statistics
+     imdb stats DIR [--json]                  storage statistics / metrics JSON
      imdb checkpoint DIR                      force a checkpoint (and PTT GC)
      imdb backup DIR DEST [--as-of TS]        extract a queryable AS OF backup
 
@@ -147,27 +147,99 @@ let workload_cmd =
 
 (* --- stats ------------------------------------------------------------------ *)
 
-let stats_cmd =
-  let run dir =
-    with_db dir (fun db ->
-        let eng = Db.engine db in
-        Fmt.pr "pages allocated (high-water):  %d@." eng.E.meta.Imdb_core.Meta.hwm;
-        Fmt.pr "tables:                        %d@." (List.length (Db.list_tables db));
-        Fmt.pr "PTT entries:                   %d@."
-          (Imdb_tstamp.Ptt.count (E.ptt_exn eng));
-        (match Imdb_tstamp.Ptt.min_tid (E.ptt_exn eng) with
-        | Some tid -> Fmt.pr "oldest PTT entry:              %a@." Imdb_clock.Tid.pp tid
-        | None -> ());
+module M = Imdb_obs.Metrics
+module J = Imdb_obs.Json
+
+(* Walk every immortal table's current pages, feeding the
+   page.utilization_pct histogram of the engine's registry on the way, and
+   return (table, current-page-count) pairs. *)
+let survey_tables db =
+  let eng = Db.engine db in
+  let m = Db.metrics db in
+  List.filter_map
+    (fun ti ->
+      if ti.Imdb_core.Catalog.ti_mode <> Imdb_core.Catalog.Immortal then None
+      else begin
+        let ranges = Imdb_core.Table.router_ranges eng ti in
         List.iter
-          (fun ti ->
-            if ti.Imdb_core.Catalog.ti_mode = Imdb_core.Catalog.Immortal then begin
-              let ranges = Imdb_core.Table.router_ranges eng ti in
-              Fmt.pr "table %s: %d current pages@." ti.Imdb_core.Catalog.ti_name
-                (List.length ranges)
-            end)
-          (Db.list_tables db))
+          (fun (_, _, pid) ->
+            Imdb_buffer.Buffer_pool.with_page eng.E.pool pid (fun fr ->
+                let page = Imdb_buffer.Buffer_pool.bytes fr in
+                let size = Bytes.length page in
+                let used = size - Imdb_storage.Page.free_space page in
+                M.observe m M.h_page_utilization_pct (used * 100 / size)))
+          ranges;
+        Some (ti, List.length ranges)
+      end)
+    (Db.list_tables db)
+
+(* The stable document behind `imdb stats DIR --json` (schema_version 1):
+
+   { "schema_version": 1,
+     "storage": { "pages_hwm": n, "page_size": n, "tables": n,
+                  "ptt_entries": n,
+                  "immortal_tables": [ { "name": s, "current_pages": n }, ... ] },
+     "metrics": <Metrics.to_json> }
+
+   The metrics sub-document always carries the page.utilization_pct
+   histogram (populated by the survey above), so p50/p99 are available. *)
+let stats_json db =
+  let eng = Db.engine db in
+  M.ensure_histogram (Db.metrics db) M.h_page_utilization_pct;
+  let tables = survey_tables db in
+  J.Obj
+    [
+      ("schema_version", J.Int M.schema_version);
+      ( "storage",
+        J.Obj
+          [
+            ("pages_hwm", J.Int eng.E.meta.Imdb_core.Meta.hwm);
+            ("page_size", J.Int eng.E.config.E.page_size);
+            ("tables", J.Int (List.length (Db.list_tables db)));
+            ("ptt_entries", J.Int (Imdb_tstamp.Ptt.count (E.ptt_exn eng)));
+            ( "immortal_tables",
+              J.List
+                (List.map
+                   (fun (ti, pages) ->
+                     J.Obj
+                       [
+                         ("name", J.String ti.Imdb_core.Catalog.ti_name);
+                         ("current_pages", J.Int pages);
+                       ])
+                   tables) );
+          ] );
+      ("metrics", M.to_json (Db.metrics db));
+    ]
+
+let stats_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON (schema_version 1).")
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.") Term.(const run $ dir_arg)
+  let run dir json =
+    with_db dir (fun db ->
+        if json then Fmt.pr "%s@." (J.to_string (stats_json db))
+        else begin
+          let eng = Db.engine db in
+          Fmt.pr "pages allocated (high-water):  %d@." eng.E.meta.Imdb_core.Meta.hwm;
+          Fmt.pr "tables:                        %d@." (List.length (Db.list_tables db));
+          Fmt.pr "PTT entries:                   %d@."
+            (Imdb_tstamp.Ptt.count (E.ptt_exn eng));
+          (match Imdb_tstamp.Ptt.min_tid (E.ptt_exn eng) with
+          | Some tid -> Fmt.pr "oldest PTT entry:              %a@." Imdb_clock.Tid.pp tid
+          | None -> ());
+          List.iter
+            (fun (ti, pages) ->
+              Fmt.pr "table %s: %d current pages@." ti.Imdb_core.Catalog.ti_name pages)
+            (survey_tables db);
+          match M.histogram (Db.metrics db) M.h_page_utilization_pct with
+          | Some h ->
+              Fmt.pr "page utilization %%:            p50=%d p99=%d max=%d@." h.M.h_p50
+                h.M.h_p99 h.M.h_max
+          | None -> ()
+        end)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.")
+    Term.(const run $ dir_arg $ json_flag)
 
 let checkpoint_cmd =
   let run dir =

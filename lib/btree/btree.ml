@@ -30,6 +30,7 @@
 
 open Imdb_util
 module P = Imdb_storage.Page
+module M = Imdb_obs.Metrics
 
 type io = {
   exec : Imdb_buffer.Buffer_pool.frame -> undoable:bool -> Imdb_wal.Log_record.page_op -> unit;
@@ -46,6 +47,7 @@ type t = {
   root : int;
   table_id : int;
   name : string; (* for diagnostics *)
+  metrics : M.t;
 }
 
 (* --- cell codecs -------------------------------------------------------- *)
@@ -96,12 +98,13 @@ let cell_key_compare page slot key =
 
 (* --- construction ------------------------------------------------------- *)
 
-let attach ~pool ~io ~root ~table_id ~name = { pool; io; root; table_id; name }
+let attach ?(metrics = M.null) ~pool ~io ~root ~table_id ~name () =
+  { pool; io; root; table_id; name; metrics }
 
 (* A new tree: the root starts life as an (empty) leaf. *)
-let create ~pool ~io ~table_id ~name =
+let create ?metrics ~pool ~io ~table_id ~name () =
   let root = io.alloc ~ptype:P.P_heap ~level:0 in
-  attach ~pool ~io ~root ~table_id ~name
+  attach ?metrics ~pool ~io ~root ~table_id ~name ()
 
 let root t = t.root
 let is_leaf page = P.level page = 0
@@ -293,6 +296,7 @@ let min_binding t =
    action that is never undone.  Full after-images keep replay trivially
    correct.  Returns (separator_key, right_page_id). *)
 let split_page t fr =
+  M.incr t.metrics M.btree_node_splits;
   let page = Imdb_buffer.Buffer_pool.bytes fr in
   let page_id = P.page_id page in
   let leaf = is_leaf page in

@@ -26,11 +26,24 @@ type io = {
 }
 
 val create :
-  pool:Imdb_buffer.Buffer_pool.t -> io:io -> table_id:int -> name:string -> t
+  ?metrics:Imdb_obs.Metrics.t ->
+  pool:Imdb_buffer.Buffer_pool.t ->
+  io:io ->
+  table_id:int ->
+  name:string ->
+  unit ->
+  t
 (** A new (empty) tree; the root starts as a leaf. *)
 
 val attach :
-  pool:Imdb_buffer.Buffer_pool.t -> io:io -> root:int -> table_id:int -> name:string -> t
+  ?metrics:Imdb_obs.Metrics.t ->
+  pool:Imdb_buffer.Buffer_pool.t ->
+  io:io ->
+  root:int ->
+  table_id:int ->
+  name:string ->
+  unit ->
+  t
 (** Re-attach to an existing tree by root page id. *)
 
 val root : t -> int

@@ -21,7 +21,7 @@
      the pages have been written to disk by tracking database
      checkpoints"). *)
 
-open Imdb_util
+module M = Imdb_obs.Metrics
 
 exception Buffer_full
 exception Corrupt_page of int
@@ -42,11 +42,15 @@ type t = {
   frames : (int, frame) Hashtbl.t;
   mutable tick : int;
   mutable pre_flush : bytes -> unit;
+  mutable metrics : M.t;
 }
 
-let create ?(capacity = 256) ~disk ~wal () =
+let create ?(capacity = 256) ?(metrics = M.null) ~disk ~wal () =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity too small";
-  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity); tick = 0; pre_flush = ignore }
+  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity); tick = 0;
+    pre_flush = ignore; metrics }
+
+let set_metrics t m = t.metrics <- m
 
 let set_pre_flush t f = t.pre_flush <- f
 let page_size t = t.disk.Imdb_storage.Disk.page_size
@@ -77,7 +81,7 @@ let evict_one t =
   | Some f ->
       if f.f_dirty then write_frame t f;
       Hashtbl.remove t.frames f.f_page_id;
-      Stats.incr Stats.buf_evictions
+      M.incr t.metrics M.buf_evictions
 
 let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t done
 
@@ -85,12 +89,12 @@ let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t don
 let pin t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
-      Stats.incr Stats.buf_hits;
+      M.incr t.metrics M.buf_hits;
       f.f_pin <- f.f_pin + 1;
       touch t f;
       f
   | None ->
-      Stats.incr Stats.buf_misses;
+      M.incr t.metrics M.buf_misses;
       make_room t;
       let bytes = t.disk.Imdb_storage.Disk.read_page page_id in
       if not (Imdb_storage.Page.verify bytes) then raise (Corrupt_page page_id);

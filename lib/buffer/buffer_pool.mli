@@ -22,7 +22,15 @@ exception Corrupt_page of int
 (** A page read from disk failed checksum verification. *)
 
 val create :
-  ?capacity:int -> disk:Imdb_storage.Disk.t -> wal:Imdb_wal.Wal.t -> unit -> t
+  ?capacity:int ->
+  ?metrics:Imdb_obs.Metrics.t ->
+  disk:Imdb_storage.Disk.t ->
+  wal:Imdb_wal.Wal.t ->
+  unit ->
+  t
+
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
+(** Point the pool at an engine's registry (hits/misses/evictions). *)
 
 val set_pre_flush : t -> (bytes -> unit) -> unit
 (** Hook run on the page image just before each disk write; its changes

@@ -31,7 +31,7 @@ exception No_such_table of string
    volatile state. *)
 let open_devices ?(config = E.default_config) ?clock ~disk ~log_device () =
   let clock = match clock with Some c -> c | None -> Imdb_clock.Clock.create_wall () in
-  let eng = E.make ~disk ~log_device ~config ~clock in
+  let eng = E.make ~disk ~log_device ~config ~clock () in
   let fresh =
     (not (disk.Imdb_storage.Disk.page_exists Meta.meta_page_id))
     && log_device.Imdb_wal.Wal.Device.size () = 0
@@ -59,6 +59,7 @@ let open_dir ?(config = E.default_config) ?clock dir =
 let close t = E.close t.eng
 let checkpoint t = ignore (E.checkpoint t.eng)
 let engine t = t.eng
+let metrics t = t.eng.E.metrics
 
 exception Vacuum_blocked of string
 

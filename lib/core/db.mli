@@ -80,6 +80,11 @@ val crash_and_reopen : ?config:Engine.config -> ?clock:Imdb_clock.Clock.t -> t -
 val engine : t -> Engine.t
 (** The underlying engine, for tools and tests that need internals. *)
 
+val metrics : t -> Imdb_obs.Metrics.t
+(** This database's private metrics registry: counters, histograms and
+    trace events for everything its engine has done since open.  Two open
+    databases never share a registry. *)
+
 (** {1 Transactions} *)
 
 val begin_txn : ?isolation:isolation -> t -> txn

@@ -65,6 +65,7 @@ type t = {
   clock : Imdb_clock.Clock.t;
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
+  metrics : Imdb_obs.Metrics.t;
   config : config;
   mutable meta : Meta.t;
   mutable ptt : Imdb_tstamp.Ptt.t option;
@@ -143,7 +144,7 @@ let update_meta t mutate =
 (* Allocate a page: from the freelist if possible, else extend the file.
    The page is formatted and redo-logged; the caller finds it cached. *)
 let alloc_page t ~ptype ~level ~table_id =
-  Imdb_util.Stats.incr Imdb_util.Stats.pages_allocated;
+  Imdb_obs.Metrics.incr t.metrics Imdb_obs.Metrics.pages_allocated;
   let from_freelist = t.meta.Meta.freelist_head <> 0 in
   let pid =
     if from_freelist then begin
@@ -323,7 +324,7 @@ let stamp_record t fr ~key =
   if Imdb_version.Vpage.key_has_unstamped page ~key then begin
     BP.mark_dirty_unlogged t.pool fr;
     ignore
-      (Imdb_version.Vpage.stamp_versions_of page ~key
+      (Imdb_version.Vpage.stamp_versions_of ~metrics:t.metrics page ~key
          ~resolve:(Imdb_tstamp.Lazy_stamper.resolve t.stamper)
          ~on_stamp:(Imdb_tstamp.Lazy_stamper.on_stamp t.stamper))
   end
@@ -333,6 +334,8 @@ let stamp_record t fr ~key =
 (* ------------------------------------------------------------------ *)
 
 let checkpoint t =
+  let module M = Imdb_obs.Metrics in
+  M.trace t.metrics M.Span_begin "checkpoint";
   (* Sweep pages dirty since before the previous checkpoint, so the
      redo-scan start point (and the PTT GC horizon) moves forward: a page
      escapes the dirty-page table only by reaching disk. *)
@@ -370,6 +373,14 @@ let checkpoint t =
   (* make the GC deletions durable: otherwise a crash forgets them and
      recovery rebuilds the mappings as uncollectable cache entries *)
   if collected > 0 then Imdb_wal.Wal.flush t.wal;
+  M.incr t.metrics M.checkpoints;
+  M.trace t.metrics M.Span_end "checkpoint"
+    ~attrs:
+      [
+        ("swept", string_of_int swept);
+        ("dirty_pages", string_of_int (List.length dpt));
+        ("ptt_collected", string_of_int collected);
+      ];
   Log.debug (fun m ->
       m "checkpoint at %Ld: swept %d pages, dpt %d, att %d, redo start %Ld, GC'd %d PTT entries"
         lsn swept (List.length dpt) (List.length att) redo_scan_start collected);
@@ -406,10 +417,16 @@ let list_tables t =
 (* Construction                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let make ~disk ~log_device ~config ~clock =
-  let wal = Imdb_wal.Wal.open_device log_device in
-  let pool = BP.create ~capacity:config.pool_capacity ~disk ~wal () in
-  let stamper = Imdb_tstamp.Lazy_stamper.create () in
+let make ?metrics ~disk ~log_device ~config ~clock () =
+  (* One registry per engine: every component below is pointed at it, so
+     two engines in one process never share (or clobber) counters. *)
+  let metrics =
+    match metrics with Some m -> m | None -> Imdb_obs.Metrics.create ()
+  in
+  Imdb_storage.Disk.set_metrics disk metrics;
+  let wal = Imdb_wal.Wal.open_device ~metrics log_device in
+  let pool = BP.create ~capacity:config.pool_capacity ~metrics ~disk ~wal () in
+  let stamper = Imdb_tstamp.Lazy_stamper.create ~metrics () in
   Imdb_tstamp.Lazy_stamper.set_end_of_log stamper (fun () -> Imdb_wal.Wal.next_lsn wal);
   let t =
     {
@@ -419,6 +436,7 @@ let make ~disk ~log_device ~config ~clock =
       clock;
       locks = Imdb_lock.Lock_manager.create ();
       stamper;
+      metrics;
       config;
       meta = Meta.fresh ();
       ptt = None;
@@ -455,12 +473,13 @@ let bootstrap t =
       exec_op t fr ~undoable:false
         (LR.Op_insert { slot = Meta.meta_slot; body = Meta.encode t.meta }));
   let catalog =
-    Imdb_btree.Btree.create ~pool:t.pool ~io:(btree_io_for t Meta.catalog_table_id)
-      ~table_id:Meta.catalog_table_id ~name:"catalog"
+    Imdb_btree.Btree.create ~metrics:t.metrics ~pool:t.pool
+      ~io:(btree_io_for t Meta.catalog_table_id) ~table_id:Meta.catalog_table_id
+      ~name:"catalog" ()
   in
   let ptt =
-    Imdb_tstamp.Ptt.create ~pool:t.pool ~io:(btree_io_for t Meta.ptt_table_id)
-      ~table_id:Meta.ptt_table_id
+    Imdb_tstamp.Ptt.create ~metrics:t.metrics ~pool:t.pool
+      ~io:(btree_io_for t Meta.ptt_table_id) ~table_id:Meta.ptt_table_id ()
   in
   update_meta t (fun m ->
       m.Meta.catalog_root <- Imdb_btree.Btree.root catalog;
@@ -474,12 +493,14 @@ let bootstrap t =
 (* Attach system structures from an existing meta (after recovery). *)
 let attach_system t =
   let catalog =
-    Imdb_btree.Btree.attach ~pool:t.pool ~io:(btree_io_for t Meta.catalog_table_id)
-      ~root:t.meta.Meta.catalog_root ~table_id:Meta.catalog_table_id ~name:"catalog"
+    Imdb_btree.Btree.attach ~metrics:t.metrics ~pool:t.pool
+      ~io:(btree_io_for t Meta.catalog_table_id) ~root:t.meta.Meta.catalog_root
+      ~table_id:Meta.catalog_table_id ~name:"catalog" ()
   in
   let ptt =
-    Imdb_tstamp.Ptt.attach ~pool:t.pool ~io:(btree_io_for t Meta.ptt_table_id)
-      ~root:t.meta.Meta.ptt_root ~table_id:Meta.ptt_table_id
+    Imdb_tstamp.Ptt.attach ~metrics:t.metrics ~pool:t.pool
+      ~io:(btree_io_for t Meta.ptt_table_id) ~root:t.meta.Meta.ptt_root
+      ~table_id:Meta.ptt_table_id ()
   in
   t.catalog_tree <- Some catalog;
   t.ptt <- Some ptt;

@@ -47,6 +47,7 @@ type t = {
   clock : Imdb_clock.Clock.t;
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
+  metrics : Imdb_obs.Metrics.t;  (** this engine's private registry *)
   config : config;
   mutable meta : Meta.t;
   mutable ptt : Imdb_tstamp.Ptt.t option;
@@ -135,11 +136,16 @@ val list_tables : t -> Catalog.table_info list
 (** {1 Construction} *)
 
 val make :
+  ?metrics:Imdb_obs.Metrics.t ->
   disk:Imdb_storage.Disk.t ->
   log_device:Imdb_wal.Wal.Device.t ->
   config:config ->
   clock:Imdb_clock.Clock.t ->
+  unit ->
   t
+(** Build an engine over the devices.  A fresh [Metrics] registry is
+    created unless one is passed; the disk, WAL, buffer pool, stamper and
+    system trees are all pointed at it. *)
 
 val bootstrap : t -> unit
 (** Format a fresh database (meta page, catalog, PTT, first checkpoint). *)

@@ -166,6 +166,8 @@ let redo eng (a : analysis) ~checkpoint_lsn =
                     let page = BP.bytes fr in
                     if Int64.compare (P.lsn page) lsn < 0 then begin
                       LR.redo_op page op;
+                      Imdb_obs.Metrics.incr eng.E.metrics
+                        Imdb_obs.Metrics.recovery_redo;
                       BP.mark_dirty_logged eng.E.pool fr ~lsn
                     end))
         | _ -> ()
@@ -188,6 +190,7 @@ let read_meta_from_disk eng =
 
 let recover eng =
   eng.E.in_recovery <- true;
+  Imdb_obs.Metrics.trace eng.E.metrics Imdb_obs.Metrics.Span_begin "recovery";
   Fun.protect
     ~finally:(fun () -> eng.E.in_recovery <- false)
     (fun () ->
@@ -247,5 +250,14 @@ let recover eng =
               else ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid })))
         a.att;
       Log.info (fun m -> m "recovery: rolled back %d losers" !losers);
+      Imdb_obs.Metrics.trace eng.E.metrics Imdb_obs.Metrics.Span_end "recovery"
+        ~attrs:
+          [
+            ("losers", string_of_int !losers);
+            ( "redo_records",
+              string_of_int
+                (Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_redo)
+            );
+          ];
       (* a fresh checkpoint caps the next recovery's work *)
       ignore (E.checkpoint eng))

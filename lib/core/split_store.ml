@@ -88,11 +88,11 @@ let create eng ~table_id =
   {
     eng;
     current =
-      Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng table_id)
-        ~table_id ~name:"split.current";
+      Imdb_btree.Btree.create ~metrics:eng.E.metrics ~pool:eng.E.pool
+        ~io:(E.btree_io_for eng table_id) ~table_id ~name:"split.current" ();
     history =
-      Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng table_id)
-        ~table_id ~name:"split.history";
+      Imdb_btree.Btree.create ~metrics:eng.E.metrics ~pool:eng.E.pool
+        ~io:(E.btree_io_for eng table_id) ~table_id ~name:"split.history" ();
     table_id;
   }
 
@@ -155,7 +155,7 @@ let read_current t txn ~key =
 let read_as_of t txn ~key ~ts =
   E.check_running txn;
   let from_history () =
-    Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+    Imdb_obs.Metrics.incr t.eng.E.metrics Imdb_obs.Metrics.asof_versions;
     match Imdb_btree.Btree.find_floor t.history ~key:(history_key ~key ~ts) with
     | None -> None
     | Some (hk, v) ->
@@ -193,7 +193,7 @@ let scan_as_of t txn ~ts f =
   Imdb_btree.Btree.iter t.history (fun hk v ->
       let key, start = split_history_key hk in
       if (not (Hashtbl.mem emitted key)) && Ts.compare start ts <= 0 then begin
-        Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+        Imdb_obs.Metrics.incr t.eng.E.metrics Imdb_obs.Metrics.asof_versions;
         let stub, payload = decode_history v in
         match Hashtbl.find_opt best key with
         | Some (prev, _, _) when Ts.compare prev start >= 0 -> ()

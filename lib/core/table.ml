@@ -38,13 +38,15 @@ let is_versioned ti =
 (* --- structure handles --------------------------------------------------- *)
 
 let router eng ti =
-  Imdb_btree.Btree.attach ~pool:eng.E.pool ~io:(E.btree_io_for eng ti.Catalog.ti_id)
-    ~root:ti.Catalog.ti_root ~table_id:ti.Catalog.ti_id
-    ~name:(ti.Catalog.ti_name ^ ".router")
+  Imdb_btree.Btree.attach ~metrics:eng.E.metrics ~pool:eng.E.pool
+    ~io:(E.btree_io_for eng ti.Catalog.ti_id) ~root:ti.Catalog.ti_root
+    ~table_id:ti.Catalog.ti_id
+    ~name:(ti.Catalog.ti_name ^ ".router") ()
 
 let conv_tree eng ti =
-  Imdb_btree.Btree.attach ~pool:eng.E.pool ~io:(E.btree_io_for eng ti.Catalog.ti_id)
-    ~root:ti.Catalog.ti_root ~table_id:ti.Catalog.ti_id ~name:ti.Catalog.ti_name
+  Imdb_btree.Btree.attach ~metrics:eng.E.metrics ~pool:eng.E.pool
+    ~io:(E.btree_io_for eng ti.Catalog.ti_id) ~root:ti.Catalog.ti_root
+    ~table_id:ti.Catalog.ti_id ~name:ti.Catalog.ti_name ()
 
 let tsb eng ti =
   if ti.Catalog.ti_tsb_root = 0 then None
@@ -106,8 +108,8 @@ let create eng ~name ~mode ~schema =
     match mode with
     | Catalog.Conventional ->
         let tree =
-          Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id)
-            ~table_id:id ~name
+          Imdb_btree.Btree.create ~metrics:eng.E.metrics ~pool:eng.E.pool
+            ~io:(E.btree_io_for eng id) ~table_id:id ~name ()
         in
         {
           Catalog.ti_id = id;
@@ -119,8 +121,8 @@ let create eng ~name ~mode ~schema =
         }
     | Catalog.Immortal | Catalog.Snapshot_table ->
         let rt =
-          Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id)
-            ~table_id:id ~name:(name ^ ".router")
+          Imdb_btree.Btree.create ~metrics:eng.E.metrics ~pool:eng.E.pool
+            ~io:(E.btree_io_for eng id) ~table_id:id ~name:(name ^ ".router") ()
         in
         let first_page = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:id in
         Imdb_btree.Btree.insert ~undoable:false rt ~key:""
@@ -176,7 +178,7 @@ let split_data_page eng ti ~pid ~low ~high =
            (Printf.sprintf "table %s: page %d holds one giant key chain"
               ti.Catalog.ti_name pid));
     let right_pid = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:ti.Catalog.ti_id in
-    let ks = V.key_split ~page ~right_page_id:right_pid in
+    let ks = V.key_split ~metrics:eng.E.metrics ~page ~right_page_id:right_pid () in
     E.exec_op eng fr ~undoable:false (LR.Op_image { image = ks.V.ks_left });
     BP.with_page eng.E.pool right_pid (fun rfr ->
         E.exec_op eng rfr ~undoable:false (LR.Op_image { image = ks.V.ks_right }));
@@ -198,7 +200,10 @@ let split_data_page eng ti ~pid ~low ~high =
             E.alloc_page eng ~ptype:P.P_history ~level:0 ~table_id:ti.Catalog.ti_id
           in
           let old_split = P.split_time page in
-          let images = V.time_split ~page ~split_time:s ~history_page_id:hist_pid in
+          let images =
+            V.time_split ~metrics:eng.E.metrics ~page ~split_time:s
+              ~history_page_id:hist_pid ()
+          in
           E.exec_op eng fr ~undoable:false (LR.Op_image { image = images.V.si_current });
           BP.with_page eng.E.pool hist_pid (fun hfr ->
               E.exec_op eng hfr ~undoable:false
@@ -403,8 +408,9 @@ let enable_snapshot eng ti =
   let id = ti.Catalog.ti_id in
   let old_tree = conv_tree eng ti in
   let rt =
-    Imdb_btree.Btree.create ~pool:eng.E.pool ~io:(E.btree_io_for eng id) ~table_id:id
-      ~name:(ti.Catalog.ti_name ^ ".router")
+    Imdb_btree.Btree.create ~metrics:eng.E.metrics ~pool:eng.E.pool
+      ~io:(E.btree_io_for eng id) ~table_id:id
+      ~name:(ti.Catalog.ti_name ^ ".router") ()
   in
   let first_page = E.alloc_page eng ~ptype:P.P_data ~level:0 ~table_id:id in
   Imdb_btree.Btree.insert ~undoable:false rt ~key:"" ~value:(page_id_value first_page);
@@ -438,7 +444,7 @@ let enable_snapshot eng ti =
    walk is the paper's measured access path; the TSB jump is the indexed
    one. *)
 let historical_page eng ti ~key ~t ~current_page =
-  Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
   match tsb eng ti with
   | Some index -> (
       match Imdb_tsb.Tsb.find index ~key ~ts:t with
@@ -451,7 +457,7 @@ let historical_page eng ti ~key ~t ~current_page =
       let rec walk pid =
         if pid = P.no_page then None
         else begin
-          Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+          Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
           let split, next =
             BP.with_page eng.E.pool pid (fun fr ->
                 let page = BP.bytes fr in
@@ -495,7 +501,7 @@ let read_versioned_at eng txn ti ~key ~t =
             BP.with_page eng.E.pool pid' (fun fr' ->
                 let page' = BP.bytes fr' in
                 if pid' <> pid then E.stamp_record eng fr' ~key;
-                Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+                Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
                 match V.find_stamped_as_of page' ~key ~asof:t with
                 | None -> None
                 | Some slot ->
@@ -644,7 +650,7 @@ let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
       BP.with_page eng.E.pool pid (fun fr ->
           let page = BP.bytes fr in
           E.stamp_page eng fr;
-          Imdb_util.Stats.incr Imdb_util.Stats.asof_pages;
+          Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
           (* overlay: keys written by [own] in this range, decided from the
              current page regardless of which page serves time t *)
           let overlaid = Hashtbl.create 4 in
@@ -668,7 +674,7 @@ let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
                 List.iter
                   (fun key ->
                     if in_range key ~low ~high && not (Hashtbl.mem overlaid key) then begin
-                      Imdb_util.Stats.incr Imdb_util.Stats.asof_versions;
+                      Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
                       match V.find_stamped_as_of page' ~key ~asof:t with
                       | Some slot
                         when R.in_page_flags page' slot land R.f_delete_stub = 0 ->
@@ -766,7 +772,7 @@ let eager_stamp_writes eng txn ~ts =
                       Imdb_util.Codec.set_u32 new_b 8 (Ts.sn ts);
                       E.exec_op eng fr ~undoable:false
                         (LR.Op_patch { slot; at; old_b; new_b });
-                      Imdb_util.Stats.incr Imdb_util.Stats.stamps_applied;
+                      Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.stamps_applied;
                       Imdb_tstamp.Vtt.note_stamped (E.vtt eng) tid
                         ~end_of_log:(Imdb_wal.Wal.next_lsn eng.E.wal)
                   | _ -> ())

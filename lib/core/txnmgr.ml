@@ -66,7 +66,13 @@ let commit eng txn =
     Imdb_tstamp.Vtt.drop_if_drained_snapshot (E.vtt eng) txn.E.tx_tid;
     ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid = txn.E.tx_tid }));
     release eng txn;
-    Imdb_util.Stats.incr Imdb_util.Stats.txn_commits;
+    let m = eng.E.metrics in
+    Imdb_obs.Metrics.incr m Imdb_obs.Metrics.txn_commits;
+    Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_writes
+      (List.length txn.E.tx_writes);
+    if Ts.compare txn.E.tx_snapshot Ts.zero > 0 then
+      Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_latency_ms
+        (Int64.to_int (Int64.sub (Ts.ttime ts) (Ts.ttime txn.E.tx_snapshot)));
     eng.E.commits_since_checkpoint <- eng.E.commits_since_checkpoint + 1;
     E.maybe_auto_checkpoint eng;
     Some ts
@@ -155,6 +161,8 @@ let rollback_chain eng txn ~from_lsn =
       match Imdb_wal.Wal.read_at eng.E.wal lsn with
       | LR.Update { prev_lsn; op; _ } ->
           undo_op eng txn ~op;
+          if eng.E.in_recovery then
+            Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.recovery_undo;
           go prev_lsn
       | LR.Begin _ -> ()
       | LR.Clr _ | LR.Redo_only _ | LR.Commit _ | LR.Abort _ | LR.End _
@@ -175,7 +183,7 @@ let abort eng txn =
   end;
   Imdb_tstamp.Vtt.abort (E.vtt eng) txn.E.tx_tid;
   Imdb_tstamp.Vtt.drop (E.vtt eng) txn.E.tx_tid;
-  Imdb_util.Stats.incr Imdb_util.Stats.txn_aborts;
+  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.txn_aborts;
   release eng txn
 
 (* Recovery entry point: roll back a loser transaction found in the log.

@@ -1,0 +1,296 @@
+(* Per-engine metrics registry.
+
+   Counters and histograms are plain hashtables guarded by an [enabled]
+   flag so the shared [null] registry costs one branch per record.  The
+   histogram uses fixed power-of-two bucket bounds; percentile estimation
+   walks cumulative bucket counts, so for a given observation multiset the
+   result is a pure function — deterministic under the logical clock. *)
+
+type hist = {
+  mutable hc_count : int;
+  mutable hc_sum : int;
+  mutable hc_max : int;
+  buckets : int array;
+}
+
+type phase = Span_begin | Span_end | Instant
+
+type event = {
+  ev_seq : int;
+  ev_name : string;
+  ev_phase : phase;
+  ev_attrs : (string * string) list;
+}
+
+let default_trace_capacity = 1024
+
+type t = {
+  on : bool;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  ring : event Queue.t;
+  mutable ring_cap : int;
+  mutable ring_seq : int;
+  mutable ring_dropped : int;
+}
+
+let make on =
+  {
+    on;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 16;
+    ring = Queue.create ();
+    ring_cap = default_trace_capacity;
+    ring_seq = 0;
+    ring_dropped = 0;
+  }
+
+let create () = make true
+let null = make false
+let enabled t = t.on
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists;
+  Queue.clear t.ring;
+  t.ring_dropped <- 0
+
+(* --- counters ------------------------------------------------------ *)
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let incr ?(by = 1) t name = if t.on then (let r = cell t.counters name in r := !r + by)
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* --- gauges -------------------------------------------------------- *)
+
+let set_gauge t name v = if t.on then (cell t.gauges name) := v
+let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+
+(* --- histograms ---------------------------------------------------- *)
+
+(* Upper bounds 1, 2, 4, ..., 2^30, plus one overflow bucket. *)
+let bounds = Array.init 31 (fun i -> 1 lsl i)
+let n_buckets = Array.length bounds + 1
+
+let bucket_of v =
+  let rec go i =
+    if i >= Array.length bounds then Array.length bounds
+    else if v <= bounds.(i) then i
+    else go (i + 1)
+  in
+  if v <= 1 then 0 else go 1
+
+let hist_cell t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = { hc_count = 0; hc_sum = 0; hc_max = 0; buckets = Array.make n_buckets 0 } in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe t name v =
+  if t.on then begin
+    let v = max 0 v in
+    let h = hist_cell t name in
+    h.hc_count <- h.hc_count + 1;
+    h.hc_sum <- h.hc_sum + v;
+    if v > h.hc_max then h.hc_max <- v;
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let ensure_histogram t name = if t.on then ignore (hist_cell t name)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+}
+
+let percentile h q =
+  if h.hc_count = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.hc_count)) in
+    let rank = max 1 (min rank h.hc_count) in
+    let rec go i cum =
+      let cum = cum + h.buckets.(i) in
+      if cum >= rank then
+        if i < Array.length bounds then min bounds.(i) h.hc_max else h.hc_max
+      else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let summarize h =
+  {
+    h_count = h.hc_count;
+    h_sum = h.hc_sum;
+    h_max = h.hc_max;
+    h_p50 = percentile h 0.50;
+    h_p90 = percentile h 0.90;
+    h_p99 = percentile h 0.99;
+  }
+
+let histogram t name = Option.map summarize (Hashtbl.find_opt t.hists name)
+
+(* --- snapshots ----------------------------------------------------- *)
+
+type snapshot = (string * int) list
+
+let snapshot t : snapshot =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort compare
+
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k (-v)) before;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some d -> Hashtbl.replace tbl k (d + v)
+      | None -> Hashtbl.replace tbl k v)
+    after;
+  Hashtbl.fold (fun k v acc -> if v <> 0 then (k, v) :: acc else acc) tbl []
+  |> List.sort compare
+
+let pp_snapshot ppf (s : snapshot) =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-28s %d@." k v) s
+
+(* --- trace ring ---------------------------------------------------- *)
+
+let set_trace_capacity t cap =
+  if t.on then begin
+    t.ring_cap <- max 1 cap;
+    Queue.clear t.ring;
+    t.ring_dropped <- 0
+  end
+
+let trace t ?(attrs = []) phase name =
+  if t.on then begin
+    let ev = { ev_seq = t.ring_seq; ev_name = name; ev_phase = phase; ev_attrs = attrs } in
+    t.ring_seq <- t.ring_seq + 1;
+    if Queue.length t.ring >= t.ring_cap then begin
+      ignore (Queue.pop t.ring);
+      t.ring_dropped <- t.ring_dropped + 1
+    end;
+    Queue.push ev t.ring
+  end
+
+let trace_events t = List.of_seq (Queue.to_seq t.ring)
+let trace_dropped t = t.ring_dropped
+
+(* --- JSON exposition ----------------------------------------------- *)
+
+let schema_version = 1
+
+let sorted_int_obj tbl =
+  Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
+
+let phase_string = function
+  | Span_begin -> "begin"
+  | Span_end -> "end"
+  | Instant -> "instant"
+
+let to_json ?(traces = false) t =
+  let hists =
+    Hashtbl.fold
+      (fun k h acc ->
+        let s = summarize h in
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.Int s.h_count);
+              ("sum", Json.Int s.h_sum);
+              ("max", Json.Int s.h_max);
+              ("p50", Json.Int s.h_p50);
+              ("p90", Json.Int s.h_p90);
+              ("p99", Json.Int s.h_p99);
+            ] )
+        :: acc)
+      t.hists []
+    |> List.sort compare
+  in
+  let base =
+    [
+      ("schema_version", Json.Int schema_version);
+      ("counters", Json.Obj (sorted_int_obj t.counters));
+      ("gauges", Json.Obj (sorted_int_obj t.gauges));
+      ("histograms", Json.Obj hists);
+    ]
+  in
+  let tr =
+    if not traces then []
+    else
+      [
+        ( "traces",
+          Json.Obj
+            [
+              ("dropped", Json.Int t.ring_dropped);
+              ( "events",
+                Json.List
+                  (List.map
+                     (fun ev ->
+                       Json.Obj
+                         [
+                           ("seq", Json.Int ev.ev_seq);
+                           ("name", Json.String ev.ev_name);
+                           ("phase", Json.String (phase_string ev.ev_phase));
+                           ( "attrs",
+                             Json.Obj
+                               (List.map (fun (k, v) -> (k, Json.String v)) ev.ev_attrs) );
+                         ])
+                     (trace_events t)) );
+            ] );
+      ]
+  in
+  Json.Obj (base @ tr)
+
+let to_json_string ?traces t = Json.to_string (to_json ?traces t)
+
+(* --- canonical names ----------------------------------------------- *)
+
+let disk_reads = "disk.reads"
+let disk_writes = "disk.writes"
+let log_appends = "log.appends"
+let log_bytes = "log.bytes"
+let log_flushes = "log.flushes"
+let buf_hits = "buffer.hits"
+let buf_misses = "buffer.misses"
+let buf_evictions = "buffer.evictions"
+let pages_allocated = "pages.allocated"
+let stamps_applied = "tstamp.applied"
+let ptt_inserts = "ptt.inserts"
+let ptt_deletes = "ptt.deletes"
+let ptt_lookups = "ptt.lookups"
+let vtt_hits = "vtt.hits"
+let time_splits = "split.time"
+let key_splits = "split.key"
+let split_copied = "split.copied"
+let asof_pages = "asof.pages_visited"
+let asof_versions = "asof.versions_visited"
+let txn_commits = "txn.commits"
+let txn_aborts = "txn.aborts"
+let btree_node_splits = "btree.node_splits"
+let checkpoints = "engine.checkpoints"
+let recovery_redo = "recovery.redo_records"
+let recovery_undo = "recovery.undo_records"
+
+let h_log_record_bytes = "log.record_bytes"
+let h_log_flush_bytes = "log.flush_bytes"
+let h_commit_writes = "txn.commit_writes"
+let h_commit_latency_ms = "txn.commit_latency_ms"
+let h_split_current_live = "split.current_live"
+let h_split_history_live = "split.history_live"
+let h_page_utilization_pct = "page.utilization_pct"

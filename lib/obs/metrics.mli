@@ -1,0 +1,158 @@
+(** Per-engine observability registry.
+
+    Replaces the old process-global [Imdb_util.Stats] table: every engine
+    owns its own registry, so two [Db.t] instances in one process never
+    share (or clobber) each other's counters.
+
+    Everything here is deterministic under the logical clock: counters
+    and histograms record logical work (I/O operations, bytes, versions,
+    logical-clock ticks), never wall time, so a bench run reproduces bit
+    for bit.  See DESIGN.md "Deterministic observability". *)
+
+type t
+
+val create : unit -> t
+
+val null : t
+(** A shared disabled registry: every recording operation is a no-op and
+    every read returns zero/empty.  Components not yet attached to an
+    engine default to it. *)
+
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Zero all counters, gauges and histograms and clear the trace ring of
+    [t] only — unlike the old [Stats.reset_all] this cannot touch another
+    engine's registry. *)
+
+(** {1 Counters} — named, monotonic. *)
+
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+
+(** {1 Gauges} — last-write-wins instantaneous values. *)
+
+val set_gauge : t -> string -> int -> unit
+val gauge : t -> string -> int
+
+(** {1 Histograms} — fixed power-of-two buckets over non-negative ints.
+
+    Percentiles are estimated from cumulative bucket counts and rounded
+    up to the bucket's upper bound (clamped to the observed max), which
+    makes them deterministic functions of the observation multiset. *)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+}
+
+val observe : t -> string -> int -> unit
+(** Record one observation; negative values clamp to 0. *)
+
+val ensure_histogram : t -> string -> unit
+(** Register the histogram (empty) so it appears in the exposition even
+    before the first observation. *)
+
+val histogram : t -> string -> hist_summary option
+
+(** {1 Snapshots} — counters only, for bracketing a workload. *)
+
+type snapshot = (string * int) list
+(** Sorted by name. *)
+
+val snapshot : t -> snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name [after - before], dropping zero deltas. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 Trace events} — a bounded ring buffer of span begin/end/instant
+    events for post-hoc inspection of a run.  When full, the oldest event
+    is dropped and [trace_dropped] counts it. *)
+
+type phase = Span_begin | Span_end | Instant
+
+type event = {
+  ev_seq : int;  (** monotonic per registry, never reused *)
+  ev_name : string;
+  ev_phase : phase;
+  ev_attrs : (string * string) list;
+}
+
+val default_trace_capacity : int
+
+val set_trace_capacity : t -> int -> unit
+(** Also clears the ring. Capacity < 1 is clamped to 1. *)
+
+val trace : t -> ?attrs:(string * string) list -> phase -> string -> unit
+
+val trace_events : t -> event list
+(** Oldest first. *)
+
+val trace_dropped : t -> int
+
+(** {1 JSON exposition} — the stable schema consumed by
+    [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
+
+    {v
+    { "schema_version": 1,
+      "counters":   { "<name>": <int>, ... },              (sorted)
+      "gauges":     { "<name>": <int>, ... },              (sorted)
+      "histograms": { "<name>": { "count": n, "sum": n, "max": n,
+                                  "p50": n, "p90": n, "p99": n }, ... },
+      "traces":     { "dropped": n,
+                      "events": [ { "seq": n, "name": s,
+                                    "phase": "begin"|"end"|"instant",
+                                    "attrs": { ... } }, ... ] }
+    v}
+
+    [traces] is omitted unless [~traces:true]. *)
+
+val schema_version : int
+val to_json : ?traces:bool -> t -> Json.t
+val to_json_string : ?traces:bool -> t -> string
+
+(** {1 Canonical metric names} — producers and consumers share these so
+    they cannot drift apart. *)
+
+val disk_reads : string
+val disk_writes : string
+val log_appends : string
+val log_bytes : string
+val log_flushes : string
+val buf_hits : string
+val buf_misses : string
+val buf_evictions : string
+val pages_allocated : string
+val stamps_applied : string
+val ptt_inserts : string
+val ptt_deletes : string
+val ptt_lookups : string
+val vtt_hits : string
+val time_splits : string
+val key_splits : string
+val split_copied : string
+val asof_pages : string
+val asof_versions : string
+val txn_commits : string
+val txn_aborts : string
+val btree_node_splits : string
+val checkpoints : string
+val recovery_redo : string
+val recovery_undo : string
+
+(** Histogram names. *)
+
+val h_log_record_bytes : string
+val h_log_flush_bytes : string
+val h_commit_writes : string
+(* [h_commit_latency_ms] records clock ticks between a writer's snapshot
+   and its commit timestamp — logical-clock ticks, not wall time. *)
+val h_commit_latency_ms : string
+val h_split_current_live : string
+val h_split_history_live : string
+val h_page_utilization_pct : string

@@ -11,6 +11,7 @@
      SET ISOLATION { SERIALIZABLE | SNAPSHOT }
      SELECT HISTORY(t, key)            -- time-travel extension
      CHECKPOINT                         -- maintenance extension
+     METRICS                            -- session pragma: engine metrics as JSON
    v}
 
    The AS OF clause attaches to BEGIN TRAN, as in the paper's example:
@@ -55,6 +56,7 @@ type statement =
   | Rollback_tran
   | Set_isolation of [ `Serializable | `Snapshot ]
   | Checkpoint_stmt
+  | Metrics_stmt
 
 let pp_literal ppf = function
   | L_int i -> Fmt.int ppf i
@@ -134,5 +136,6 @@ let pp_statement ppf = function
   | Set_isolation `Serializable -> Fmt.string ppf "SET ISOLATION SERIALIZABLE"
   | Set_isolation `Snapshot -> Fmt.string ppf "SET ISOLATION SNAPSHOT"
   | Checkpoint_stmt -> Fmt.string ppf "CHECKPOINT"
+  | Metrics_stmt -> Fmt.string ppf "METRICS"
 
 let statement_to_string s = Fmt.str "%a" pp_statement s

@@ -315,6 +315,8 @@ let exec session stmt =
   | Checkpoint_stmt ->
       Db.checkpoint session.db;
       R_ok "checkpoint complete"
+  | Metrics_stmt ->
+      R_ok (Imdb_obs.Metrics.to_json_string (Db.metrics session.db))
 
 let exec_string session src =
   List.map (fun stmt -> exec session stmt) (Parser.parse_script src)

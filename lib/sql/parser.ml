@@ -243,6 +243,10 @@ let parse_statement st =
     advance st;
     Checkpoint_stmt
   end
+  else if is_kw t "METRICS" then begin
+    advance st;
+    Metrics_stmt
+  end
   else fail "unexpected %a at statement start" Lexer.pp_token t
 
 (* Parse a script: semicolon-separated statements. *)

@@ -11,6 +11,8 @@
    in tests is simply dropping every volatile structure (buffer pool, VTT)
    and reopening the engine over the same device. *)
 
+module M = Imdb_obs.Metrics
+
 type t = {
   page_size : int;
   read_page : int -> bytes;
@@ -21,7 +23,12 @@ type t = {
   page_count : unit -> int;  (** high-water mark + 1 over written page ids *)
   sync : unit -> unit;
   close : unit -> unit;
+  metrics : M.t ref;
+      (** a [ref] so wrappers built with [{ inner with ... }] share the
+          cell: [set_metrics] reaches the inner device's closures too *)
 }
+
+let set_metrics t m = t.metrics := m
 
 exception Page_missing of int
 exception Io_failure of string
@@ -36,7 +43,7 @@ let check_size t b =
 (* In-memory device                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let in_memory ~page_size () =
+let in_memory ?(metrics = M.null) ~page_size () =
   let platter : (int, bytes) Hashtbl.t = Hashtbl.create 256 in
   let hwm = ref 0 in
   let rec t =
@@ -44,20 +51,21 @@ let in_memory ~page_size () =
       page_size;
       read_page =
         (fun id ->
-          Imdb_util.Stats.incr Imdb_util.Stats.disk_reads;
+          M.incr !(t.metrics) M.disk_reads;
           match Hashtbl.find_opt platter id with
           | Some b -> Bytes.copy b
           | None -> raise (Page_missing id));
       write_page =
         (fun id b ->
           check_size t b;
-          Imdb_util.Stats.incr Imdb_util.Stats.disk_writes;
+          M.incr !(t.metrics) M.disk_writes;
           Hashtbl.replace platter id (Bytes.copy b);
           if id + 1 > !hwm then hwm := id + 1);
       page_exists = (fun id -> Hashtbl.mem platter id);
       page_count = (fun () -> !hwm);
       sync = (fun () -> ());
       close = (fun () -> ());
+      metrics = ref metrics;
     }
   in
   t
@@ -66,7 +74,7 @@ let in_memory ~page_size () =
 (* File-backed device                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let file ~path ~page_size () =
+let file ?(metrics = M.null) ~path ~page_size () =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let closed = ref false in
   let ensure_open () = if !closed then raise (Io_failure "disk closed") in
@@ -80,7 +88,7 @@ let file ~path ~page_size () =
       read_page =
         (fun id ->
           ensure_open ();
-          Imdb_util.Stats.incr Imdb_util.Stats.disk_reads;
+          M.incr !(t.metrics) M.disk_reads;
           if id >= file_pages () then raise (Page_missing id);
           let b = Bytes.create page_size in
           ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
@@ -97,7 +105,7 @@ let file ~path ~page_size () =
         (fun id b ->
           ensure_open ();
           check_size t b;
-          Imdb_util.Stats.incr Imdb_util.Stats.disk_writes;
+          M.incr !(t.metrics) M.disk_writes;
           ignore (Unix.lseek fd (id * page_size) Unix.SEEK_SET);
           let rec drain off =
             if off < page_size then
@@ -116,6 +124,7 @@ let file ~path ~page_size () =
             closed := true;
             Unix.close fd
           end);
+      metrics = ref metrics;
     }
   in
   t

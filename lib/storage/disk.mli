@@ -17,15 +17,23 @@ type t = {
   page_count : unit -> int;  (** one past the highest page id written *)
   sync : unit -> unit;
   close : unit -> unit;
+  metrics : Imdb_obs.Metrics.t ref;
+      (** registry charged for reads/writes; a [ref] so that wrappers
+          built with [{ inner with ... }] share it with the wrapped
+          device's closures *)
 }
 
 exception Page_missing of int
 exception Io_failure of string
 
-val in_memory : page_size:int -> unit -> t
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
+(** Point the device (and anything sharing its [metrics] ref, e.g. a
+    [failing] wrapper) at an engine's registry. *)
+
+val in_memory : ?metrics:Imdb_obs.Metrics.t -> page_size:int -> unit -> t
 (** Deterministic in-memory device (tests, benchmarks, crash simulation). *)
 
-val file : path:string -> page_size:int -> unit -> t
+val file : ?metrics:Imdb_obs.Metrics.t -> path:string -> page_size:int -> unit -> t
 (** File-backed device; [sync] is fsync. *)
 
 (** Injected-failure control block for [failing]. *)

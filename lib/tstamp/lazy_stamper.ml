@@ -21,10 +21,16 @@ type t = {
   mutable ptt : Ptt.t option; (* None until the engine wires storage up *)
   mutable end_of_log : unit -> int64; (* for lsn_at_zero bookkeeping *)
   mutable unknown_tids : int; (* integrity counter: should stay 0 *)
+  mutable metrics : Imdb_obs.Metrics.t;
 }
 
-let create () =
-  { vtt = Vtt.create (); ptt = None; end_of_log = (fun () -> 0L); unknown_tids = 0 }
+let create ?(metrics = Imdb_obs.Metrics.null) () =
+  { vtt = Vtt.create ~metrics (); ptt = None; end_of_log = (fun () -> 0L);
+    unknown_tids = 0; metrics }
+
+let set_metrics t m =
+  t.metrics <- m;
+  Vtt.set_metrics t.vtt m
 
 let set_ptt t ptt = t.ptt <- Some ptt
 let set_end_of_log t f = t.end_of_log <- f
@@ -69,12 +75,13 @@ let on_stamp t tid =
 (* Stamp every committed version in [page].  Returns the number stamped;
    the caller marks the page dirty (unlogged) when non-zero. *)
 let stamp_page t page =
-  Imdb_version.Vpage.stamp_committed page ~resolve:(resolve t) ~on_stamp:(on_stamp t)
+  Imdb_version.Vpage.stamp_committed ~metrics:t.metrics page ~resolve:(resolve t)
+    ~on_stamp:(on_stamp t)
 
 (* The pre-flush variant: volatile resolution only. *)
 let stamp_page_volatile t page =
-  Imdb_version.Vpage.stamp_committed page ~resolve:(resolve_volatile_only t)
-    ~on_stamp:(on_stamp t)
+  Imdb_version.Vpage.stamp_committed ~metrics:t.metrics page
+    ~resolve:(resolve_volatile_only t) ~on_stamp:(on_stamp t)
 
 (* Incremental PTT garbage collection (run after each checkpoint).
    [redo_scan_start] is the LSN from which a crash's redo would begin; if

@@ -10,7 +10,8 @@
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Imdb_obs.Metrics.t -> unit -> t
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
 val set_ptt : t -> Ptt.t -> unit
 val set_end_of_log : t -> (unit -> int64) -> unit
 val vtt : t -> Vtt.t

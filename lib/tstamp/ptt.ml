@@ -12,8 +12,9 @@
 
 module Ts = Imdb_clock.Timestamp
 module Tid = Imdb_clock.Tid
+module M = Imdb_obs.Metrics
 
-type t = { tree : Imdb_btree.Btree.t }
+type t = { tree : Imdb_btree.Btree.t; mutable metrics : M.t }
 
 (* Order-preserving big-endian encoding of the TID. *)
 let key_of_tid tid =
@@ -30,26 +31,26 @@ let value_of_ts ts =
 
 let ts_of_value v = Ts.read v 0
 
-let create ~pool ~io ~table_id =
-  { tree = Imdb_btree.Btree.create ~pool ~io ~table_id ~name:"ptt" }
+let create ?(metrics = M.null) ~pool ~io ~table_id () =
+  { tree = Imdb_btree.Btree.create ~metrics ~pool ~io ~table_id ~name:"ptt" (); metrics }
 
-let attach ~pool ~io ~root ~table_id =
-  { tree = Imdb_btree.Btree.attach ~pool ~io ~root ~table_id ~name:"ptt" }
+let attach ?(metrics = M.null) ~pool ~io ~root ~table_id () =
+  { tree = Imdb_btree.Btree.attach ~metrics ~pool ~io ~root ~table_id ~name:"ptt" (); metrics }
 
 let root t = Imdb_btree.Btree.root t.tree
 
 (* Commit-path insert: one logged update per transaction. *)
 let insert t tid ts =
-  Imdb_util.Stats.incr Imdb_util.Stats.ptt_inserts;
+  M.incr t.metrics M.ptt_inserts;
   Imdb_btree.Btree.insert t.tree ~key:(key_of_tid tid) ~value:(value_of_ts ts)
 
 let lookup t tid =
-  Imdb_util.Stats.incr Imdb_util.Stats.ptt_lookups;
+  M.incr t.metrics M.ptt_lookups;
   Option.map ts_of_value (Imdb_btree.Btree.find t.tree ~key:(key_of_tid tid))
 
 (* Garbage collection delete: redo-only, never rolled back. *)
 let delete t tid =
-  Imdb_util.Stats.incr Imdb_util.Stats.ptt_deletes;
+  M.incr t.metrics M.ptt_deletes;
   Imdb_btree.Btree.delete t.tree ~key:(key_of_tid tid)
 
 let count t = Imdb_btree.Btree.count t.tree

@@ -7,11 +7,24 @@
     timestamping performs per transaction; deletes are garbage
     collection, redo-only. *)
 
-type t = { tree : Imdb_btree.Btree.t }
+type t = { tree : Imdb_btree.Btree.t; mutable metrics : Imdb_obs.Metrics.t }
 
-val create : pool:Imdb_buffer.Buffer_pool.t -> io:Imdb_btree.Btree.io -> table_id:int -> t
+val create :
+  ?metrics:Imdb_obs.Metrics.t ->
+  pool:Imdb_buffer.Buffer_pool.t ->
+  io:Imdb_btree.Btree.io ->
+  table_id:int ->
+  unit ->
+  t
+
 val attach :
-  pool:Imdb_buffer.Buffer_pool.t -> io:Imdb_btree.Btree.io -> root:int -> table_id:int -> t
+  ?metrics:Imdb_obs.Metrics.t ->
+  pool:Imdb_buffer.Buffer_pool.t ->
+  io:Imdb_btree.Btree.io ->
+  root:int ->
+  table_id:int ->
+  unit ->
+  t
 
 val root : t -> int
 

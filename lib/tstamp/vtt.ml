@@ -22,6 +22,7 @@
 
 module Ts = Imdb_clock.Timestamp
 module Tid = Imdb_clock.Tid
+module M = Imdb_obs.Metrics
 
 let undefined = -1
 let no_lsn = -1L
@@ -36,9 +37,10 @@ type entry = {
   mutable persistent : bool; (* has a PTT entry (immortal-table txn) *)
 }
 
-type t = { entries : entry Tid.Table.t }
+type t = { entries : entry Tid.Table.t; mutable metrics : M.t }
 
-let create () = { entries = Tid.Table.create 256 }
+let create ?(metrics = M.null) () = { entries = Tid.Table.create 256; metrics }
+let set_metrics t m = t.metrics <- m
 let size t = Tid.Table.length t.entries
 let find t tid = Tid.Table.find_opt t.entries tid
 
@@ -98,7 +100,7 @@ let cache_from_ptt t tid ts =
 let resolve t tid =
   match find t tid with
   | Some { status = Committed ts; _ } ->
-      Imdb_util.Stats.incr Imdb_util.Stats.vtt_hits;
+      M.incr t.metrics M.vtt_hits;
       Some (`Committed ts)
   | Some { status = Active; _ } -> Some `Active
   | Some { status = Aborted; _ } -> Some `Aborted

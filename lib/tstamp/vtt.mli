@@ -23,7 +23,8 @@ type t
 val undefined : int
 val no_lsn : int64
 
-val create : unit -> t
+val create : ?metrics:Imdb_obs.Metrics.t -> unit -> t
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
 val size : t -> int
 val find : t -> Imdb_clock.Tid.t -> entry option
 

@@ -18,6 +18,7 @@
 module P = Imdb_storage.Page
 module R = Imdb_storage.Record
 module Ts = Imdb_clock.Timestamp
+module M = Imdb_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Reading versions                                                    *)
@@ -193,7 +194,7 @@ type resolution =
    [on_stamp tid] lets the caller decrement reference counts.  Returns the
    number of versions stamped — when non-zero the caller marks the page
    dirty *without logging* (the defining property of lazy timestamping). *)
-let stamp_committed page ~resolve ~on_stamp =
+let stamp_committed ?(metrics = M.null) page ~resolve ~on_stamp =
   let stamped = ref 0 in
   P.iter_live page (fun slot ->
       match R.in_page_ttime page slot with
@@ -204,7 +205,7 @@ let stamp_committed page ~resolve ~on_stamp =
               R.set_in_page_ttime page slot (Imdb_clock.Tid.Stamped (Ts.ttime ts));
               R.set_in_page_sn page slot (Ts.sn ts);
               incr stamped;
-              Imdb_util.Stats.incr Imdb_util.Stats.stamps_applied;
+              M.incr metrics M.stamps_applied;
               on_stamp tid
           | Active | Unknown -> ()));
   !stamped
@@ -212,7 +213,7 @@ let stamp_committed page ~resolve ~on_stamp =
 (* Stamp only the versions of one record — the paper's per-record triggers
    (stage IV: reading or updating a non-timestamped version timestamps
    that record's versions).  Cheaper than a page sweep on the write path. *)
-let stamp_versions_of page ~key ~resolve ~on_stamp =
+let stamp_versions_of ?(metrics = M.null) page ~key ~resolve ~on_stamp =
   let stamped = ref 0 in
   P.iter_live page (fun slot ->
       if R.in_page_key_matches page slot key then
@@ -224,7 +225,7 @@ let stamp_versions_of page ~key ~resolve ~on_stamp =
                 R.set_in_page_ttime page slot (Imdb_clock.Tid.Stamped (Ts.ttime ts));
                 R.set_in_page_sn page slot (Ts.sn ts);
                 incr stamped;
-                Imdb_util.Stats.incr Imdb_util.Stats.stamps_applied;
+                M.incr metrics M.stamps_applied;
                 on_stamp tid
             | Active | Unknown -> ()));
   !stamped
@@ -371,7 +372,7 @@ type split_images = {
    the current page gets split_time := s and history pointer := the new
    page.  Chains are rewired so that VP links stay within a page or step
    exactly one page back (deeper traversal is by page chain). *)
-let time_split ~page ~split_time ~history_page_id =
+let time_split ?(metrics = M.null) ~page ~split_time ~history_page_id () =
   let page_size = Bytes.length page in
   let chains = List.map (classify_chain ~split_time) (collect_chains page) in
   let current_img = Bytes.create page_size in
@@ -465,14 +466,20 @@ let time_split ~page ~split_time ~history_page_id =
       in
       wire chain)
     chains;
-  Imdb_util.Stats.incr Imdb_util.Stats.time_splits;
-  {
-    si_current = current_img;
-    si_history = history_img;
-    si_current_live = P.live_count current_img;
-    si_history_live = P.live_count history_img;
-    si_copied = !copied;
-  }
+  let images =
+    {
+      si_current = current_img;
+      si_history = history_img;
+      si_current_live = P.live_count current_img;
+      si_history_live = P.live_count history_img;
+      si_copied = !copied;
+    }
+  in
+  M.incr metrics M.time_splits;
+  M.incr ~by:images.si_copied metrics M.split_copied;
+  M.observe metrics M.h_split_current_live images.si_current_live;
+  M.observe metrics M.h_split_history_live images.si_history_live;
+  images
 
 (* ------------------------------------------------------------------ *)
 (* Key splits                                                          *)
@@ -489,7 +496,7 @@ type key_split_images = {
    original (their shared history chain covers the combined key range;
    as-of readers filter by key).  The left half keeps original slot
    numbers; the right half is rebuilt with local chain rewiring. *)
-let key_split ~page ~right_page_id =
+let key_split ?(metrics = M.null) ~page ~right_page_id () =
   let page_size = Bytes.length page in
   let chains = collect_chains page in
   if List.length chains < 2 then invalid_arg "Vpage.key_split: fewer than two keys";
@@ -555,7 +562,7 @@ let key_split ~page ~right_page_id =
         rewire slots
       end)
     keyed;
-  Imdb_util.Stats.incr Imdb_util.Stats.key_splits;
+  M.incr metrics M.key_splits;
   { ks_left = left_img; ks_right = right_img; ks_separator = separator }
 
 (* ------------------------------------------------------------------ *)

@@ -73,12 +73,17 @@ type resolution =
   | Unknown  (** no mapping — an integrity error outside recovery *)
 
 val stamp_committed :
-  bytes -> resolve:(Imdb_clock.Tid.t -> resolution) -> on_stamp:(Imdb_clock.Tid.t -> unit) -> int
+  ?metrics:Imdb_obs.Metrics.t ->
+  bytes ->
+  resolve:(Imdb_clock.Tid.t -> resolution) ->
+  on_stamp:(Imdb_clock.Tid.t -> unit) ->
+  int
 (** Replace TIDs with timestamps on every committed version (paper stage
     IV); returns the number stamped.  Never logged: the caller marks the
     page dirty un-logged when non-zero. *)
 
 val stamp_versions_of :
+  ?metrics:Imdb_obs.Metrics.t ->
   bytes ->
   key:string ->
   resolve:(Imdb_clock.Tid.t -> resolution) ->
@@ -103,7 +108,12 @@ type split_images = {
 }
 
 val time_split :
-  page:bytes -> split_time:Imdb_clock.Timestamp.t -> history_page_id:int -> split_images
+  ?metrics:Imdb_obs.Metrics.t ->
+  page:bytes ->
+  split_time:Imdb_clock.Timestamp.t ->
+  history_page_id:int ->
+  unit ->
+  split_images
 (** Perform a time split: versions dead before the split time move to the
     history page, versions spanning it are copied redundantly to both,
     young and uncommitted versions stay current, and delete stubs older
@@ -119,7 +129,8 @@ type key_split_images = {
   ks_separator : string;
 }
 
-val key_split : page:bytes -> right_page_id:int -> key_split_images
+val key_split :
+  ?metrics:Imdb_obs.Metrics.t -> page:bytes -> right_page_id:int -> unit -> key_split_images
 (** B-tree-style key split: whole chains move with their key; both halves
     share the original history chain.  @raise Invalid_argument with fewer
     than two keys. *)

@@ -15,6 +15,7 @@
    before any page write, and commit calls [flush] at the commit record. *)
 
 open Imdb_util
+module M = Imdb_obs.Metrics
 
 let frame_header = 8
 
@@ -98,7 +99,10 @@ type t = {
   mutable durable_end : int64; (* bytes durable on the device *)
   mutable next_lsn : int64; (* end of log including the volatile tail *)
   mutable tail : (int64 * bytes) list; (* unflushed frames, newest first *)
+  mutable metrics : M.t;
 }
+
+let set_metrics t m = t.metrics <- m
 
 let frame_of payload =
   let len = Bytes.length payload in
@@ -126,7 +130,7 @@ let scan_valid_end (d : Device.t) =
   in
   go 0
 
-let open_device device =
+let open_device ?(metrics = M.null) device =
   let valid = scan_valid_end device in
   if valid < device.Device.size () then device.Device.truncate valid;
   {
@@ -134,6 +138,7 @@ let open_device device =
     durable_end = Int64.of_int valid;
     next_lsn = Int64.of_int valid;
     tail = [];
+    metrics;
   }
 
 let next_lsn t = t.next_lsn
@@ -145,8 +150,9 @@ let append t body =
   let lsn = t.next_lsn in
   t.tail <- (lsn, frame) :: t.tail;
   t.next_lsn <- Int64.add t.next_lsn (Int64.of_int (Bytes.length frame));
-  Stats.incr Stats.log_appends;
-  Stats.incr ~by:(Bytes.length frame) Stats.log_bytes;
+  M.incr t.metrics M.log_appends;
+  M.incr ~by:(Bytes.length frame) t.metrics M.log_bytes;
+  M.observe t.metrics M.h_log_record_bytes (Bytes.length frame);
   lsn
 
 (* Make everything up to and including the record at [lsn] durable (in
@@ -155,11 +161,13 @@ let flush ?lsn t =
   let needed = match lsn with Some l -> l | None -> Int64.pred t.next_lsn in
   if Int64.compare needed t.durable_end >= 0 && t.tail <> [] then begin
     let frames = List.rev t.tail in
+    let bytes = List.fold_left (fun acc (_, f) -> acc + Bytes.length f) 0 frames in
     List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
     t.device.Device.sync ();
     t.tail <- [];
     t.durable_end <- t.next_lsn;
-    Stats.incr Stats.log_flushes
+    M.incr t.metrics M.log_flushes;
+    M.observe t.metrics M.h_log_flush_bytes bytes
   end
 
 (* Drop the volatile tail: crash simulation. *)

@@ -24,8 +24,12 @@ end
 
 type t
 
-val open_device : Device.t -> t
+val open_device : ?metrics:Imdb_obs.Metrics.t -> Device.t -> t
 (** Open, scanning for the valid end of log (truncating a torn tail). *)
+
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
+(** Point the log at an engine's registry (appends, flushes, byte
+    histograms are charged there). *)
 
 val append : t -> Log_record.body -> int64
 (** Buffer a record; returns its LSN. *)

@@ -6,6 +6,7 @@
 module Db = Imdb_core.Db
 module S = Imdb_core.Schema
 module Ts = Imdb_clock.Timestamp
+module M = Imdb_obs.Metrics
 
 (* The paper's table: Create IMMORTAL Table MovingObjects
    (Oid smallint PRIMARY KEY, LocationX int, LocationY int) *)
@@ -20,7 +21,7 @@ let moving_objects_schema =
 type run_result = {
   rr_events : int;
   rr_elapsed_s : float;
-  rr_counters : Imdb_util.Stats.snapshot;
+  rr_counters : M.snapshot;  (* this db's counter deltas over the run *)
   rr_commit_ts : Ts.t list; (* commit timestamps, oldest first (sampled) *)
 }
 
@@ -31,7 +32,7 @@ type run_result = {
 let run_events ?clock ?(sample_every = 1) db ~table events =
   let samples = ref [] in
   let count = ref 0 in
-  let before = Imdb_util.Stats.snapshot () in
+  let before = M.snapshot (Db.metrics db) in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun ev ->
@@ -48,11 +49,11 @@ let run_events ?clock ?(sample_every = 1) db ~table events =
       incr count)
     events;
   let elapsed = Unix.gettimeofday () -. t0 in
-  let after = Imdb_util.Stats.snapshot () in
+  let after = M.snapshot (Db.metrics db) in
   {
     rr_events = !count;
     rr_elapsed_s = elapsed;
-    rr_counters = Imdb_util.Stats.diff ~before ~after;
+    rr_counters = M.diff ~before ~after;
     rr_commit_ts = List.rev !samples;
   }
 
@@ -63,7 +64,7 @@ let counter result name =
    "many updates within one transaction" case, which amortizes the
    per-commit PTT update. *)
 let run_events_batched ?clock ~batch db ~table events =
-  let before = Imdb_util.Stats.snapshot () in
+  let before = M.snapshot (Db.metrics db) in
   let t0 = Unix.gettimeofday () in
   let count = ref 0 in
   let rec go = function
@@ -88,11 +89,11 @@ let run_events_batched ?clock ~batch db ~table events =
   in
   go events;
   let elapsed = Unix.gettimeofday () -. t0 in
-  let after = Imdb_util.Stats.snapshot () in
+  let after = M.snapshot (Db.metrics db) in
   {
     rr_events = !count;
     rr_elapsed_s = elapsed;
-    rr_counters = Imdb_util.Stats.diff ~before ~after;
+    rr_counters = M.diff ~before ~after;
     rr_commit_ts = [];
   }
 
@@ -120,19 +121,19 @@ type scan_measure = {
 
 (* AS OF scan with the work counters that explain the elapsed time. *)
 let measured_scan_as_of db ~table ~ts =
-  let before = Imdb_util.Stats.snapshot () in
+  let before = M.snapshot (Db.metrics db) in
   let t0 = Unix.gettimeofday () in
   let n = ref 0 in
   Db.as_of db ts (fun txn -> Db.scan db txn ~table (fun _ _ -> incr n));
   let elapsed = Unix.gettimeofday () -. t0 in
-  let after = Imdb_util.Stats.snapshot () in
-  let d = Imdb_util.Stats.diff ~before ~after in
+  let after = M.snapshot (Db.metrics db) in
+  let d = M.diff ~before ~after in
   let get name = match List.assoc_opt name d with Some v -> v | None -> 0 in
   {
     sm_elapsed_s = elapsed;
     sm_rows = !n;
-    sm_pages = get Imdb_util.Stats.asof_pages;
-    sm_misses = get Imdb_util.Stats.buf_misses;
+    sm_pages = get M.asof_pages;
+    sm_misses = get M.buf_misses;
   }
 
 let timed_scan_current db ~table =

@@ -9,7 +9,7 @@ val moving_objects_schema : Imdb_core.Schema.t
 type run_result = {
   rr_events : int;
   rr_elapsed_s : float;
-  rr_counters : Imdb_util.Stats.snapshot;
+  rr_counters : Imdb_obs.Metrics.snapshot;
   rr_commit_ts : Imdb_clock.Timestamp.t list;  (** sampled, oldest first *)
 }
 

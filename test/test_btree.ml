@@ -36,7 +36,7 @@ let standalone ?(page_size = 512) ?(capacity = 64) () =
       free = (fun pid -> BP.invalidate pool pid);
     }
   in
-  B.create ~pool ~io ~table_id:1 ~name:"test"
+  B.create ~pool ~io ~table_id:1 ~name:"test" ()
 
 let v s = Bytes.of_string s
 let k i = Printf.sprintf "key%05d" i

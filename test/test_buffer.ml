@@ -7,11 +7,12 @@ module BP = Imdb_buffer.Buffer_pool
 module Wal = Imdb_wal.Wal
 module LR = Imdb_wal.Log_record
 module Tid = Imdb_clock.Tid
+module M = Imdb_obs.Metrics
 
-let setup ?(capacity = 4) () =
+let setup ?(capacity = 4) ?(metrics = M.null) () =
   let disk = Disk.in_memory ~page_size:512 () in
   let wal = Wal.open_device (Wal.Device.in_memory ()) in
-  let pool = BP.create ~capacity ~disk ~wal () in
+  let pool = BP.create ~capacity ~metrics ~disk ~wal () in
   (disk, wal, pool)
 
 let new_page pool pid =
@@ -20,17 +21,17 @@ let new_page pool pid =
   fr
 
 let test_pin_miss_hit () =
-  let disk, _, pool = setup () in
+  let m = M.create () in
+  let disk, _, pool = setup ~metrics:m () in
   (* seed a page on disk *)
   let b = Bytes.make 512 '\000' in
   P.format b ~page_id:1 ~page_type:P.P_data ();
   P.seal b;
   disk.Disk.write_page 1 b;
-  Imdb_util.Stats.reset_all ();
   BP.with_page pool 1 (fun _ -> ());
-  Alcotest.(check int) "first access misses" 1 (Imdb_util.Stats.get Imdb_util.Stats.buf_misses);
+  Alcotest.(check int) "first access misses" 1 (M.get m M.buf_misses);
   BP.with_page pool 1 (fun _ -> ());
-  Alcotest.(check int) "second access hits" 1 (Imdb_util.Stats.get Imdb_util.Stats.buf_hits)
+  Alcotest.(check int) "second access hits" 1 (M.get m M.buf_hits)
 
 let test_corrupt_detection () =
   let disk, _, pool = setup () in

@@ -102,7 +102,7 @@ let test_batched_driver () =
   Alcotest.(check int) "20 objects" 20 n;
   (* 400 events / 25 per txn = 16 commits = 16 PTT inserts *)
   Alcotest.(check int) "batched PTT inserts" 16
-    (Imdb_workload.Driver.counter r Imdb_util.Stats.ptt_inserts);
+    (Imdb_workload.Driver.counter r Imdb_obs.Metrics.ptt_inserts);
   Db.close db
 
 let test_boundary_keys () =

@@ -34,7 +34,7 @@ let test_tiny_pool_end_to_end () =
     if u mod 50 = 0 then stamps := (k, u, ts) :: !stamps
   done;
   Alcotest.(check bool) "evictions happened" true
-    (Imdb_util.Stats.get Imdb_util.Stats.buf_evictions > 0);
+    (Imdb_obs.Metrics.(get (Db.metrics db) buf_evictions) > 0);
   (* current state correct *)
   Db.exec db (fun txn ->
       Alcotest.(check int) "ten rows" 10 (List.length (Db.scan_rows db txn ~table:"t")));

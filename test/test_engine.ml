@@ -23,7 +23,7 @@ let test_tsb_chain_equivalence () =
   let db_chain, stamps = run ~tsb:false in
   let db_tsb, _ = run ~tsb:true in
   Alcotest.(check bool) "chain run produced splits" true
-    (Imdb_util.Stats.get Imdb_util.Stats.time_splits > 0);
+    (Imdb_obs.Metrics.(get (Db.metrics db_chain) time_splits) > 0);
   (* every 100th commit point: full as-of scans must agree exactly *)
   List.iteri
     (fun i ts ->
@@ -106,7 +106,6 @@ let test_split_store_equivalence () =
 (* --- snapshot tables: versions for SI only, GC'd under pressure ------------ *)
 
 let test_snapshot_table_gc_pressure () =
-  Imdb_util.Stats.reset_all ();
   let db, clock = fresh_db () in
   Db.create_table db ~name:"s" ~mode:Db.Snapshot_table ~schema:kv_schema;
   for i = 1 to 5 do
@@ -122,7 +121,7 @@ let test_snapshot_table_gc_pressure () =
            Db.update_row db txn ~table:"s" (row (1 + (u mod 5)) (Printf.sprintf "v%d" u))))
   done;
   Alcotest.(check int) "no time splits on snapshot tables" 0
-    (Imdb_util.Stats.get Imdb_util.Stats.time_splits);
+    (Imdb_obs.Metrics.(get (Db.metrics db) time_splits));
   let pages = (Db.engine db).E.meta.Imdb_core.Meta.hwm in
   Alcotest.(check bool) (Printf.sprintf "storage bounded (%d pages)" pages) true (pages < 20);
   (* reads are correct *)
@@ -308,17 +307,16 @@ let test_fcw_through_time_split () =
   tick clock;
   ignore (commit_write db (fun txn -> Db.delete_row db txn ~table:"t" ~key:(S.V_int 99)));
   (* churn other keys until time splits push the stub chain to history *)
-  Imdb_util.Stats.reset_all ();
+  let splits () = Imdb_obs.Metrics.(get (Db.metrics db) time_splits) in
   let u = ref 0 in
-  while Imdb_util.Stats.get Imdb_util.Stats.time_splits < 2 && !u < 2000 do
+  while splits () < 2 && !u < 2000 do
     incr u;
     tick clock;
     ignore
       (commit_write db (fun txn ->
            Db.upsert_row db txn ~table:"t" (row (!u mod 8) (Printf.sprintf "c%d" !u))))
   done;
-  Alcotest.(check bool) "splits happened" true
-    (Imdb_util.Stats.get Imdb_util.Stats.time_splits >= 2);
+  Alcotest.(check bool) "splits happened" true (splits () >= 2);
   (* the stub is no longer in the current page... *)
   let eng = Db.engine db in
   let ti = Db.table_info db "t" in

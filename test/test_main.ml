@@ -7,6 +7,7 @@ let () =
       ("record", Test_record.suite);
       ("disk-wal", Test_disk_wal.suite);
       ("buffer", Test_buffer.suite);
+      ("metrics", Test_metrics.suite);
       ("btree", Test_btree.suite);
       ("vpage", Test_vpage.suite);
       ("tsb", Test_tsb.suite);

@@ -1,0 +1,226 @@
+(* The per-engine observability registry: counter and histogram semantics,
+   percentile determinism, the trace ring, JSON round-trips, and — the
+   reason the registry replaced the old process-global Stats table —
+   isolation between two databases open in the same process. *)
+
+open Helpers
+module M = Imdb_obs.Metrics
+module J = Imdb_obs.Json
+module Db = Imdb_core.Db
+
+(* --- counters and gauges --------------------------------------------------- *)
+
+let test_counters () =
+  let m = M.create () in
+  Alcotest.(check int) "unknown counter is zero" 0 (M.get m "nope");
+  M.incr m "a";
+  M.incr m "a";
+  M.incr ~by:40 m "a";
+  Alcotest.(check int) "accumulates" 42 (M.get m "a");
+  M.set_gauge m "g" 7;
+  M.set_gauge m "g" 3;
+  Alcotest.(check int) "gauge last-write-wins" 3 (M.gauge m "g");
+  M.reset m;
+  Alcotest.(check int) "reset zeroes" 0 (M.get m "a")
+
+let test_null_registry () =
+  Alcotest.(check bool) "null is disabled" false (M.enabled M.null);
+  M.incr M.null "a";
+  M.observe M.null "h" 5;
+  M.trace M.null M.Instant "ev";
+  Alcotest.(check int) "null records nothing" 0 (M.get M.null "a");
+  Alcotest.(check (option reject)) "null has no histograms" None
+    (Option.map ignore (M.histogram M.null "h"));
+  Alcotest.(check int) "null has no events" 0 (List.length (M.trace_events M.null))
+
+(* --- histograms ------------------------------------------------------------- *)
+
+let test_histogram_percentiles () =
+  let m = M.create () in
+  (* 100 observations 1..100: p50 rounds up to the bucket bound above 50
+     (64), p99 to the bound above 99 (128) clamped to the observed max. *)
+  for v = 1 to 100 do
+    M.observe m "h" v
+  done;
+  match M.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 100 h.M.h_count;
+      Alcotest.(check int) "sum" 5050 h.M.h_sum;
+      Alcotest.(check int) "max" 100 h.M.h_max;
+      Alcotest.(check int) "p50 = bucket bound" 64 h.M.h_p50;
+      Alcotest.(check int) "p99 clamped to max" 100 h.M.h_p99
+
+let test_histogram_determinism () =
+  (* same multiset, different order => identical summary *)
+  let feed order =
+    let m = M.create () in
+    List.iter (fun v -> M.observe m "h" v) order;
+    Option.get (M.histogram m "h")
+  in
+  let a = feed [ 1; 1000; 17; 42; 42; 9; 100000; 3 ] in
+  let b = feed [ 100000; 3; 42; 1; 9; 42; 17; 1000 ] in
+  Alcotest.(check bool) "order-independent" true (a = b)
+
+let test_histogram_edges () =
+  let m = M.create () in
+  M.observe m "h" (-5);
+  (* clamps to 0 *)
+  M.observe m "h" 0;
+  M.observe m "h" max_int;
+  (match M.histogram m "h" with
+  | Some h ->
+      Alcotest.(check int) "count" 3 h.M.h_count;
+      Alcotest.(check int) "max" max_int h.M.h_max;
+      Alcotest.(check int) "p50 in first bucket" 1 h.M.h_p50
+  | None -> Alcotest.fail "histogram missing");
+  M.ensure_histogram m "empty";
+  match M.histogram m "empty" with
+  | Some h ->
+      Alcotest.(check int) "empty count" 0 h.M.h_count;
+      Alcotest.(check int) "empty p99" 0 h.M.h_p99
+  | None -> Alcotest.fail "ensure_histogram did not register"
+
+(* --- trace ring ------------------------------------------------------------- *)
+
+let test_trace_ring_truncation () =
+  let m = M.create () in
+  M.set_trace_capacity m 4;
+  for i = 1 to 10 do
+    M.trace m M.Instant (Printf.sprintf "ev%d" i)
+  done;
+  let evs = M.trace_events m in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length evs);
+  Alcotest.(check int) "oldest were dropped" 6 (M.trace_dropped m);
+  Alcotest.(check (list string)) "newest survive, oldest first"
+    [ "ev7"; "ev8"; "ev9"; "ev10" ]
+    (List.map (fun e -> e.M.ev_name) evs);
+  (* sequence numbers keep rising across drops *)
+  Alcotest.(check (list int)) "seqs monotonic" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.M.ev_seq) evs)
+
+(* --- JSON ------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let m = M.create () in
+  M.incr ~by:3 m "z.last";
+  M.incr m "a.first";
+  M.set_gauge m "depth" 12;
+  for v = 1 to 50 do
+    M.observe m "lat" v
+  done;
+  M.trace m ~attrs:[ ("k", "v\"with\nescapes") ] M.Span_begin "span";
+  let str = M.to_json_string ~traces:true m in
+  match J.parse str with
+  | Error e -> Alcotest.fail ("unparseable exposition: " ^ e)
+  | Ok j ->
+      let int_at path =
+        let rec go j = function
+          | [] -> J.to_int j
+          | k :: rest -> Option.bind (J.member k j) (fun j -> go j rest)
+        in
+        Option.value ~default:(-1) (go j path)
+      in
+      Alcotest.(check int) "schema_version" M.schema_version
+        (int_at [ "schema_version" ]);
+      Alcotest.(check int) "counter value" 3 (int_at [ "counters"; "z.last" ]);
+      Alcotest.(check int) "histogram count" 50 (int_at [ "histograms"; "lat"; "count" ]);
+      Alcotest.(check int) "gauge" 12 (int_at [ "gauges"; "depth" ]);
+      (* counters object is emitted sorted -> byte-stable document *)
+      (match J.member "counters" j with
+      | Some (J.Obj kvs) ->
+          let keys = List.map fst kvs in
+          Alcotest.(check (list string)) "sorted keys" (List.sort compare keys) keys
+      | _ -> Alcotest.fail "counters not an object");
+      (* the escaped attribute survived the round-trip *)
+      (match
+         Option.bind (J.member "traces" j) (fun t ->
+             Option.bind (J.member "events" t) (fun evs ->
+                 Option.bind (J.to_list evs) (fun l ->
+                     Option.bind (List.nth_opt l 0) (fun ev ->
+                         Option.bind (J.member "attrs" ev) (J.member "k")))))
+       with
+      | Some (J.String s) ->
+          Alcotest.(check string) "escape round-trip" "v\"with\nescapes" s
+      | _ -> Alcotest.fail "trace attrs missing");
+      (* re-printing the parsed value reproduces the document byte for byte *)
+      Alcotest.(check string) "byte-stable" str (J.to_string j)
+
+let test_json_traces_opt_in () =
+  let m = M.create () in
+  M.trace m M.Instant "ev";
+  (match J.parse (M.to_json_string m) with
+  | Ok j -> Alcotest.(check bool) "traces omitted" true (J.member "traces" j = None)
+  | Error e -> Alcotest.fail e);
+  match J.parse (M.to_json_string ~traces:true m) with
+  | Ok j -> Alcotest.(check bool) "traces present" true (J.member "traces" j <> None)
+  | Error e -> Alcotest.fail e
+
+(* --- per-engine isolation ---------------------------------------------------
+
+   The regression that motivated the registry: with the old global Stats
+   table, two open databases shared every counter (and Stats.reset_all
+   from one test clobbered another's numbers).  Two engines must now
+   observe only their own work. *)
+
+let test_two_dbs_isolated () =
+  let db1, clock1 = fresh_db () in
+  let db2, _clock2 = fresh_db () in
+  Alcotest.(check bool) "distinct registries" true (Db.metrics db1 != Db.metrics db2);
+  Db.create_table db1 ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  Db.create_table db2 ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  let commits m = M.get m M.txn_commits in
+  let c1 = commits (Db.metrics db1) and c2 = commits (Db.metrics db2) in
+  (* work only on db1 *)
+  for i = 1 to 10 do
+    tick clock1;
+    ignore (commit_write db1 (fun txn -> Db.insert_row db1 txn ~table:"t" (row i "x")))
+  done;
+  Alcotest.(check int) "db1 counted its commits" (c1 + 10) (commits (Db.metrics db1));
+  Alcotest.(check int) "db2 unaffected" c2 (commits (Db.metrics db2));
+  (* buffer traffic from db1's reads must not appear in db2 *)
+  let hits m = M.get m M.buf_hits in
+  let h2 = hits (Db.metrics db2) in
+  Db.exec db1 (fun txn -> ignore (Db.scan_rows db1 txn ~table:"t"));
+  Alcotest.(check int) "db1 reads don't bleed into db2" h2 (hits (Db.metrics db2));
+  (* and reset on one registry cannot touch the other (the reset_all bug) *)
+  let h1 = hits (Db.metrics db1) in
+  Alcotest.(check bool) "db1 saw buffer traffic" true (h1 > 0);
+  M.reset (Db.metrics db2);
+  Alcotest.(check int) "reset of db2 left db1 intact" h1 (hits (Db.metrics db1));
+  Db.close db1;
+  Db.close db2
+
+let test_crash_reopen_fresh_registry () =
+  (* crash_and_reopen builds a new engine over the same devices: the new
+     handle's registry starts clean and counts only post-recovery work *)
+  let db, clock = fresh_db () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  for i = 1 to 20 do
+    tick clock;
+    ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row i "x")))
+  done;
+  let old = Db.metrics db in
+  let before = M.get old M.txn_commits in
+  Alcotest.(check bool) "work recorded before crash" true (before >= 20);
+  let db = Db.crash_and_reopen ~clock db in
+  Alcotest.(check bool) "new registry" true (Db.metrics db != old);
+  Alcotest.(check int) "no commits yet after recovery" 0
+    (M.get (Db.metrics db) M.txn_commits);
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "data recovered" 20 (List.length (Db.scan_rows db txn ~table:"t")));
+  Db.close db
+
+let suite =
+  [
+    Alcotest.test_case "counters & gauges" `Quick test_counters;
+    Alcotest.test_case "null registry" `Quick test_null_registry;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram determinism" `Quick test_histogram_determinism;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "trace ring truncation" `Quick test_trace_ring_truncation;
+    Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON traces opt-in" `Quick test_json_traces_opt_in;
+    Alcotest.test_case "two DBs isolated" `Quick test_two_dbs_isolated;
+    Alcotest.test_case "fresh registry after crash" `Quick test_crash_reopen_fresh_registry;
+  ]

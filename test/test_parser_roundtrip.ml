@@ -99,6 +99,7 @@ let gen_statement =
         (1, return (Ast.Set_isolation `Serializable));
         (1, return (Ast.Set_isolation `Snapshot));
         (1, return Ast.Checkpoint_stmt);
+        (1, return Ast.Metrics_stmt);
       ])
 
 (* Floats are printed with 6 decimals; normalize before comparing. *)

@@ -85,7 +85,6 @@ let test_snapshot_range_own_writes () =
 let test_sql_range_pushdown () =
   let db, _ = setup ~n:50 () in
   let s = Sql.make_session db in
-  Imdb_util.Stats.reset_all ();
   (match Sql.exec_string s "SELECT * FROM t WHERE id < 10" with
   | [ Sql.R_rows { rows; _ } ] -> Alcotest.(check int) "nine rows" 9 (List.length rows)
   | _ -> Alcotest.fail "unexpected result");

@@ -84,11 +84,14 @@ let test_loser_spanning_splits () =
     tick clock;
     ignore (commit_write db (fun txn -> Db.insert_row db txn ~table:"t" (row i "base")))
   done;
+  (* fat payloads so the churn genuinely fills pages and time-splits
+     this database (the counter is per-engine, nothing bleeds in) *)
+  let fat tag u = Printf.sprintf "%s%d-%s" tag u (String.make 120 'x') in
   for u = 1 to 100 do
     tick clock;
     ignore
       (commit_write db (fun txn ->
-           Db.update_row db txn ~table:"t" (row (1 + (u mod 5)) (Printf.sprintf "u%d" u))))
+           Db.update_row db txn ~table:"t" (row (1 + (u mod 5)) (fat "u" u))))
   done;
   (* the loser updates a key, then other commits force time splits *)
   let loser = Db.begin_txn db in
@@ -97,10 +100,10 @@ let test_loser_spanning_splits () =
     tick clock;
     ignore
       (commit_write db (fun txn ->
-           Db.update_row db txn ~table:"t" (row (1 + (u mod 2)) (Printf.sprintf "w%d" u))))
+           Db.update_row db txn ~table:"t" (row (1 + (u mod 2)) (fat "w" u))))
   done;
   Alcotest.(check bool) "splits happened while loser open" true
-    (Imdb_util.Stats.get Imdb_util.Stats.time_splits > 0);
+    (Imdb_obs.Metrics.(get (Db.metrics db) time_splits) > 0);
   let db = Db.crash_and_reopen ~clock db in
   (* key 3's current version is the last committed one, not the loser's *)
   (match Db.exec db (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int 3)) with

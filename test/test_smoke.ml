@@ -126,7 +126,7 @@ let test_many_updates_force_time_splits () =
            Db.update_row db txn ~table:"t" (row k (Printf.sprintf "v%d" u))))
   done;
   Alcotest.(check bool) "time splits happened" true
-    (Imdb_util.Stats.get Imdb_util.Stats.time_splits > 0);
+    (Imdb_obs.Metrics.(get (Db.metrics db) time_splits) > 0);
   (* current state is the last write of each key *)
   Db.exec db (fun txn ->
       let rows = Db.scan_rows db txn ~table:"t" in

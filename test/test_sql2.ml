@@ -139,6 +139,27 @@ let test_checkpoint_statement () =
   | _ -> Alcotest.fail "checkpoint failed");
   Db.close db
 
+let test_metrics_statement () =
+  let db, _clock, s = setup () in
+  let int_at j path =
+    let rec go j = function
+      | [] -> Imdb_obs.Json.to_int j
+      | k :: rest -> Option.bind (Imdb_obs.Json.member k j) (fun j -> go j rest)
+    in
+    Option.value ~default:(-1) (go j path)
+  in
+  (match exec1 s "METRICS" with
+  | Sql.R_ok json -> (
+      match Imdb_obs.Json.parse json with
+      | Ok j ->
+          Alcotest.(check int) "schema version" Imdb_obs.Metrics.schema_version
+            (int_at j [ "schema_version" ]);
+          Alcotest.(check bool) "commits counted" true
+            (int_at j [ "counters"; Imdb_obs.Metrics.txn_commits ] > 0)
+      | Error e -> Alcotest.fail ("METRICS emitted invalid JSON: " ^ e))
+  | _ -> Alcotest.fail "metrics failed");
+  Db.close db
+
 let test_string_escapes_and_types () =
   let db, _clock, s = setup () in
   ignore (exec1 s "CREATE TABLE t2 (k VARCHAR PRIMARY KEY, f FLOAT, b BOOL)");
@@ -168,5 +189,6 @@ let suite =
     Alcotest.test_case "nested BEGIN rejected" `Quick test_nested_begin_rejected;
     Alcotest.test_case "primary key rules" `Quick test_primary_key_rules;
     Alcotest.test_case "CHECKPOINT statement" `Quick test_checkpoint_statement;
+    Alcotest.test_case "METRICS statement" `Quick test_metrics_statement;
     Alcotest.test_case "strings & types" `Quick test_string_escapes_and_types;
   ]

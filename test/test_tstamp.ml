@@ -88,7 +88,6 @@ let test_resolution_after_reopen () =
      happened; the VTT is gone *)
   let db = Db.crash_and_reopen ~clock db in
   let eng = Db.engine db in
-  Imdb_util.Stats.reset_all ();
   (* reading re-stamps via VTT (rebuilt at recovery) or PTT *)
   check_row db ~table:"t" ~id:5 (Some (row 5 "x"));
   Alcotest.(check bool) "PTT still holds mappings" true (Imdb_tstamp.Ptt.count (E.ptt_exn eng) > 0);

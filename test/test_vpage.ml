@@ -171,7 +171,7 @@ let test_fig3_classification () =
     ]
   in
   let page = build_page specs in
-  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 in
+  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 () in
   Alcotest.(check int) "three redundant copies" 3 images.V.si_copied;
   (* current page: A(100), B(120), B(400), C(200), C-stub(450) = 5 *)
   Alcotest.(check int) "current live" 5 images.V.si_current_live;
@@ -196,7 +196,7 @@ let test_split_preserves_current_slots () =
   let page = build_page specs in
   let a_head = Option.get (V.find_current page ~key:"A") in
   let b_head = Option.get (V.find_current page ~key:"B") in
-  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 in
+  let images = V.time_split ~page ~split_time:(ts 300) ~history_page_id:6 () in
   let cur = images.V.si_current in
   (* survivors keep their slot numbers (in-flight undo depends on it) *)
   Alcotest.(check (option int)) "A head slot stable" (Some a_head)
@@ -233,7 +233,7 @@ let prop_time_split_completeness =
       in
       let page = build_page specs in
       let split_ms = 1 + (!time / 2) in
-      let images = V.time_split ~page ~split_time:(ts split_ms) ~history_page_id:6 in
+      let images = V.time_split ~page ~split_time:(ts split_ms) ~history_page_id:6 () in
       (* probe every key at every interesting time against the reference *)
       let keys = List.sort_uniq compare (List.map (fun s -> s.vkey) specs) in
       let times = List.filter_map (fun s -> s.vms) specs in
@@ -281,7 +281,7 @@ let prop_key_split =
       let page = build_page specs in
       if List.length (V.keys page) < 2 then true
       else begin
-        let ks = V.key_split ~page ~right_page_id:7 in
+        let ks = V.key_split ~page ~right_page_id:7 () in
         let count_versions img key = List.length (V.all_versions_of img ~key) in
         List.for_all
           (fun key ->
