@@ -31,6 +31,7 @@
 open Imdb_util
 module P = Imdb_storage.Page
 module M = Imdb_obs.Metrics
+module BP = Imdb_buffer.Buffer_pool
 
 type io = {
   exec : Imdb_buffer.Buffer_pool.frame -> undoable:bool -> Imdb_wal.Log_record.page_op -> unit;
@@ -154,6 +155,83 @@ let node_floor_slot page key =
     failwith
       (Printf.sprintf "Btree: internal page %d lacks a floor for %S" (P.page_id page) key)
 
+(* --- the per-frame key directory ----------------------------------------
+
+   Cells within a page are unsorted, so the scans above decode every live
+   cell.  For search-hot pages we build a sorted (key, slot) directory
+   and cache it on the buffer-pool frame, turning every later search into
+   a binary search.  The directory is volatile cache only — never logged,
+   never moving the page LSN — and the pool invalidates it on any
+   dirtying, so write-hot pages (which would rebuild constantly) never
+   accumulate enough probes to pay the build cost. *)
+
+let keydir_probe_threshold = 2
+
+let build_keydir page =
+  let n = P.live_count page in
+  let keys = Array.make n "" and slots = Array.make n 0 in
+  let i = ref 0 in
+  P.iter_live page (fun slot ->
+      keys.(!i) <- cell_key page slot;
+      slots.(!i) <- slot;
+      incr i);
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = String.compare keys.(a) keys.(b) in
+      if c <> 0 then c else compare slots.(a) slots.(b))
+    idx;
+  {
+    BP.kd_keys = Array.map (fun j -> keys.(j)) idx;
+    kd_slots = Array.map (fun j -> slots.(j)) idx;
+  }
+
+(* The frame's directory if present (hit); on a miss, build it once the
+   frame has seen enough linear probes since its last invalidation. *)
+let frame_keydir t fr =
+  match BP.keydir fr with
+  | Some kd ->
+      M.incr t.metrics M.keydir_hits;
+      Some kd
+  | None ->
+      M.incr t.metrics M.keydir_misses;
+      if BP.keydir_probe fr >= keydir_probe_threshold then begin
+        let kd = build_keydir (BP.bytes fr) in
+        BP.set_keydir fr kd;
+        Some kd
+      end
+      else None
+
+(* Greatest index with kd_keys.(i) <= key, or -1. *)
+let kd_floor kd key =
+  let keys = kd.BP.kd_keys in
+  let lo = ref 0 and hi = ref (Array.length keys - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) key <= 0 then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let kd_find kd key =
+  let i = kd_floor kd key in
+  if i >= 0 && String.equal kd.BP.kd_keys.(i) key then Some kd.BP.kd_slots.(i)
+  else None
+
+let node_floor_slot_fr t fr page key =
+  match frame_keydir t fr with
+  | None -> node_floor_slot page key
+  | Some kd ->
+      let i = kd_floor kd key in
+      if i >= 0 then kd.BP.kd_slots.(i)
+      else
+        failwith
+          (Printf.sprintf "Btree: internal page %d lacks a floor for %S"
+             (P.page_id page) key)
+
 (* Path from root to the leaf responsible for [key]:
    [(page_id, slot_taken); ...] from root downwards, leaf id last. *)
 let rec descend t page_id key path =
@@ -161,7 +239,7 @@ let rec descend t page_id key path =
       let page = Imdb_buffer.Buffer_pool.bytes fr in
       if is_leaf page then (page_id, List.rev path)
       else
-        let slot = node_floor_slot page key in
+        let slot = node_floor_slot_fr t fr page key in
         let _, child = decode_node_cell (P.read_cell page slot) in
         descend t child key ((page_id, slot) :: path))
 
@@ -186,11 +264,16 @@ let leaf_find_slot page key =
   in
   go 0
 
+let leaf_find_slot_fr t fr page key =
+  match frame_keydir t fr with
+  | None -> leaf_find_slot page key
+  | Some kd -> kd_find kd key
+
 let find t ~key =
   let leaf_id, _ = find_leaf t key in
   Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
       let page = Imdb_buffer.Buffer_pool.bytes fr in
-      match leaf_find_slot page key with
+      match leaf_find_slot_fr t fr page key with
       | Some slot -> Some (snd (decode_leaf_cell (P.read_cell page slot)))
       | None -> None)
 
@@ -455,7 +538,7 @@ let insert ?(undoable = true) t ~key ~value =
     let outcome =
       Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
           let page = Imdb_buffer.Buffer_pool.bytes fr in
-          match leaf_find_slot page key with
+          match leaf_find_slot_fr t fr page key with
           | Some slot when
               (* replacing may grow the value past the page's capacity *)
               P.free_space page + P.cell_length page slot + 2
@@ -546,7 +629,7 @@ let delete ?(undoable = false) t ~key =
   let emptied =
     Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
         let page = Imdb_buffer.Buffer_pool.bytes fr in
-        match leaf_find_slot page key with
+        match leaf_find_slot_fr t fr page key with
         | None -> `Absent
         | Some slot ->
             let body = P.read_cell page slot in

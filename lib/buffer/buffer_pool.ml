@@ -1,8 +1,16 @@
 (* The buffer pool.
 
-   Fixed-capacity page cache with pin counts, LRU eviction, dirty tracking
-   with per-page recLSN, and the WAL-before-data rule: a dirty page is
-   written only after the log is durable up to the page's LSN.
+   Fixed-capacity page cache with pin counts, CLOCK (second-chance)
+   eviction, dirty tracking with per-page recLSN, and the WAL-before-data
+   rule: a dirty page is written only after the log is durable up to the
+   page's LSN.
+
+   Eviction is O(1) amortized: frames live in a fixed ring of slots and a
+   clock hand sweeps it, clearing reference bits and taking the first
+   unreferenced unpinned frame.  Every pin sets the frame's reference
+   bit, so recently-used pages get a second chance; a sweep is bounded by
+   two revolutions, after which only pinned frames remain and the pool is
+   genuinely full.
 
    Two features exist specifically for Immortal DB's lazy timestamping:
 
@@ -19,12 +27,23 @@
      start point cannot advance past unflushed stamping — the invariant
      the PTT garbage collector relies on (Section 2.2, "we can know when
      the pages have been written to disk by tracking database
-     checkpoints"). *)
+     checkpoints").
+
+   Frames also carry an optional key directory: a sorted (key, slot)
+   array the B-tree builds over a page's unsorted cells so point searches
+   binary-search instead of decoding every cell.  The directory is pure
+   cache — volatile, never logged, never moving the page LSN (the same
+   discipline as lazy timestamping) — and any dirtying invalidates it. *)
 
 module M = Imdb_obs.Metrics
 
 exception Buffer_full
 exception Corrupt_page of int
+
+type keydir = {
+  kd_keys : string array; (* sorted ascending *)
+  kd_slots : int array; (* kd_slots.(i) holds kd_keys.(i) *)
+}
 
 type frame = {
   f_page_id : int;
@@ -32,7 +51,10 @@ type frame = {
   mutable f_pin : int;
   mutable f_dirty : bool;
   mutable f_rec_lsn : int64; (* meaningful only when dirty *)
-  mutable f_last_used : int;
+  mutable f_ref : bool; (* CLOCK reference bit *)
+  mutable f_slot : int; (* position in the ring *)
+  mutable f_keydir : keydir option;
+  mutable f_probes : int; (* linear searches since last invalidation *)
 }
 
 type t = {
@@ -40,23 +62,57 @@ type t = {
   wal : Imdb_wal.Wal.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  mutable tick : int;
+  ring : frame option array; (* capacity slots, swept by the hand *)
+  mutable hand : int;
+  mutable free : int list; (* unoccupied ring slots *)
   mutable pre_flush : bytes -> unit;
   mutable metrics : M.t;
 }
 
 let create ?(capacity = 256) ?(metrics = M.null) ~disk ~wal () =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity too small";
-  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity); tick = 0;
-    pre_flush = ignore; metrics }
+  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity);
+    ring = Array.make capacity None; hand = 0;
+    free = List.init capacity Fun.id; pre_flush = ignore; metrics }
 
 let set_metrics t m = t.metrics <- m
 
 let set_pre_flush t f = t.pre_flush <- f
 let page_size t = t.disk.Imdb_storage.Disk.page_size
-let touch t f =
-  t.tick <- t.tick + 1;
-  f.f_last_used <- t.tick
+let touch _t f = f.f_ref <- true
+
+(* --- the key-directory cache --------------------------------------- *)
+
+let keydir f = f.f_keydir
+let set_keydir f kd = f.f_keydir <- Some kd
+
+(* One more linear search ran against this frame; returns the count since
+   the last invalidation so callers can build the directory only once a
+   page proves search-hot (write-hot pages invalidate faster than they
+   accumulate probes and keep the cheap scan). *)
+let keydir_probe f =
+  f.f_probes <- f.f_probes + 1;
+  f.f_probes
+
+let invalidate_keydir f =
+  f.f_keydir <- None;
+  f.f_probes <- 0
+
+(* --- frame ring ----------------------------------------------------- *)
+
+let attach t f =
+  match t.free with
+  | [] -> raise Buffer_full (* make_room guarantees a slot; defensive *)
+  | s :: rest ->
+      t.free <- rest;
+      f.f_slot <- s;
+      t.ring.(s) <- Some f;
+      Hashtbl.replace t.frames f.f_page_id f
+
+let detach t f =
+  t.ring.(f.f_slot) <- None;
+  t.free <- f.f_slot :: t.free;
+  Hashtbl.remove t.frames f.f_page_id
 
 (* Write [f] out: pre-flush hook, WAL rule, checksum seal. *)
 let write_frame t f =
@@ -67,20 +123,29 @@ let write_frame t f =
   t.disk.Imdb_storage.Disk.write_page f.f_page_id f.f_bytes;
   f.f_dirty <- false
 
+(* CLOCK sweep: clear reference bits until an unreferenced unpinned frame
+   comes under the hand.  Two revolutions suffice — the first clears every
+   reference bit, so the second can only fail on pinned frames. *)
 let evict_one t =
+  let n = t.capacity in
+  let steps = ref 0 in
   let victim = ref None in
-  Hashtbl.iter
-    (fun _ f ->
-      if f.f_pin = 0 then
-        match !victim with
-        | Some v when v.f_last_used <= f.f_last_used -> ()
-        | _ -> victim := Some f)
-    t.frames;
+  while !victim = None && !steps < 2 * n do
+    incr steps;
+    let i = t.hand in
+    t.hand <- (t.hand + 1) mod n;
+    match t.ring.(i) with
+    | None -> ()
+    | Some f when f.f_pin > 0 -> ()
+    | Some f when f.f_ref -> f.f_ref <- false
+    | Some f -> victim := Some f
+  done;
+  M.incr ~by:!steps t.metrics M.buf_clock_sweeps;
   match !victim with
   | None -> raise Buffer_full
   | Some f ->
       if f.f_dirty then write_frame t f;
-      Hashtbl.remove t.frames f.f_page_id;
+      detach t f;
       M.incr t.metrics M.buf_evictions
 
 let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t done
@@ -100,10 +165,9 @@ let pin t page_id =
       if not (Imdb_storage.Page.verify bytes) then raise (Corrupt_page page_id);
       let f =
         { f_page_id = page_id; f_bytes = bytes; f_pin = 1; f_dirty = false;
-          f_rec_lsn = 0L; f_last_used = 0 }
+          f_rec_lsn = 0L; f_ref = true; f_slot = -1; f_keydir = None; f_probes = 0 }
       in
-      touch t f;
-      Hashtbl.replace t.frames page_id f;
+      attach t f;
       f
 
 (* Pin a frame for a brand-new page: no disk read, caller formats it. *)
@@ -114,10 +178,10 @@ let pin_new t page_id =
   (* zero-filled: redo gating reads the LSN field of never-written pages *)
   let f =
     { f_page_id = page_id; f_bytes = Bytes.make (page_size t) '\000'; f_pin = 1;
-      f_dirty = false; f_rec_lsn = 0L; f_last_used = 0 }
+      f_dirty = false; f_rec_lsn = 0L; f_ref = true; f_slot = -1; f_keydir = None;
+      f_probes = 0 }
   in
-  touch t f;
-  Hashtbl.replace t.frames page_id f;
+  attach t f;
   f
 
 let unpin _t f =
@@ -134,6 +198,7 @@ let mark_dirty_logged _t f ~lsn =
     f.f_dirty <- true;
     f.f_rec_lsn <- lsn
   end;
+  invalidate_keydir f;
   Imdb_storage.Page.set_lsn f.f_bytes lsn
 
 (* Record an *unlogged* modification (timestamp propagation).  recLSN is
@@ -143,7 +208,8 @@ let mark_dirty_unlogged t f =
   if not f.f_dirty then begin
     f.f_dirty <- true;
     f.f_rec_lsn <- Imdb_wal.Wal.next_lsn t.wal
-  end
+  end;
+  invalidate_keydir f
 
 let with_page t page_id f =
   let fr = pin t page_id in
@@ -182,7 +248,11 @@ let cached_page_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.frames [] |> 
 let is_cached t page_id = Hashtbl.mem t.frames page_id
 
 (* Crash simulation: discard every frame without writing. *)
-let drop_all t = Hashtbl.reset t.frames
+let drop_all t =
+  Hashtbl.reset t.frames;
+  Array.fill t.ring 0 t.capacity None;
+  t.free <- List.init t.capacity Fun.id;
+  t.hand <- 0
 
 (* Drop a single (unpinned) frame without writing — used when a page is
    freed, so its stale image can never reach disk. *)
@@ -191,6 +261,6 @@ let invalidate t page_id =
   | None -> ()
   | Some f ->
       if f.f_pin > 0 then invalid_arg "Buffer_pool.invalidate: page is pinned";
-      Hashtbl.remove t.frames page_id
+      detach t f
 
 let pinned_count t = Hashtbl.fold (fun _ f acc -> if f.f_pin > 0 then acc + 1 else acc) t.frames 0

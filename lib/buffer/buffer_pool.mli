@@ -1,8 +1,9 @@
 (** The buffer pool.
 
-    Fixed-capacity page cache with pin counts, LRU eviction, dirty
-    tracking with per-page recLSN, and the WAL-before-data rule: a dirty
-    page is written only after the log is durable up to the page's LSN.
+    Fixed-capacity page cache with pin counts, O(1)-amortized CLOCK
+    (second-chance) eviction, dirty tracking with per-page recLSN, and
+    the WAL-before-data rule: a dirty page is written only after the log
+    is durable up to the page's LSN.
 
     Two features exist specifically for Immortal DB's lazy timestamping:
     the [pre_flush] hook runs on every image just before it is written
@@ -53,6 +54,28 @@ val with_page : t -> int -> (frame -> 'a) -> 'a
 
 val bytes : frame -> bytes
 val page_id : frame -> int
+
+(** {1 Key-directory cache}
+
+    A sorted (key, slot) directory the B-tree attaches to a frame so
+    point searches binary-search instead of decoding every cell of the
+    unsorted slot array.  Pure cache: volatile, never logged, never
+    moving the page LSN (the same discipline as lazy timestamping).  Any
+    dirtying — logged or unlogged — invalidates it; eviction discards it
+    with the frame. *)
+
+type keydir = {
+  kd_keys : string array;  (** sorted ascending *)
+  kd_slots : int array;  (** [kd_slots.(i)] holds [kd_keys.(i)] *)
+}
+
+val keydir : frame -> keydir option
+val set_keydir : frame -> keydir -> unit
+
+val keydir_probe : frame -> int
+(** Count one linear search against this frame; returns the number since
+    the last invalidation, so callers build the directory only for pages
+    that stay search-hot between modifications. *)
 
 (** {1 Dirty tracking} *)
 

@@ -25,6 +25,8 @@ type config = {
   key_split_threshold : float; (* the paper's T, default 0.7 *)
   auto_checkpoint_every : int; (* commits between checkpoints; 0 = manual *)
   tsb_enabled : bool; (* maintain the TSB index on time splits *)
+  group_commit_window : int;
+      (* commits sharing one log sync; <= 1 syncs at every commit *)
 }
 
 let default_config =
@@ -35,6 +37,7 @@ let default_config =
     key_split_threshold = 0.7;
     auto_checkpoint_every = 0;
     tsb_enabled = true;
+    group_commit_window = 1;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -52,6 +55,7 @@ type txn = {
   tx_write_set : (int * string, unit) Hashtbl.t; (* dedup index over tx_writes *)
   mutable tx_wrote_immortal : bool;
   mutable tx_commit_ts : Ts.t option;
+  mutable tx_durable : bool; (* commit record synced to the log device *)
 }
 
 exception Txn_finished
@@ -232,6 +236,7 @@ let begin_txn t ~isolation =
       tx_write_set = Hashtbl.create 8;
       tx_wrote_immortal = false;
       tx_commit_ts = None;
+      tx_durable = false;
     }
   in
   Tid.Table.replace t.active tid txn;
@@ -423,6 +428,13 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   let metrics =
     match metrics with Some m -> m | None -> Imdb_obs.Metrics.create ()
   in
+  (* Pre-register the hot-path instruments so the exposition shows them
+     at zero even before the first eviction sweep / batched commit. *)
+  let module Mx = Imdb_obs.Metrics in
+  Mx.ensure_counter metrics Mx.buf_clock_sweeps;
+  Mx.ensure_counter metrics Mx.keydir_hits;
+  Mx.ensure_counter metrics Mx.keydir_misses;
+  Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Imdb_storage.Disk.set_metrics disk metrics;
   let wal = Imdb_wal.Wal.open_device ~metrics log_device in
   let pool = BP.create ~capacity:config.pool_capacity ~metrics ~disk ~wal () in

@@ -15,6 +15,11 @@ type config = {
   key_split_threshold : float;  (** the paper's T (Section 3.3), default 0.7 *)
   auto_checkpoint_every : int;  (** commits between checkpoints; 0 = manual *)
   tsb_enabled : bool;  (** maintain the TSB index on time splits *)
+  group_commit_window : int;
+      (** commits sharing one log sync (group commit); [<= 1] syncs at
+          every commit.  A window [> 1] defers the commit acknowledgment
+          ([tx_durable]) until the shared sync — a crash before it rolls
+          the unacknowledged transactions back. *)
 }
 
 val default_config : config
@@ -34,6 +39,9 @@ type txn = {
   tx_write_set : (int * string, unit) Hashtbl.t;
   mutable tx_wrote_immortal : bool;
   mutable tx_commit_ts : Imdb_clock.Timestamp.t option;
+  mutable tx_durable : bool;
+      (** the commit record has been synced to the log device; set by the
+          group-commit acknowledgment, never before the sync *)
 }
 
 exception Txn_finished

@@ -57,10 +57,21 @@ let commit eng txn =
         end
     | E.Eager_stamping -> Table.eager_stamp_writes eng txn ~ts);
     E.ensure_begun eng txn;
-    let _commit_lsn =
+    let commit_lsn =
       Imdb_wal.Wal.append eng.E.wal (LR.Commit { tid = txn.E.tx_tid; ts })
     in
-    Imdb_wal.Wal.flush eng.E.wal;
+    (* Group commit: the durability acknowledgment ([tx_durable]) fires
+       only from the flush that syncs the commit record.  A window <= 1
+       forces that flush now — one sync per commit, the classic protocol.
+       A wider window lets up to [window] commits share one sync, forced
+       here when the batch fills (or sooner by any WAL-before-data or
+       checkpoint flush); a crash before the shared sync finds the batch
+       unacknowledged and recovery rolls it back. *)
+    Imdb_wal.Wal.register_commit eng.E.wal ~lsn:commit_lsn ~on_durable:(fun () ->
+        txn.E.tx_durable <- true);
+    let window = eng.E.config.E.group_commit_window in
+    if window <= 1 || Imdb_wal.Wal.pending_commits eng.E.wal >= window then
+      Imdb_wal.Wal.flush eng.E.wal;
     Imdb_tstamp.Vtt.commit (E.vtt eng) txn.E.tx_tid ~ts ~persistent:!persistent
       ~end_of_log:(Imdb_wal.Wal.next_lsn eng.E.wal);
     Imdb_tstamp.Vtt.drop_if_drained_snapshot (E.vtt eng) txn.E.tx_tid;
@@ -201,6 +212,7 @@ let rollback_loser eng ~tid ~last_lsn =
       tx_write_set = Hashtbl.create 1;
       tx_wrote_immortal = false;
       tx_commit_ts = None;
+      tx_durable = false;
     }
   in
   rollback_chain eng txn ~from_lsn:last_lsn;

@@ -71,6 +71,8 @@ let cell tbl name =
 let incr ?(by = 1) t name = if t.on then (let r = cell t.counters name in r := !r + by)
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
+let ensure_counter t name = if t.on then ignore (cell t.counters name)
+
 (* --- gauges -------------------------------------------------------- *)
 
 let set_gauge t name v = if t.on then (cell t.gauges name) := v
@@ -193,7 +195,9 @@ let trace_dropped t = t.ring_dropped
 
 (* --- JSON exposition ----------------------------------------------- *)
 
-let schema_version = 1
+(* v2: hot-path overhaul counters (buffer.clock_sweeps, the keydir
+   hit/miss pair) and the txn.group_commit_batch histogram. *)
+let schema_version = 2
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -269,6 +273,9 @@ let log_flushes = "log.flushes"
 let buf_hits = "buffer.hits"
 let buf_misses = "buffer.misses"
 let buf_evictions = "buffer.evictions"
+let buf_clock_sweeps = "buffer.clock_sweeps"
+let keydir_hits = "buffer.keydir_hits"
+let keydir_misses = "buffer.keydir_misses"
 let pages_allocated = "pages.allocated"
 let stamps_applied = "tstamp.applied"
 let ptt_inserts = "ptt.inserts"
@@ -290,6 +297,7 @@ let recovery_undo = "recovery.undo_records"
 let h_log_record_bytes = "log.record_bytes"
 let h_log_flush_bytes = "log.flush_bytes"
 let h_commit_writes = "txn.commit_writes"
+let h_group_commit_batch = "txn.group_commit_batch"
 let h_commit_latency_ms = "txn.commit_latency_ms"
 let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"

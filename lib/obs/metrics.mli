@@ -30,6 +30,10 @@ val reset : t -> unit
 val incr : ?by:int -> t -> string -> unit
 val get : t -> string -> int
 
+val ensure_counter : t -> string -> unit
+(** Register the counter (at zero) so it appears in the exposition even
+    before the first increment. *)
+
 (** {1 Gauges} — last-write-wins instantaneous values. *)
 
 val set_gauge : t -> string -> int -> unit
@@ -99,7 +103,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -127,6 +131,9 @@ val log_flushes : string
 val buf_hits : string
 val buf_misses : string
 val buf_evictions : string
+val buf_clock_sweeps : string
+val keydir_hits : string
+val keydir_misses : string
 val pages_allocated : string
 val stamps_applied : string
 val ptt_inserts : string
@@ -150,6 +157,7 @@ val recovery_undo : string
 val h_log_record_bytes : string
 val h_log_flush_bytes : string
 val h_commit_writes : string
+val h_group_commit_batch : string
 (* [h_commit_latency_ms] records clock ticks between a writer's snapshot
    and its commit timestamp — logical-clock ticks, not wall time. *)
 val h_commit_latency_ms : string

@@ -64,13 +64,29 @@ let chain page ~slot =
   in
   go slot []
 
+(* Count-then-fill into an array: the chain-collection passes below run
+   on every split/GC over pages with hundreds of versions, so they avoid
+   building intermediate lists just to sort them. *)
+let live_matching page pred =
+  let count = ref 0 in
+  P.iter_live page (fun slot -> if pred slot then incr count);
+  let arr = Array.make !count 0 in
+  let i = ref 0 in
+  P.iter_live page (fun slot ->
+      if pred slot then begin
+        arr.(!i) <- slot;
+        incr i
+      end);
+  arr
+
+let is_chain_head page slot = R.in_page_flags page slot land R.f_non_current = 0
+
 (* All chain heads in the page: (key, slot) for every current version. *)
 let current_slots page =
-  P.fold_live page ~init:[] ~f:(fun acc slot ->
-      if R.in_page_flags page slot land R.f_non_current = 0 then
-        (R.in_page_key page slot, slot) :: acc
-      else acc)
-  |> List.sort compare
+  let heads = live_matching page (is_chain_head page) in
+  let arr = Array.map (fun slot -> (R.in_page_key page slot, slot)) heads in
+  Array.sort compare arr;
+  Array.to_list arr
 
 (* Every live version of [key] in the page, regardless of chain position —
    the search mode for history pages, where chains may have been cut by
@@ -103,34 +119,50 @@ let keys page =
    callers stamp committed versions first and handle own-transaction
    visibility separately. *)
 let find_stamped_as_of page ~key ~asof =
-  let candidates =
-    List.filter_map
-      (fun slot ->
-        match R.in_page_timestamp page slot with
-        | Some ts when Ts.compare ts asof <= 0 -> Some (slot, ts)
-        | Some _ | None -> None)
-      (all_versions_of page ~key)
-  in
-  match candidates with
-  | [] -> None
-  | (s0, t0) :: rest ->
-      let max_ts = List.fold_left (fun acc (_, ts) -> Ts.max acc ts) t0 rest in
-      let tied = List.filter (fun (_, ts) -> Ts.equal ts max_ts) ((s0, t0) :: rest) in
-      (* drop tied versions that some other tied version links to: they
-         are older updates of the same transaction *)
-      let pointed_to =
-        List.filter_map
-          (fun (s, _) ->
-            let vp = R.in_page_vp page s in
-            if vp <> R.no_vp && R.in_page_flags page s land R.f_vp_in_history = 0 then
-              Some vp
-            else None)
-          tied
+  (* array-based: one pass collects the candidates and their newest start;
+     tie-breaking then touches only the (tiny) tied set instead of the old
+     quadratic List.mem membership scans over rebuilt lists *)
+  let slots = Array.of_list (all_versions_of page ~key) in
+  let n = Array.length slots in
+  let ts = Array.make n Ts.zero in
+  let ok = Array.make n false in
+  let max_ts = ref None in
+  for i = 0 to n - 1 do
+    match R.in_page_timestamp page slots.(i) with
+    | Some t when Ts.compare t asof <= 0 ->
+        ts.(i) <- t;
+        ok.(i) <- true;
+        (match !max_ts with
+        | Some m when Ts.compare m t >= 0 -> ()
+        | Some _ | None -> max_ts := Some t)
+    | Some _ | None -> ()
+  done;
+  match !max_ts with
+  | None -> None
+  | Some m ->
+      (* tied versions are several updates by one transaction: the newest
+         is the one no other tied version links to locally *)
+      let tied i = ok.(i) && Ts.equal ts.(i) m in
+      let points_at_locally j s =
+        R.in_page_vp page slots.(j) = s
+        && R.in_page_flags page slots.(j) land R.f_vp_in_history = 0
       in
-      let heads = List.filter (fun (s, _) -> not (List.mem s pointed_to)) tied in
-      (match heads with
-      | (s, _) :: _ -> Some s
-      | [] -> (match tied with (s, _) :: _ -> Some s | [] -> None))
+      let result = ref None in
+      let fallback = ref None in
+      for i = 0 to n - 1 do
+        if tied i then begin
+          if !fallback = None then fallback := Some slots.(i);
+          if !result = None then begin
+            let pointed = ref false in
+            for j = 0 to n - 1 do
+              if (not !pointed) && j <> i && tied j && points_at_locally j slots.(i)
+              then pointed := true
+            done;
+            if not !pointed then result := Some slots.(i)
+          end
+        end
+      done;
+      (match !result with Some _ as r -> r | None -> !fallback)
 
 (* ------------------------------------------------------------------ *)
 (* Inserting versions                                                  *)
@@ -295,18 +327,16 @@ let is_stub vi = vi.vi_flags land R.f_delete_stub <> 0
 let vp_hist vi = vi.vi_flags land R.f_vp_in_history <> 0
 
 (* Chains of the whole page: each is newest-first; heads are the
-   slot-array-visible versions. *)
+   slot-array-visible versions.  Heads are gathered and sorted in an
+   array (count-then-fill) rather than consed and list-sorted. *)
 let collect_chains page =
-  let heads =
-    P.fold_live page ~init:[] ~f:(fun acc slot ->
-        if R.in_page_flags page slot land R.f_non_current = 0 then slot :: acc else acc)
-    |> List.sort compare
-  in
-  List.map
-    (fun head ->
+  let heads = live_matching page (is_chain_head page) in
+  Array.sort compare heads;
+  Array.fold_right
+    (fun head acc ->
       let slots, _tail = chain page ~slot:head in
-      List.map (info_of page) slots)
-    heads
+      List.map (info_of page) slots :: acc)
+    heads []
 
 type placement = Current_only | Both | History_only
 

@@ -99,6 +99,9 @@ type t = {
   mutable durable_end : int64; (* bytes durable on the device *)
   mutable next_lsn : int64; (* end of log including the volatile tail *)
   mutable tail : (int64 * bytes) list; (* unflushed frames, newest first *)
+  tail_index : (int64, bytes) Hashtbl.t; (* unflushed frames by LSN *)
+  mutable pending : (int64 * (unit -> unit)) list;
+      (* group-commit waiters (commit LSN, durability ack), newest first *)
   mutable metrics : M.t;
 }
 
@@ -138,6 +141,8 @@ let open_device ?(metrics = M.null) device =
     durable_end = Int64.of_int valid;
     next_lsn = Int64.of_int valid;
     tail = [];
+    tail_index = Hashtbl.create 64;
+    pending = [];
     metrics;
   }
 
@@ -149,29 +154,63 @@ let append t body =
   let frame = frame_of payload in
   let lsn = t.next_lsn in
   t.tail <- (lsn, frame) :: t.tail;
+  Hashtbl.replace t.tail_index lsn frame;
   t.next_lsn <- Int64.add t.next_lsn (Int64.of_int (Bytes.length frame));
   M.incr t.metrics M.log_appends;
   M.incr ~by:(Bytes.length frame) t.metrics M.log_bytes;
   M.observe t.metrics M.h_log_record_bytes (Bytes.length frame);
   lsn
 
-(* Make everything up to and including the record at [lsn] durable (in
-   practice we flush the whole buffered tail; group commit for free). *)
-let flush ?lsn t =
-  let needed = match lsn with Some l -> l | None -> Int64.pred t.next_lsn in
-  if Int64.compare needed t.durable_end >= 0 && t.tail <> [] then begin
-    let frames = List.rev t.tail in
-    let bytes = List.fold_left (fun acc (_, f) -> acc + Bytes.length f) 0 frames in
-    List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
-    t.device.Device.sync ();
-    t.tail <- [];
-    t.durable_end <- t.next_lsn;
-    M.incr t.metrics M.log_flushes;
-    M.observe t.metrics M.h_log_flush_bytes bytes
+(* Group commit: a committing transaction registers its commit LSN and a
+   durability acknowledgment; the next flush that makes the record durable
+   fires the ack.  Waiters share that flush's single append+sync. *)
+let register_commit t ~lsn ~on_durable =
+  if Int64.compare lsn t.durable_end < 0 then on_durable ()
+  else t.pending <- (lsn, on_durable) :: t.pending
+
+let pending_commits t = List.length t.pending
+
+let drain_pending t =
+  let durable, still =
+    List.partition (fun (lsn, _) -> Int64.compare lsn t.durable_end < 0) t.pending
+  in
+  t.pending <- still;
+  if durable <> [] then begin
+    M.observe t.metrics M.h_group_commit_batch (List.length durable);
+    (* fire oldest-first: acknowledgment order follows commit order *)
+    List.iter (fun (_, ack) -> ack ()) (List.rev durable)
   end
 
-(* Drop the volatile tail: crash simulation. *)
-let crash_volatile t = t.tail <- []
+(* Make everything up to and including the record at [lsn] durable.  A
+   record at a given LSN is durable iff [lsn < durable_end] (both are
+   frame boundaries), so an already-durable request returns without
+   touching the tail or the device; otherwise the whole buffered tail
+   goes out in one append+sync and every group-commit waiter it covers
+   is acknowledged. *)
+let flush ?lsn t =
+  let needed = match lsn with Some l -> l | None -> Int64.pred t.next_lsn in
+  if Int64.compare needed t.durable_end < 0 then ()
+  else begin
+    if t.tail <> [] then begin
+      let frames = List.rev t.tail in
+      let bytes = List.fold_left (fun acc (_, f) -> acc + Bytes.length f) 0 frames in
+      List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
+      t.device.Device.sync ();
+      t.tail <- [];
+      Hashtbl.reset t.tail_index;
+      t.durable_end <- t.next_lsn;
+      M.incr t.metrics M.log_flushes;
+      M.observe t.metrics M.h_log_flush_bytes bytes
+    end;
+    drain_pending t
+  end
+
+(* Drop the volatile tail: crash simulation.  Unacknowledged group-commit
+   waiters are dropped unfired — their transactions were never durable. *)
+let crash_volatile t =
+  t.tail <- [];
+  Hashtbl.reset t.tail_index;
+  t.pending <- []
 
 (* Iterate durable records from [from_lsn] (must be a frame boundary). *)
 let iter_from t ~from_lsn f =
@@ -191,7 +230,7 @@ let iter_from t ~from_lsn f =
 let read_at t lsn =
   let pos = Int64.to_int lsn in
   if Int64.compare lsn t.durable_end >= 0 then
-    match List.assoc_opt lsn t.tail with
+    match Hashtbl.find_opt t.tail_index lsn with
     | Some frame ->
         let len = Codec.get_u32 frame 0 in
         Log_record.decode (Bytes.sub frame frame_header len)

@@ -35,7 +35,20 @@ val append : t -> Log_record.body -> int64
 (** Buffer a record; returns its LSN. *)
 
 val flush : ?lsn:int64 -> t -> unit
-(** Make the log durable through [lsn] (default: everything buffered). *)
+(** Make the log durable through [lsn] (default: everything buffered).
+    Returns without touching the device when [lsn] is already durable;
+    otherwise one append+sync covers the whole tail and acknowledges
+    every registered group-commit waiter it made durable. *)
+
+val register_commit : t -> lsn:int64 -> on_durable:(unit -> unit) -> unit
+(** Group commit: register a commit record's LSN and a durability
+    acknowledgment.  [on_durable] fires synchronously if the record is
+    already durable, otherwise from the flush that makes it so — never
+    before the device sync.  Waiters dropped by [crash_volatile] are
+    never fired. *)
+
+val pending_commits : t -> int
+(** Number of registered commit waiters not yet durable. *)
 
 val next_lsn : t -> int64
 (** End of log, including the unflushed tail. *)

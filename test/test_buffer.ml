@@ -1,5 +1,6 @@
-(* Buffer pool: caching, LRU eviction, the WAL-before-data rule, the
-   pre-flush stamping hook, and checkpoint-sweep flushing. *)
+(* Buffer pool: caching, CLOCK (second-chance) eviction, the
+   WAL-before-data rule, the pre-flush stamping hook, and checkpoint-sweep
+   flushing. *)
 
 module Disk = Imdb_storage.Disk
 module P = Imdb_storage.Page
@@ -42,7 +43,7 @@ let test_corrupt_detection () =
   | exception BP.Corrupt_page 2 -> ()
   | _ -> Alcotest.fail "expected Corrupt_page")
 
-let test_eviction_lru_and_writeback () =
+let test_eviction_and_writeback () =
   let disk, _, pool = setup ~capacity:4 () in
   (* four dirty pages fill the pool *)
   for pid = 0 to 3 do
@@ -51,11 +52,11 @@ let test_eviction_lru_and_writeback () =
     BP.unpin pool fr
   done;
   Alcotest.(check int) "nothing written yet" 0 (disk.Disk.page_count ());
-  (* touch pages 1..3 so page 0 is LRU *)
+  (* touch pages 1..3 so page 0 is the coldest frame *)
   for pid = 1 to 3 do
     BP.with_page pool pid (fun _ -> ())
   done;
-  (* a fifth page forces one eviction: the LRU victim (0) is written *)
+  (* a fifth page forces one eviction: the cold victim (0) is written *)
   let fr = new_page pool 4 in
   BP.unpin pool fr;
   Alcotest.(check bool) "victim written back" true (disk.Disk.page_exists 0);
@@ -70,6 +71,81 @@ let test_pinned_never_evicted () =
   | exception BP.Buffer_full -> ()
   | _ -> Alcotest.fail "expected Buffer_full");
   List.iter (fun fr -> BP.unpin pool fr) pins
+
+let test_clock_second_chance () =
+  let m = M.create () in
+  let disk, _, pool = setup ~capacity:4 ~metrics:m () in
+  (* every page is dirty, so an eviction leaves a visible write-back *)
+  let dirty pid =
+    let fr = new_page pool pid in
+    BP.mark_dirty_logged pool fr ~lsn:0L;
+    BP.unpin pool fr
+  in
+  List.iter dirty [ 0; 1; 2; 3 ];
+  (* first eviction: one revolution clears every reference bit, then the
+     hand claims the first frame it re-visits — page 0 *)
+  dirty 4;
+  Alcotest.(check bool) "first victim is page 0" true (disk.Disk.page_exists 0);
+  Alcotest.(check bool) "page 1 resident" true (BP.is_cached pool 1);
+  (* second chance: re-reference page 1; the hand meets it before page 2
+     but must spare it and take the unreferenced page 2 instead *)
+  BP.with_page pool 1 (fun _ -> ());
+  dirty 5;
+  Alcotest.(check bool) "unreferenced page 2 evicted" true (disk.Disk.page_exists 2);
+  Alcotest.(check bool) "referenced page 1 spared" true (BP.is_cached pool 1);
+  Alcotest.(check bool) "page 1 never written" false (disk.Disk.page_exists 1);
+  (* a pinned frame is skipped by every sweep, however many pass it *)
+  let held = BP.pin pool 1 in
+  List.iter dirty [ 6; 7; 8 ];
+  Alcotest.(check bool) "pinned page survives all sweeps" true (BP.is_cached pool 1);
+  Alcotest.(check bool) "pinned page never written" false (disk.Disk.page_exists 1);
+  BP.unpin pool held;
+  Alcotest.(check int) "evictions counted" 5 (M.get m M.buf_evictions);
+  Alcotest.(check bool) "sweep steps recorded" true
+    (M.get m M.buf_clock_sweeps >= M.get m M.buf_evictions)
+
+let test_keydir_cache_invalidation () =
+  let _, _, pool = setup () in
+  let fr = new_page pool 0 in
+  Alcotest.(check bool) "no directory initially" true (BP.keydir fr = None);
+  Alcotest.(check int) "probes accumulate" 1 (BP.keydir_probe fr);
+  Alcotest.(check int) "probes accumulate" 2 (BP.keydir_probe fr);
+  BP.set_keydir fr { BP.kd_keys = [| "a"; "b" |]; kd_slots = [| 3; 1 |] };
+  (match BP.keydir fr with
+  | Some kd -> Alcotest.(check int) "directory attached" 2 (Array.length kd.BP.kd_keys)
+  | None -> Alcotest.fail "directory lost");
+  (* any dirtying — logged or unlogged — drops the cached directory *)
+  BP.mark_dirty_logged pool fr ~lsn:0L;
+  Alcotest.(check bool) "logged dirty invalidates" true (BP.keydir fr = None);
+  Alcotest.(check int) "probe counter restarts" 1 (BP.keydir_probe fr);
+  BP.set_keydir fr { BP.kd_keys = [| "a" |]; kd_slots = [| 0 |] };
+  BP.mark_dirty_unlogged pool fr;
+  Alcotest.(check bool) "unlogged dirty invalidates" true (BP.keydir fr = None);
+  BP.unpin pool fr
+
+let test_pre_flush_every_write () =
+  (* regression for the eviction rewrite: the stamping hook must precede
+     *every* page write, whether from eviction, a sweep or a force *)
+  let m = M.create () in
+  let disk, _, pool = setup ~capacity:4 ~metrics:m () in
+  Disk.set_metrics disk m;
+  let hook_runs = ref 0 in
+  BP.set_pre_flush pool (fun _ -> incr hook_runs);
+  let dirty pid =
+    let fr = new_page pool pid in
+    BP.mark_dirty_logged pool fr ~lsn:0L;
+    BP.unpin pool fr
+  in
+  (* fill the pool, then three more pages force eviction write-backs *)
+  List.iter dirty [ 0; 1; 2; 3; 4; 5; 6 ];
+  (* sweep the survivors out explicitly *)
+  BP.flush_all pool;
+  (* and re-dirty one page so a second write of the same frame counts *)
+  BP.with_page pool 6 (fun fr -> BP.mark_dirty_logged pool fr ~lsn:0L);
+  BP.flush_page pool 6;
+  let writes = M.get m M.disk_writes in
+  Alcotest.(check bool) "writes happened" true (writes >= 8);
+  Alcotest.(check int) "hook ran before every page write" writes !hook_runs
 
 let test_wal_before_data () =
   let _, wal, pool = setup () in
@@ -143,8 +219,11 @@ let suite =
   [
     Alcotest.test_case "pin miss/hit" `Quick test_pin_miss_hit;
     Alcotest.test_case "corrupt page detection" `Quick test_corrupt_detection;
-    Alcotest.test_case "LRU eviction & writeback" `Quick test_eviction_lru_and_writeback;
+    Alcotest.test_case "eviction & writeback" `Quick test_eviction_and_writeback;
     Alcotest.test_case "pinned never evicted" `Quick test_pinned_never_evicted;
+    Alcotest.test_case "CLOCK second chance & pins" `Quick test_clock_second_chance;
+    Alcotest.test_case "keydir cache invalidation" `Quick test_keydir_cache_invalidation;
+    Alcotest.test_case "pre-flush before every write" `Quick test_pre_flush_every_write;
     Alcotest.test_case "WAL before data" `Quick test_wal_before_data;
     Alcotest.test_case "pre-flush hook" `Quick test_pre_flush_hook;
     Alcotest.test_case "dirty table & unlogged recLSN" `Quick test_dirty_table_and_unlogged;

@@ -218,6 +218,86 @@ let test_wal_all_record_types_roundtrip () =
         Alcotest.failf "roundtrip mismatch: %a vs %a" LR.pp body LR.pp body')
     samples
 
+(* A log device that counts its syncs — the observable cost group commit
+   and the flush fast path exist to reduce. *)
+let counting_log_device () =
+  let d = Wal.Device.in_memory () in
+  let syncs = ref 0 in
+  let dev =
+    {
+      d with
+      Wal.Device.sync =
+        (fun () ->
+          incr syncs;
+          d.Wal.Device.sync ());
+    }
+  in
+  (dev, syncs)
+
+let test_wal_flush_skips_durable_lsn () =
+  let dev, syncs = counting_log_device () in
+  let w = Wal.open_device dev in
+  let l1 = Wal.append w (LR.Begin { tid = Tid.of_int 1 }) in
+  Wal.flush w;
+  Alcotest.(check int) "first flush syncs" 1 !syncs;
+  let l2 = Wal.append w (LR.End { tid = Tid.of_int 1 }) in
+  (* an already-durable lsn must return without touching the device,
+     leaving the newer tail volatile *)
+  Wal.flush ~lsn:l1 w;
+  Alcotest.(check int) "durable lsn: no sync" 1 !syncs;
+  Alcotest.(check bool) "tail still volatile" true
+    (Int64.compare (Wal.flushed_lsn w) l2 <= 0);
+  (* an lsn still in the tail forces exactly one *)
+  Wal.flush ~lsn:l2 w;
+  Alcotest.(check int) "volatile lsn syncs" 2 !syncs;
+  (* an empty tail is free *)
+  Wal.flush w;
+  Alcotest.(check int) "empty tail: no sync" 2 !syncs
+
+let test_wal_group_commit_acks () =
+  let dev, syncs = counting_log_device () in
+  let w = Wal.open_device dev in
+  let acked = ref [] in
+  let commit i =
+    let lsn =
+      Wal.append w
+        (LR.Commit { tid = Tid.of_int i; ts = Ts.make ~ttime:(Int64.of_int i) ~sn:0 })
+    in
+    Wal.register_commit w ~lsn ~on_durable:(fun () -> acked := i :: !acked)
+  in
+  commit 1;
+  commit 2;
+  commit 3;
+  Alcotest.(check int) "three waiters pending" 3 (Wal.pending_commits w);
+  Alcotest.(check (list int)) "no ack before the sync" [] !acked;
+  Wal.flush w;
+  Alcotest.(check int) "one sync for the whole batch" 1 !syncs;
+  Alcotest.(check (list int)) "acked oldest first" [ 1; 2; 3 ] (List.rev !acked);
+  Alcotest.(check int) "waiters drained" 0 (Wal.pending_commits w);
+  (* registering an already-durable lsn acknowledges synchronously *)
+  acked := [];
+  Wal.register_commit w ~lsn:0L ~on_durable:(fun () -> acked := 99 :: !acked);
+  Alcotest.(check (list int)) "immediate ack" [ 99 ] !acked;
+  Alcotest.(check int) "and no extra sync" 1 !syncs
+
+let test_wal_crash_drops_waiters () =
+  let dev = Wal.Device.in_memory () in
+  let w = Wal.open_device dev in
+  let lsn =
+    Wal.append w (LR.Commit { tid = Tid.of_int 1; ts = Ts.make ~ttime:9L ~sn:0 })
+  in
+  let acked = ref false in
+  Wal.register_commit w ~lsn ~on_durable:(fun () -> acked := true);
+  Wal.crash_volatile w;
+  Alcotest.(check int) "waiters dropped with the tail" 0 (Wal.pending_commits w);
+  Wal.flush w;
+  Alcotest.(check bool) "dropped waiter never fires" false !acked;
+  (* and the record it was waiting on is gone from the durable log *)
+  let w2 = Wal.open_device dev in
+  let seen = ref 0 in
+  Wal.iter_from w2 ~from_lsn:0L (fun _ _ -> incr seen);
+  Alcotest.(check int) "nothing was durable" 0 !seen
+
 let test_wal_file_device () =
   let path = Filename.temp_file "imdb_wal" ".log" in
   Fun.protect
@@ -244,5 +324,8 @@ let suite =
     Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail_truncated;
     Alcotest.test_case "wal corrupt frame" `Quick test_wal_corrupt_middle_frame;
     Alcotest.test_case "log record roundtrips" `Quick test_wal_all_record_types_roundtrip;
+    Alcotest.test_case "flush skips durable lsn" `Quick test_wal_flush_skips_durable_lsn;
+    Alcotest.test_case "group-commit acks" `Quick test_wal_group_commit_acks;
+    Alcotest.test_case "crash drops waiters" `Quick test_wal_crash_drops_waiters;
     Alcotest.test_case "wal file device" `Quick test_wal_file_device;
   ]

@@ -1,0 +1,114 @@
+(* Group commit at the engine level: a window of N commits shares one log
+   sync.  The invariant under test is the acknowledgment protocol —
+   [tx_durable] is set only by the flush that syncs the commit record, so
+   a crash before the shared sync finds the batch unacknowledged and
+   recovery rolls it back.  Nothing a client was told is lost. *)
+
+open Helpers
+module M = Imdb_obs.Metrics
+module Wal = Imdb_wal.Wal
+
+let gc_config window =
+  { default_config with E.group_commit_window = window; auto_checkpoint_every = 0 }
+
+(* Commit a single row write and keep the transaction handle so the test
+   can watch its durability acknowledgment. *)
+let commit_keep db i v =
+  let txn = Db.begin_txn db in
+  Db.upsert_row db txn ~table:"t" (row i v);
+  ignore (Db.commit db txn);
+  txn
+
+let batch_hist m =
+  match M.histogram m M.h_group_commit_batch with
+  | Some h -> (h.M.h_count, h.M.h_sum)
+  | None -> (0, 0)
+
+(* Fresh db with table "t", all setup-time commit waiters drained so the
+   counters under test start from a clean batch. *)
+let setup_db window =
+  let config = gc_config window in
+  let db, clock = fresh_db ~config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  Db.checkpoint db;
+  Alcotest.(check int) "setup waiters drained" 0
+    (Wal.pending_commits (Db.engine db).E.wal);
+  (db, clock, config)
+
+let test_window_one_syncs_every_commit () =
+  let db, clock, _ = setup_db 1 in
+  let m = Db.metrics db in
+  let f0 = M.get m M.log_flushes in
+  tick clock;
+  let t1 = commit_keep db 1 "x" in
+  Alcotest.(check bool) "durable at commit return" true t1.E.tx_durable;
+  Alcotest.(check int) "one sync for one commit" (f0 + 1) (M.get m M.log_flushes);
+  Alcotest.(check int) "no waiter left behind" 0
+    (Wal.pending_commits (Db.engine db).E.wal);
+  Db.close db
+
+let test_batched_acks () =
+  let db, clock, _ = setup_db 3 in
+  let m = Db.metrics db in
+  let f0 = M.get m M.log_flushes in
+  let c0, s0 = batch_hist m in
+  tick clock;
+  let t1 = commit_keep db 1 "a" in
+  let t2 = commit_keep db 2 "b" in
+  Alcotest.(check bool) "no ack before the batch fills" false
+    (t1.E.tx_durable || t2.E.tx_durable);
+  Alcotest.(check int) "no commit-path sync yet" f0 (M.get m M.log_flushes);
+  Alcotest.(check int) "two waiters queued" 2
+    (Wal.pending_commits (Db.engine db).E.wal);
+  let t3 = commit_keep db 3 "c" in
+  Alcotest.(check bool) "the filling commit acknowledges all three" true
+    (t1.E.tx_durable && t2.E.tx_durable && t3.E.tx_durable);
+  Alcotest.(check int) "three commits shared one sync" (f0 + 1)
+    (M.get m M.log_flushes);
+  let c1, s1 = batch_hist m in
+  Alcotest.(check int) "one batch observed" (c0 + 1) c1;
+  Alcotest.(check int) "of size three" (s0 + 3) s1;
+  Db.close db
+
+let test_any_flush_drains_the_batch () =
+  (* WAL-before-data or checkpoint flushes arrive before the window
+     fills; they must acknowledge the open batch rather than strand it *)
+  let db, clock, _ = setup_db 8 in
+  tick clock;
+  let t1 = commit_keep db 1 "a" in
+  Alcotest.(check bool) "still volatile" false t1.E.tx_durable;
+  Db.checkpoint db;
+  Alcotest.(check bool) "checkpoint flush acknowledges" true t1.E.tx_durable;
+  Db.close db
+
+let test_crash_mid_batch_rolls_back () =
+  let db, clock, config = setup_db 8 in
+  tick clock;
+  (* one commit made durable by an intervening checkpoint flush *)
+  let td = commit_keep db 1 "durable" in
+  Db.checkpoint db;
+  Alcotest.(check bool) "first commit acknowledged" true td.E.tx_durable;
+  tick clock;
+  (* two more stay in the open batch: never acknowledged to anyone *)
+  let t2 = commit_keep db 2 "volatile" in
+  let t3 = commit_keep db 1 "changed" in
+  Alcotest.(check bool) "open batch unacknowledged" false
+    (t2.E.tx_durable || t3.E.tx_durable);
+  (* crash before the batch fills: the unsynced commits must vanish *)
+  let db2 = Db.crash_and_reopen ~config ~clock db in
+  check_row db2 ~table:"t" ~id:1 (Some (row 1 "durable"));
+  check_row db2 ~table:"t" ~id:2 None;
+  Alcotest.(check bool) "never acknowledged, even after recovery" false
+    (t2.E.tx_durable || t3.E.tx_durable);
+  Db.close db2
+
+let suite =
+  [
+    Alcotest.test_case "window 1 syncs every commit" `Quick
+      test_window_one_syncs_every_commit;
+    Alcotest.test_case "batched acknowledgment" `Quick test_batched_acks;
+    Alcotest.test_case "any flush drains the batch" `Quick
+      test_any_flush_drains_the_batch;
+    Alcotest.test_case "crash mid-batch rolls back" `Quick
+      test_crash_mid_batch_rolls_back;
+  ]

@@ -13,6 +13,7 @@ let () =
       ("tsb", Test_tsb.suite);
       ("tstamp", Test_tstamp.suite);
       ("lock", Test_lock.suite);
+      ("group-commit", Test_group_commit.suite);
       ("recovery", Test_recovery.suite);
       ("engine", Test_engine.suite);
       ("endurance", Test_endurance.suite);

@@ -211,6 +211,26 @@ let test_crash_reopen_fresh_registry () =
       Alcotest.(check int) "data recovered" 20 (List.length (Db.scan_rows db txn ~table:"t")));
   Db.close db
 
+let test_hotpath_instruments_preregistered () =
+  (* the hot-path counters must appear (at zero) in every engine's
+     exposition from the moment it opens, so dashboards and the bench
+     gate never see them pop in and out of the schema *)
+  let db, _clock = fresh_db () in
+  (match J.parse (M.to_json_string (Db.metrics db)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      let present section name =
+        match Option.bind (J.member section j) (J.member name) with
+        | Some _ -> true
+        | None -> false
+      in
+      List.iter
+        (fun n -> Alcotest.(check bool) n true (present "counters" n))
+        [ M.buf_clock_sweeps; M.keydir_hits; M.keydir_misses ];
+      Alcotest.(check bool) "group-commit histogram" true
+        (present "histograms" M.h_group_commit_batch));
+  Db.close db
+
 let suite =
   [
     Alcotest.test_case "counters & gauges" `Quick test_counters;
@@ -223,4 +243,6 @@ let suite =
     Alcotest.test_case "JSON traces opt-in" `Quick test_json_traces_opt_in;
     Alcotest.test_case "two DBs isolated" `Quick test_two_dbs_isolated;
     Alcotest.test_case "fresh registry after crash" `Quick test_crash_reopen_fresh_registry;
+    Alcotest.test_case "hot-path instruments pre-registered" `Quick
+      test_hotpath_instruments_preregistered;
   ]
