@@ -27,6 +27,12 @@ type config = {
   tsb_enabled : bool; (* maintain the TSB index on time splits *)
   group_commit_window : int;
       (* commits sharing one log sync; <= 1 syncs at every commit *)
+  scan_parallelism : int;
+      (* domains serving AS OF scans and history walks; 1 = the serial
+         path, bit-for-bit identical to pre-parallel behavior *)
+  histcache_capacity : int;
+      (* pages in the immutable-history cache (only used when
+         scan_parallelism > 1) *)
 }
 
 let default_config =
@@ -38,6 +44,8 @@ let default_config =
     auto_checkpoint_every = 0;
     tsb_enabled = true;
     group_commit_window = 1;
+    scan_parallelism = 1;
+    histcache_capacity = 1024;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -81,6 +89,11 @@ type t = {
   mutable cur_txn : txn option; (* logging context for undoable ops *)
   mutable commits_since_checkpoint : int;
   mutable in_recovery : bool;
+  histcache : Imdb_histcache.Histcache.t option;
+      (* Some iff scan_parallelism > 1: the read-only page cache worker
+         domains are allowed to touch *)
+  mutable scan_pool : Imdb_parallel.Pool.t option;
+      (* worker domains, spawned lazily by the first parallel scan *)
 }
 
 let vtt t = Imdb_tstamp.Lazy_stamper.vtt t.stamper
@@ -174,6 +187,12 @@ let alloc_page t ~ptype ~level ~table_id =
   pid
 
 let free_page t pid =
+  (* the freed id may be reused for a mutable page: make sure no stale
+     immutable image can be served (belt and braces — only btree pages
+     are ever freed, and those are never admitted) *)
+  (match t.histcache with
+  | Some hc -> Imdb_histcache.Histcache.remove hc pid
+  | None -> ());
   BP.with_page t.pool pid (fun fr ->
       exec_op t fr ~undoable:false
         (LR.Op_format { page_type = P.P_free; table_id = 0; level = 0 });
@@ -434,12 +453,32 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.buf_clock_sweeps;
   Mx.ensure_counter metrics Mx.keydir_hits;
   Mx.ensure_counter metrics Mx.keydir_misses;
+  Mx.ensure_counter metrics Mx.histcache_hits;
+  Mx.ensure_counter metrics Mx.histcache_misses;
+  Mx.ensure_counter metrics Mx.histcache_evictions;
+  Mx.ensure_counter metrics Mx.scan_parallel_fallbacks;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
+  Mx.ensure_histogram metrics Mx.h_scan_fanout;
+  (* Parallel scans share the device between the coordinator (via the
+     buffer pool) and worker-domain cache misses: serialize it.  At the
+     default scan_parallelism = 1 the device is untouched, so the serial
+     path stays bit-for-bit identical. *)
+  let disk =
+    if config.scan_parallelism > 1 then Imdb_storage.Disk.serialized disk else disk
+  in
   Imdb_storage.Disk.set_metrics disk metrics;
   let wal = Imdb_wal.Wal.open_device ~metrics log_device in
   let pool = BP.create ~capacity:config.pool_capacity ~metrics ~disk ~wal () in
   let stamper = Imdb_tstamp.Lazy_stamper.create ~metrics () in
   Imdb_tstamp.Lazy_stamper.set_end_of_log stamper (fun () -> Imdb_wal.Wal.next_lsn wal);
+  let histcache =
+    if config.scan_parallelism > 1 then
+      Some
+        (Imdb_histcache.Histcache.create ~capacity:config.histcache_capacity
+           ~load:(fun pid -> disk.Imdb_storage.Disk.read_page pid)
+           ())
+    else None
+  in
   let t =
     {
       disk;
@@ -460,6 +499,8 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       cur_txn = None;
       commits_since_checkpoint = 0;
       in_recovery = false;
+      histcache;
+      scan_pool = None;
     }
   in
   (* Flush-time lazy stamping: volatile-only resolution, no logging. *)
@@ -519,10 +560,29 @@ let attach_system t =
   Imdb_tstamp.Lazy_stamper.set_ptt t.stamper ptt;
   List.iter (register_table t) (Catalog.load_all catalog)
 
+(* The worker-domain pool, spawned on first use so engines that never run
+   a parallel scan never pay for domains.  [None] when scan_parallelism
+   <= 1: callers take the serial path. *)
+let scan_pool t =
+  match t.scan_pool with
+  | Some p -> Some p
+  | None ->
+      if t.config.scan_parallelism > 1 then begin
+        let p = Imdb_parallel.Pool.create ~workers:(t.config.scan_parallelism - 1) in
+        t.scan_pool <- Some p;
+        Some p
+      end
+      else None
+
 let close t =
   (* a clean-shutdown checkpoint: the next open recovers from (nearly)
      the end of the log *)
   (if t.ptt <> None then try ignore (checkpoint t) with _ -> ());
+  (match t.scan_pool with
+  | Some p ->
+      Imdb_parallel.Pool.shutdown p;
+      t.scan_pool <- None
+  | None -> ());
   BP.flush_all t.pool;
   Imdb_wal.Wal.close t.wal;
   t.disk.Imdb_storage.Disk.sync ();

@@ -20,6 +20,17 @@ type config = {
           every commit.  A window [> 1] defers the commit acknowledgment
           ([tx_durable]) until the shared sync — a crash before it rolls
           the unacknowledged transactions back. *)
+  scan_parallelism : int;
+      (** domains serving AS OF scans and history walks.  [1] (the
+          default) is the serial path, bit-for-bit identical to the
+          pre-parallel engine; [> 1] fans historical page work out to
+          [scan_parallelism - 1] worker domains plus the coordinator,
+          serving immutable pages from the histcache.  Results are
+          identical at any setting — only the work distribution (and the
+          wall clock) changes. *)
+  histcache_capacity : int;
+      (** pages held by the immutable-history cache (used only when
+          [scan_parallelism > 1]) *)
 }
 
 val default_config : config
@@ -67,6 +78,11 @@ type t = {
   mutable cur_txn : txn option;  (** logging context for undoable ops *)
   mutable commits_since_checkpoint : int;
   mutable in_recovery : bool;
+  histcache : Imdb_histcache.Histcache.t option;
+      (** [Some] iff [config.scan_parallelism > 1]: the only page store
+          worker domains may read *)
+  mutable scan_pool : Imdb_parallel.Pool.t option;
+      (** worker domains, spawned lazily by the first parallel scan *)
 }
 
 val vtt : t -> Imdb_tstamp.Vtt.t
@@ -160,5 +176,9 @@ val bootstrap : t -> unit
 
 val attach_system : t -> unit
 (** Attach catalog/PTT from recovered metadata and load the table cache. *)
+
+val scan_pool : t -> Imdb_parallel.Pool.t option
+(** The worker-domain pool when [scan_parallelism > 1] (spawning it on
+    first call), [None] on serial engines. *)
 
 val close : t -> unit

@@ -444,11 +444,15 @@ let enable_snapshot eng ti =
    walk is the paper's measured access path; the TSB jump is the indexed
    one. *)
 let historical_page eng ti ~key ~t ~current_page =
-  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
+  (* asof.pages_visited counts actual pages visited on the temporal
+     access path: one per chain page examined, one per TSB target found.
+     (The chain walk used to double-count its entry page.) *)
   match tsb eng ti with
   | Some index -> (
       match Imdb_tsb.Tsb.find index ~key ~ts:t with
-      | Some pid -> Some pid
+      | Some pid ->
+          Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
+          Some pid
       | None -> None)
   | None ->
       (* walk the chain one page at a time — pin, read the two header
@@ -619,21 +623,16 @@ let scan_current eng ?(lo = "") ?hi txn ti f =
                 (V.current_slots page)))
         (clipped_ranges eng ti ~lo ?hi ())
 
-(* Core of temporal scans: visible (key, payload) pairs at time [t],
-   optionally overlaid with [own]'s uncommitted writes (snapshot-isolation
-   scans must see the transaction's own changes).  For each router range,
-   the page covering [t] is the current page itself when t >= its split
-   time, otherwise the chain/TSB target; every key in range is emitted
-   with its visible version. *)
-let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
-  (* Emissions are collected per router range and sorted, so callers see
-     key order even when the own-write overlay contributes rows. *)
+(* One router range of the serial temporal scan: the visible (key,
+   payload) pairs of window [low, high) at time [t], sorted.  Optionally
+   overlaid with [own]'s uncommitted writes (snapshot-isolation scans must
+   see the transaction's own changes).  The page covering [t] is the
+   current page itself when t >= its split time, otherwise the chain/TSB
+   target.  Also the coordinator's fallback for ranges the parallel path
+   cannot serve from stable storage. *)
+let scan_range_serial eng ?own ti ~t (low, high, pid) =
   let pending = ref [] in
   let f key payload = pending := (key, payload) :: !pending in
-  let flush_range () =
-    List.iter (fun (k, p) -> emit k p) (List.sort compare !pending);
-    pending := []
-  in
   (* own uncommitted state of a key: present/absent/not-written-by-us *)
   let own_state page key =
     match own with
@@ -645,51 +644,213 @@ let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
             else `Mine (payload_of page slot key)
         | Some _ | None -> `Not_mine)
   in
+  BP.with_page eng.E.pool pid (fun fr ->
+      let page = BP.bytes fr in
+      E.stamp_page eng fr;
+      Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
+      (* overlay: keys written by [own] in this range, decided from the
+         current page regardless of which page serves time t *)
+      let overlaid = Hashtbl.create 4 in
+      (match own with
+      | None -> ()
+      | Some _ ->
+          List.iter
+            (fun key ->
+              if in_range key ~low ~high then
+                match own_state page key with
+                | `Mine payload ->
+                    Hashtbl.replace overlaid key ();
+                    f key payload
+                | `Deleted -> Hashtbl.replace overlaid key ()
+                | `Not_mine -> ())
+            (V.keys page));
+      let scan_page pid' =
+        BP.with_page eng.E.pool pid' (fun fr' ->
+            let page' = BP.bytes fr' in
+            if pid' <> pid then E.stamp_page eng fr';
+            List.iter
+              (fun key ->
+                if in_range key ~low ~high && not (Hashtbl.mem overlaid key) then begin
+                  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
+                  match V.find_stamped_as_of page' ~key ~asof:t with
+                  | Some slot
+                    when R.in_page_flags page' slot land R.f_delete_stub = 0 ->
+                      f key (payload_of page' slot key)
+                  | Some _ | None -> ()
+                end)
+              (V.keys page'))
+      in
+      if Ts.compare t (P.split_time page) >= 0 then scan_page pid
+      else
+        match historical_page eng ti ~key:low ~t ~current_page:page with
+        | Some hpid -> scan_page hpid
+        | None -> ());
+  List.sort compare !pending
+
+let scan_versioned_at_serial eng ?own ?lo ?hi ti ~t emit =
   List.iter
-    (fun (low, high, pid) ->
-      BP.with_page eng.E.pool pid (fun fr ->
-          let page = BP.bytes fr in
-          E.stamp_page eng fr;
-          Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
-          (* overlay: keys written by [own] in this range, decided from the
-             current page regardless of which page serves time t *)
-          let overlaid = Hashtbl.create 4 in
-          (match own with
-          | None -> ()
-          | Some _ ->
-              List.iter
-                (fun key ->
-                  if in_range key ~low ~high then
-                    match own_state page key with
-                    | `Mine payload ->
-                        Hashtbl.replace overlaid key ();
-                        f key payload
-                    | `Deleted -> Hashtbl.replace overlaid key ()
-                    | `Not_mine -> ())
-                (V.keys page));
-          let scan_page pid' =
-            BP.with_page eng.E.pool pid' (fun fr' ->
-                let page' = BP.bytes fr' in
-                if pid' <> pid then E.stamp_page eng fr';
-                List.iter
-                  (fun key ->
-                    if in_range key ~low ~high && not (Hashtbl.mem overlaid key) then begin
-                      Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
-                      match V.find_stamped_as_of page' ~key ~asof:t with
-                      | Some slot
-                        when R.in_page_flags page' slot land R.f_delete_stub = 0 ->
-                          f key (payload_of page' slot key)
-                      | Some _ | None -> ()
-                    end)
-                  (V.keys page'))
-          in
-          (if Ts.compare t (P.split_time page) >= 0 then scan_page pid
-           else
-             match historical_page eng ti ~key:low ~t ~current_page:page with
-             | Some hpid -> scan_page hpid
-             | None -> ());
-          flush_range ()))
+    (fun range ->
+      List.iter (fun (k, p) -> emit k p) (scan_range_serial eng ?own ti ~t range))
     (clipped_ranges eng ti ?lo ?hi ())
+
+(* --- the parallel AS OF read path ------------------------------------------
+
+   When [scan_parallelism > 1] and no own-write overlay is needed, the
+   historical part of a temporal scan fans out across worker domains.
+   The invariant that makes this safe: a historical page is immutable
+   from the moment its time split commits — every version it holds was
+   stamped before [Vpage.time_split] classified it, inserts only ever
+   route to current pages, stamping no-ops on fully stamped pages, and
+   history pages are never freed.  Workers therefore read history
+   straight from stable storage through the histcache and never touch
+   the buffer pool or the stamping machinery.  Any page that is not yet
+   servable that way (still dirty-only in the pool, or failing the
+   admission check) sends its whole range back to the coordinating
+   domain, where [scan_range_serial] — and thus [stamp_record] /
+   [stamp_page] — remains legal. *)
+
+(* What the coordinator decided for one clipped range. *)
+type range_plan =
+  | Plan_rows of (string * string) list  (* served from the current page *)
+  | Plan_page of int  (* scan exactly this historical page (TSB target) *)
+  | Plan_walk of int  (* walk the history chain from this page id *)
+
+(* Pure image scan: the visible versions of every in-window key of one
+   page at [t].  Runs on worker domains — the metrics registry is
+   domain-safe, the page image is immutable. *)
+let scan_page_image_at eng ~low ~high ~t page =
+  let out = ref [] in
+  List.iter
+    (fun key ->
+      if in_range key ~low ~high then begin
+        Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
+        match V.find_stamped_as_of page ~key ~asof:t with
+        | Some slot when R.in_page_flags page slot land R.f_delete_stub = 0 ->
+            out := (key, payload_of page slot key) :: !out
+        | Some _ | None -> ()
+      end)
+    (V.keys page);
+  List.sort compare !out
+
+(* Worker-side body: serve one range's historical work from the
+   histcache.  [None] = some needed page is not servable from stable
+   storage; the coordinator falls back to the serial body. *)
+let run_range_task eng hc ti ~t ~low ~high plan =
+  let table_id = ti.Catalog.ti_id in
+  match plan with
+  | Plan_rows rows -> Some rows
+  | Plan_page hpid -> (
+      match Imdb_histcache.Histcache.get hc ~table_id hpid with
+      | Some page -> Some (scan_page_image_at eng ~low ~high ~t page)
+      | None -> None)
+  | Plan_walk start ->
+      let rec walk pid =
+        if pid = P.no_page then Some []
+        else
+          match Imdb_histcache.Histcache.get hc ~table_id pid with
+          | None -> None
+          | Some page ->
+              Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
+              if Ts.compare t (P.split_time page) >= 0 then
+                Some (scan_page_image_at eng ~low ~high ~t page)
+              else walk (P.history_pointer page)
+      in
+      walk start
+
+(* Fold the histcache's atomic counters into the engine registry.  Only
+   the coordinator publishes (engine operations are serial), so the
+   deltas are race-free and the exposed counters deterministic. *)
+let publish_histcache_delta eng ~before hc =
+  let module M = Imdb_obs.Metrics in
+  let module HC = Imdb_histcache.Histcache in
+  let a = HC.stats hc in
+  M.incr ~by:(a.HC.hits - before.HC.hits) eng.E.metrics M.histcache_hits;
+  M.incr ~by:(a.HC.misses - before.HC.misses) eng.E.metrics M.histcache_misses;
+  M.incr ~by:(a.HC.evictions - before.HC.evictions) eng.E.metrics M.histcache_evictions
+
+let scan_versioned_at_parallel eng pool hc ?lo ?hi ti ~t emit =
+  let module M = Imdb_obs.Metrics in
+  let s0 = Imdb_histcache.Histcache.stats hc in
+  (* Phase 1 (coordinator): pin each range's current page — stamping is
+     legal here — and either scan it in place (t falls in its time range)
+     or plan the historical work. *)
+  let plans =
+    List.map
+      (fun (low, high, pid) ->
+        BP.with_page eng.E.pool pid (fun fr ->
+            let page = BP.bytes fr in
+            E.stamp_page eng fr;
+            M.incr eng.E.metrics M.asof_pages;
+            let plan =
+              if Ts.compare t (P.split_time page) >= 0 then
+                Plan_rows (scan_page_image_at eng ~low ~high ~t page)
+              else
+                match tsb eng ti with
+                | Some index -> (
+                    match Imdb_tsb.Tsb.find index ~key:low ~ts:t with
+                    | Some hpid ->
+                        M.incr eng.E.metrics M.asof_pages;
+                        Plan_page hpid
+                    | None -> Plan_rows [])
+                | None -> Plan_walk (P.history_pointer page)
+            in
+            (low, high, pid, plan)))
+      (clipped_ranges eng ti ?lo ?hi ())
+  in
+  let tasks = Array.of_list plans in
+  let fanout =
+    Array.fold_left
+      (fun acc (_, _, _, plan) ->
+        match plan with Plan_rows _ -> acc | Plan_page _ | Plan_walk _ -> acc + 1)
+      0 tasks
+  in
+  M.observe eng.E.metrics M.h_scan_fanout fanout;
+  (* Phase 2: fan the ranges out across the worker domains (the
+     coordinator participates in the drain). *)
+  let results =
+    Imdb_parallel.Pool.run pool
+      (fun i ->
+        let low, high, _, plan = tasks.(i) in
+        run_range_task eng hc ti ~t ~low ~high plan)
+      (Array.length tasks)
+  in
+  (* Phase 3 (coordinator): ranges the workers could not serve fall back
+     to the serial body. *)
+  let rows =
+    Array.mapi
+      (fun i res ->
+        match res with
+        | Some rows -> rows
+        | None ->
+            M.incr eng.E.metrics M.scan_parallel_fallbacks;
+            let low, high, pid, _ = tasks.(i) in
+            scan_range_serial eng ti ~t (low, high, pid))
+      results
+  in
+  publish_histcache_delta eng ~before:s0 hc;
+  (* Ranges are emitted in router order, each sorted: the output is
+     identical to the serial path's. *)
+  Array.iter (fun rs -> List.iter (fun (k, p) -> emit k p) rs) rows
+
+(* Core of temporal scans: dispatch to the parallel path when it is both
+   enabled and applicable (no own-write overlay: AS OF scans), otherwise
+   run serially.  [scan_parallelism = 1] never constructs the parallel
+   machinery at all. *)
+let scan_versioned_at eng ?own ?lo ?hi ti ~t emit =
+  let parallel_ctx =
+    match own with
+    | Some _ -> None
+    | None -> (
+        match eng.E.histcache with
+        | None -> None
+        | Some hc -> (
+            match E.scan_pool eng with
+            | Some pool -> Some (pool, hc)
+            | None -> None))
+  in
+  match parallel_ctx with
+  | Some (pool, hc) -> scan_versioned_at_parallel eng pool hc ?lo ?hi ti ~t emit
+  | None -> scan_versioned_at_serial eng ?own ?lo ?hi ti ~t emit
 
 (* AS OF scan at time [t] (the paper's Section 5.2 experiment),
    optionally bounded to a key window — the access path of the paper's
@@ -714,10 +875,7 @@ let scan eng ?lo ?hi txn ti f =
 
 (* Time travel: the full version history of [key], newest first, as
    (timestamp, payload option) — None marks a deletion. *)
-let history eng txn ti ~key =
-  E.check_running txn;
-  if ti.Catalog.ti_mode <> Catalog.Immortal then
-    raise (Not_versioned (ti.Catalog.ti_name ^ ": history needs an IMMORTAL table"));
+let history_serial eng ti ~key =
   let pid = locate_page eng ti ~key in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
@@ -746,6 +904,97 @@ let history eng txn ti ~key =
   let rec walk pid' = if pid' <> P.no_page then walk (collect_page pid') in
   walk pid;
   List.sort (fun (a, _) (b, _) -> Ts.compare b a) !out
+
+(* Pure image read for the parallel history walk: [key]'s committed
+   versions in one page, (start ts, payload option), None = delete stub.
+   Uncommitted versions (still carrying a TID) are not part of history. *)
+let versions_of_key_image page ~key =
+  List.filter_map
+    (fun slot ->
+      match R.in_page_timestamp page slot with
+      | Some ts ->
+          let v =
+            if R.in_page_flags page slot land R.f_delete_stub <> 0 then None
+            else Some (payload_of page slot key)
+          in
+          Some (ts, v)
+      | None -> None)
+    (V.all_versions_of page ~key)
+
+(* Parallel history: the coordinator reads the (mutable) current page
+   under the buffer pool and collects the chain as immutable images from
+   the histcache; version extraction from those images fans out.  A chain
+   page the histcache cannot serve is read — and stamped — inline by the
+   coordinator, counted as a fallback. *)
+let history_parallel eng pool hc ti ~key =
+  let module M = Imdb_obs.Metrics in
+  let module HC = Imdb_histcache.Histcache in
+  let table_id = ti.Catalog.ti_id in
+  let s0 = HC.stats hc in
+  let pid = locate_page eng ti ~key in
+  let current_versions, first_hist =
+    BP.with_page eng.E.pool pid (fun fr ->
+        let page = BP.bytes fr in
+        E.stamp_page eng fr;
+        (versions_of_key_image page ~key, P.history_pointer page))
+  in
+  (* Walk the chain once on the coordinator, capturing page images in
+     chain order (newest first).  Frame bytes must not outlive the pin,
+     so the fallback extracts inside [with_page]. *)
+  let chain = ref [] in
+  let p = ref first_hist in
+  while !p <> P.no_page do
+    let pid' = !p in
+    match HC.get hc ~table_id pid' with
+    | Some page ->
+        chain := `Image page :: !chain;
+        p := P.history_pointer page
+    | None ->
+        M.incr eng.E.metrics M.scan_parallel_fallbacks;
+        let rows, next =
+          BP.with_page eng.E.pool pid' (fun fr ->
+              let page = BP.bytes fr in
+              E.stamp_page eng fr;
+              (versions_of_key_image page ~key, P.history_pointer page))
+        in
+        chain := `Rows rows :: !chain;
+        p := next
+  done;
+  let chain = Array.of_list (List.rev !chain) in
+  let extracted =
+    Imdb_parallel.Pool.run pool
+      (fun i ->
+        match chain.(i) with
+        | `Image page -> versions_of_key_image page ~key
+        | `Rows rows -> rows)
+      (Array.length chain)
+  in
+  publish_histcache_delta eng ~before:s0 hc;
+  (* Merge newest page first, deduping on the start timestamp (redundant
+     copies from time splits appear in two pages) — the same order the
+     serial walk visits, so the result is identical. *)
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add (ts, v) =
+    if not (Hashtbl.mem seen ts) then begin
+      Hashtbl.add seen ts ();
+      out := (ts, v) :: !out
+    end
+  in
+  List.iter add current_versions;
+  Array.iter (fun rows -> List.iter add rows) extracted;
+  List.sort (fun (a, _) (b, _) -> Ts.compare b a) !out
+
+let history eng txn ti ~key =
+  E.check_running txn;
+  if ti.Catalog.ti_mode <> Catalog.Immortal then
+    raise (Not_versioned (ti.Catalog.ti_name ^ ": history needs an IMMORTAL table"));
+  match eng.E.histcache with
+  | Some hc -> (
+      match E.scan_pool eng with
+      | Some pool -> history_parallel eng pool hc ti ~key
+      | None -> history_serial eng ti ~key)
+  | None -> history_serial eng ti ~key
 
 (* --- maintenance hooks used by commit (eager timestamping) ------------------ *)
 

@@ -1,0 +1,121 @@
+(* Lock-striped immutable-page cache.
+
+   Each shard is a mutex + hashtable + FIFO eviction queue.  A miss runs
+   entirely under its shard lock (lookup, disk load, admission check,
+   insert), which serializes concurrent loads of the same page: the work
+   counters stay deterministic — one miss per unique page — no matter
+   how many domains race on a shared history chain.  Different shards
+   never contend. *)
+
+module P = Imdb_storage.Page
+module V = Imdb_version.Vpage
+
+type shard = {
+  m : Mutex.t;
+  table : (int, bytes) Hashtbl.t;
+  fifo : int Queue.t;  (* admission order; lazily pruned on eviction *)
+}
+
+type stats = { hits : int; misses : int; evictions : int; rejected : int }
+
+type t = {
+  shards : shard array;
+  shard_capacity : int;
+  load : int -> bytes;
+  c_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_evictions : int Atomic.t;
+  c_rejected : int Atomic.t;
+}
+
+let create ?(shards = 16) ~capacity ~load () =
+  let shards = max 1 shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { m = Mutex.create (); table = Hashtbl.create 64; fifo = Queue.create () });
+    shard_capacity = max 1 (capacity / shards);
+    load;
+    c_hits = Atomic.make 0;
+    c_misses = Atomic.make 0;
+    c_evictions = Atomic.make 0;
+    c_rejected = Atomic.make 0;
+  }
+
+let shard_of t pid = t.shards.(pid mod Array.length t.shards)
+
+let with_lock s f =
+  Mutex.lock s.m;
+  match f () with
+  | v ->
+      Mutex.unlock s.m;
+      v
+  | exception e ->
+      Mutex.unlock s.m;
+      raise e
+
+(* A page may enter the cache only when the image proves it immutable:
+   intact, historical, ours, and with every version stamped.  This also
+   rejects stale disk images of reused page ids (their type or table
+   won't match) and pages whose only copy is dirty in the buffer pool
+   (the load raises Page_missing before we get here). *)
+let admissible ~table_id page =
+  P.verify page
+  && P.page_type page = P.P_history
+  && P.table_id page = table_id
+  && not (V.has_unstamped page)
+
+let evict_to_capacity t s =
+  while Hashtbl.length s.table > t.shard_capacity do
+    match Queue.pop s.fifo with
+    | victim ->
+        if Hashtbl.mem s.table victim then begin
+          Hashtbl.remove s.table victim;
+          Atomic.incr t.c_evictions
+        end
+    | exception Queue.Empty -> Hashtbl.reset s.table
+  done
+
+let get t ~table_id pid =
+  let s = shard_of t pid in
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.table pid with
+      | Some b ->
+          Atomic.incr t.c_hits;
+          Some b
+      | None -> (
+          Atomic.incr t.c_misses;
+          match t.load pid with
+          | exception _ -> None
+          | b ->
+              if P.page_id b = pid && admissible ~table_id b then begin
+                Hashtbl.replace s.table pid b;
+                Queue.push pid s.fifo;
+                evict_to_capacity t s;
+                Some b
+              end
+              else begin
+                Atomic.incr t.c_rejected;
+                None
+              end))
+
+let remove t pid =
+  let s = shard_of t pid in
+  with_lock s (fun () -> Hashtbl.remove s.table pid)
+
+let clear t =
+  Array.iter (fun s -> with_lock s (fun () -> Hashtbl.reset s.table; Queue.clear s.fifo)) t.shards
+
+let stats t =
+  {
+    hits = Atomic.get t.c_hits;
+    misses = Atomic.get t.c_misses;
+    evictions = Atomic.get t.c_evictions;
+    rejected = Atomic.get t.c_rejected;
+  }
+
+let length t =
+  Array.fold_left (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.table)) 0 t.shards
+
+let iter t f =
+  Array.iter (fun s -> with_lock s (fun () -> Hashtbl.iter f s.table)) t.shards

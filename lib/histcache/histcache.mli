@@ -1,0 +1,65 @@
+(** Sharded, lock-striped, read-only cache of {e immutable} historical
+    pages, keyed by page id.
+
+    The cache serves the parallel temporal read path: worker domains may
+    not touch the single-domain buffer pool, but historical pages are
+    immutable from the moment a time split writes them (every version
+    they hold is stamped at creation, inserts route to current pages,
+    stamping no-ops on fully stamped pages, and history pages are never
+    freed), so a page image read straight from disk is the final truth
+    and can be shared freely across domains.
+
+    Admission is defensive, not trusting: a page enters the cache only if
+    its checksum verifies, its type is [P_history], it belongs to the
+    expected table, and it contains no unstamped version.  Anything else
+    — including a page that only exists dirty in the buffer pool, or a
+    stale image from a freed-and-reused page id — is rejected, and the
+    caller falls back to the coordinating domain where the buffer pool
+    and the stamping triggers are legal.
+
+    The cache is volatile and never logged (the same discipline as the
+    buffer pool's key directories): it holds bytes the WAL already made
+    durable, so there is nothing to recover. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;  (** lookups that had to call [load] *)
+  evictions : int;
+  rejected : int;  (** loads that failed admission (subset of misses) *)
+}
+
+val create : ?shards:int -> capacity:int -> load:(int -> bytes) -> unit -> t
+(** [create ~capacity ~load ()] builds a cache of at most [capacity]
+    pages striped over [shards] (default 16) independently locked shards.
+    [load] reads a page image from stable storage (it must be safe to
+    call concurrently — the engine passes a serialized disk); it may
+    raise on missing pages, which [get] reports as [None]. *)
+
+val get : t -> table_id:int -> int -> bytes option
+(** [get t ~table_id pid] returns the immutable image of page [pid], from
+    cache or loaded (and admitted) on the fly.  [None] means the page is
+    not (yet) servable from stable storage — the caller must fall back to
+    the buffer pool on the coordinating domain.  The returned bytes are
+    shared: callers must never mutate them.  Thread-safe; the whole miss
+    (check, load, admit) runs under the shard lock, so concurrent readers
+    of one page cost exactly one load. *)
+
+val admissible : table_id:int -> bytes -> bool
+(** The admission predicate alone (checksum, [P_history], table, fully
+    stamped) — exposed for tests. *)
+
+val remove : t -> int -> unit
+(** Drop a page (defense in depth for freed page ids). *)
+
+val clear : t -> unit
+
+val stats : t -> stats
+(** Monotonic counters; reads are atomic per counter. *)
+
+val length : t -> int
+
+val iter : t -> (int -> bytes -> unit) -> unit
+(** Iterate the resident pages (tests).  Takes each shard lock in turn;
+    do not call [get] from [f]. *)

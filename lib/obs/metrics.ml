@@ -4,7 +4,13 @@
    flag so the shared [null] registry costs one branch per record.  The
    histogram uses fixed power-of-two bucket bounds; percentile estimation
    walks cumulative bucket counts, so for a given observation multiset the
-   result is a pure function — deterministic under the logical clock. *)
+   result is a pure function — deterministic under the logical clock.
+
+   The registry is domain-safe: every mutation and read of the hashtables
+   runs under one internal mutex, because the parallel scan path lets
+   worker domains record work (disk reads, visit counters) concurrently
+   with the coordinator.  The [null] registry short-circuits on [on]
+   before touching the lock, so disabled recording stays one branch. *)
 
 type hist = {
   mutable hc_count : int;
@@ -26,6 +32,7 @@ let default_trace_capacity = 1024
 
 type t = {
   on : bool;
+  lock : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
@@ -38,6 +45,7 @@ type t = {
 let make on =
   {
     on;
+    lock = Mutex.create ();
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 8;
     hists = Hashtbl.create 16;
@@ -51,12 +59,23 @@ let create () = make true
 let null = make false
 let enabled t = t.on
 
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.hists;
-  Queue.clear t.ring;
-  t.ring_dropped <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      Hashtbl.reset t.hists;
+      Queue.clear t.ring;
+      t.ring_dropped <- 0)
 
 (* --- counters ------------------------------------------------------ *)
 
@@ -68,15 +87,25 @@ let cell tbl name =
       Hashtbl.add tbl name r;
       r
 
-let incr ?(by = 1) t name = if t.on then (let r = cell t.counters name in r := !r + by)
-let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let incr ?(by = 1) t name =
+  if t.on then
+    locked t (fun () ->
+        let r = cell t.counters name in
+        r := !r + by)
 
-let ensure_counter t name = if t.on then ignore (cell t.counters name)
+let get t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let ensure_counter t name = if t.on then locked t (fun () -> ignore (cell t.counters name))
 
 (* --- gauges -------------------------------------------------------- *)
 
-let set_gauge t name v = if t.on then (cell t.gauges name) := v
-let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+let set_gauge t name v = if t.on then locked t (fun () -> (cell t.gauges name) := v)
+
+let gauge t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0)
 
 (* --- histograms ---------------------------------------------------- *)
 
@@ -101,17 +130,17 @@ let hist_cell t name =
       h
 
 let observe t name v =
-  if t.on then begin
-    let v = max 0 v in
-    let h = hist_cell t name in
-    h.hc_count <- h.hc_count + 1;
-    h.hc_sum <- h.hc_sum + v;
-    if v > h.hc_max then h.hc_max <- v;
-    let i = bucket_of v in
-    h.buckets.(i) <- h.buckets.(i) + 1
-  end
+  if t.on then
+    locked t (fun () ->
+        let v = max 0 v in
+        let h = hist_cell t name in
+        h.hc_count <- h.hc_count + 1;
+        h.hc_sum <- h.hc_sum + v;
+        if v > h.hc_max then h.hc_max <- v;
+        let i = bucket_of v in
+        h.buckets.(i) <- h.buckets.(i) + 1)
 
-let ensure_histogram t name = if t.on then ignore (hist_cell t name)
+let ensure_histogram t name = if t.on then locked t (fun () -> ignore (hist_cell t name))
 
 type hist_summary = {
   h_count : int;
@@ -146,14 +175,16 @@ let summarize h =
     h_p99 = percentile h 0.99;
   }
 
-let histogram t name = Option.map summarize (Hashtbl.find_opt t.hists name)
+let histogram t name =
+  locked t (fun () -> Option.map summarize (Hashtbl.find_opt t.hists name))
 
 (* --- snapshots ----------------------------------------------------- *)
 
 type snapshot = (string * int) list
 
 let snapshot t : snapshot =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort compare
+  locked t (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
+  |> List.sort compare
 
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
   let tbl = Hashtbl.create 16 in
@@ -173,31 +204,36 @@ let pp_snapshot ppf (s : snapshot) =
 (* --- trace ring ---------------------------------------------------- *)
 
 let set_trace_capacity t cap =
-  if t.on then begin
-    t.ring_cap <- max 1 cap;
-    Queue.clear t.ring;
-    t.ring_dropped <- 0
-  end
+  if t.on then
+    locked t (fun () ->
+        t.ring_cap <- max 1 cap;
+        Queue.clear t.ring;
+        t.ring_dropped <- 0)
 
 let trace t ?(attrs = []) phase name =
-  if t.on then begin
-    let ev = { ev_seq = t.ring_seq; ev_name = name; ev_phase = phase; ev_attrs = attrs } in
-    t.ring_seq <- t.ring_seq + 1;
-    if Queue.length t.ring >= t.ring_cap then begin
-      ignore (Queue.pop t.ring);
-      t.ring_dropped <- t.ring_dropped + 1
-    end;
-    Queue.push ev t.ring
-  end
+  if t.on then
+    locked t (fun () ->
+        let ev =
+          { ev_seq = t.ring_seq; ev_name = name; ev_phase = phase; ev_attrs = attrs }
+        in
+        t.ring_seq <- t.ring_seq + 1;
+        if Queue.length t.ring >= t.ring_cap then begin
+          ignore (Queue.pop t.ring);
+          t.ring_dropped <- t.ring_dropped + 1
+        end;
+        Queue.push ev t.ring)
 
-let trace_events t = List.of_seq (Queue.to_seq t.ring)
-let trace_dropped t = t.ring_dropped
+let trace_events_unlocked t = List.of_seq (Queue.to_seq t.ring)
+let trace_events t = locked t (fun () -> trace_events_unlocked t)
+let trace_dropped t = locked t (fun () -> t.ring_dropped)
 
 (* --- JSON exposition ----------------------------------------------- *)
 
 (* v2: hot-path overhaul counters (buffer.clock_sweeps, the keydir
-   hit/miss pair) and the txn.group_commit_batch histogram. *)
-let schema_version = 2
+   hit/miss pair) and the txn.group_commit_batch histogram.
+   v3: parallel read path — the histcache hit/miss/eviction counters,
+   scan.parallel_fallbacks, and the scan.fanout histogram. *)
+let schema_version = 3
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -208,6 +244,7 @@ let phase_string = function
   | Instant -> "instant"
 
 let to_json ?(traces = false) t =
+  locked t @@ fun () ->
   let hists =
     Hashtbl.fold
       (fun k h acc ->
@@ -255,7 +292,7 @@ let to_json ?(traces = false) t =
                              Json.Obj
                                (List.map (fun (k, v) -> (k, Json.String v)) ev.ev_attrs) );
                          ])
-                     (trace_events t)) );
+                     (trace_events_unlocked t)) );
             ] );
       ]
   in
@@ -287,6 +324,10 @@ let key_splits = "split.key"
 let split_copied = "split.copied"
 let asof_pages = "asof.pages_visited"
 let asof_versions = "asof.versions_visited"
+let histcache_hits = "histcache.hits"
+let histcache_misses = "histcache.misses"
+let histcache_evictions = "histcache.evictions"
+let scan_parallel_fallbacks = "scan.parallel_fallbacks"
 let txn_commits = "txn.commits"
 let txn_aborts = "txn.aborts"
 let btree_node_splits = "btree.node_splits"
@@ -299,6 +340,7 @@ let h_log_flush_bytes = "log.flush_bytes"
 let h_commit_writes = "txn.commit_writes"
 let h_group_commit_batch = "txn.group_commit_batch"
 let h_commit_latency_ms = "txn.commit_latency_ms"
+let h_scan_fanout = "scan.fanout"
 let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"
 let h_page_utilization_pct = "page.utilization_pct"

@@ -7,7 +7,11 @@
     Everything here is deterministic under the logical clock: counters
     and histograms record logical work (I/O operations, bytes, versions,
     logical-clock ticks), never wall time, so a bench run reproduces bit
-    for bit.  See DESIGN.md "Deterministic observability". *)
+    for bit.  See DESIGN.md "Deterministic observability".
+
+    The registry is domain-safe: recording and reading may happen from
+    worker domains concurrently with the coordinator (an internal mutex
+    guards the tables; [null] short-circuits before it). *)
 
 type t
 
@@ -103,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -145,6 +149,10 @@ val key_splits : string
 val split_copied : string
 val asof_pages : string
 val asof_versions : string
+val histcache_hits : string
+val histcache_misses : string
+val histcache_evictions : string
+val scan_parallel_fallbacks : string
 val txn_commits : string
 val txn_aborts : string
 val btree_node_splits : string
@@ -161,6 +169,7 @@ val h_group_commit_batch : string
 (* [h_commit_latency_ms] records clock ticks between a writer's snapshot
    and its commit timestamp — logical-clock ticks, not wall time. *)
 val h_commit_latency_ms : string
+val h_scan_fanout : string
 val h_split_current_live : string
 val h_split_history_live : string
 val h_page_utilization_pct : string

@@ -1,0 +1,119 @@
+(* Fixed domain pool.
+
+   Workers block on a condition variable until the coordinator publishes
+   a job (an array of thunks and an atomic claim index), drain tasks by
+   fetch-and-add, and go back to sleep.  The coordinator participates in
+   the drain, then waits until the per-job unfinished count reaches zero,
+   so [run] returns only when every task has completed — including tasks
+   a slow worker claimed just before the coordinator ran dry. *)
+
+type job = {
+  tasks : (unit -> unit) array;  (* exception-safe wrappers, never raise *)
+  next : int Atomic.t;  (* claim index *)
+  mutable unfinished : int;  (* guarded by the pool mutex *)
+}
+
+type t = {
+  n_workers : int;
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  has_work : Condition.t;
+  all_done : Condition.t;
+  mutable job : job option;
+  mutable gen : int;  (* bumped per job so a worker never re-runs one *)
+  mutable stopped : bool;
+}
+
+let workers t = t.n_workers
+
+(* Claim and run tasks until the job is exhausted, decrementing the
+   unfinished count per task so the coordinator can join. *)
+let drain t job =
+  let n = Array.length job.tasks in
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < n then begin
+      job.tasks.(i) ();
+      Mutex.lock t.m;
+      job.unfinished <- job.unfinished - 1;
+      if job.unfinished = 0 then Condition.broadcast t.all_done;
+      Mutex.unlock t.m;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.m;
+  while (not t.stopped) && (t.job = None || t.gen = last_gen) do
+    Condition.wait t.has_work t.m
+  done;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    let gen = t.gen in
+    let job = Option.get t.job in
+    Mutex.unlock t.m;
+    drain t job;
+    worker_loop t gen
+  end
+
+let create ~workers =
+  if workers < 0 then invalid_arg "Pool.create: negative worker count";
+  let t =
+    {
+      n_workers = workers;
+      domains = [||];
+      m = Mutex.create ();
+      has_work = Condition.create ();
+      all_done = Condition.create ();
+      job = None;
+      gen = 0;
+      stopped = false;
+    }
+  in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let run t f n =
+  if t.stopped then invalid_arg "Pool.run: pool is shut down";
+  if n = 0 then [||]
+  else if t.n_workers = 0 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let first_exn = Atomic.make None in
+    let tasks =
+      Array.init n (fun i () ->
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set first_exn None (Some e)))
+    in
+    let job = { tasks; next = Atomic.make 0; unfinished = n } in
+    Mutex.lock t.m;
+    if t.job <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.run: reentrant run"
+    end;
+    t.job <- Some job;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.m;
+    drain t job;
+    Mutex.lock t.m;
+    while job.unfinished > 0 do
+      Condition.wait t.all_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m;
+    (match Atomic.get first_exn with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  if not t.stopped then begin
+    Mutex.lock t.m;
+    t.stopped <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

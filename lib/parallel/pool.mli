@@ -1,0 +1,30 @@
+(** A fixed pool of worker domains for fanning indexed tasks out of the
+    coordinating domain.
+
+    The pool exists for the parallel temporal read path: the coordinator
+    (the domain that owns the engine) partitions a scan into independent
+    tasks, the workers execute them against immutable data only (the
+    histcache, never the buffer pool), and the coordinator joins the
+    results.  One job runs at a time — [run] is not reentrant — which
+    matches the engine's single-writer discipline: parallelism lives
+    {e inside} one operation, never across operations. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains (>= 0).  [workers = 0] makes [run] execute
+    inline on the caller — the degenerate serial pool. *)
+
+val workers : t -> int
+
+val run : t -> (int -> 'a) -> int -> 'a array
+(** [run t f n] evaluates [f 0 .. f (n-1)] across the workers plus the
+    calling domain and returns the results in index order.  Tasks are
+    claimed by atomic fetch-and-add, so scheduling is work-stealing-free
+    but naturally load-balanced.  If any task raises, the first exception
+    (in completion order) is re-raised on the caller after all tasks
+    finish.  Must be called from one domain at a time. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent; [run] after [shutdown] is a
+    programming error (raises [Invalid_argument]). *)

@@ -36,6 +36,11 @@ val in_memory : ?metrics:Imdb_obs.Metrics.t -> page_size:int -> unit -> t
 val file : ?metrics:Imdb_obs.Metrics.t -> path:string -> page_size:int -> unit -> t
 (** File-backed device; [sync] is fsync. *)
 
+val serialized : t -> t
+(** Wrap a device so every operation runs under one mutex, making it safe
+    to share across domains (the built-in devices are single-domain).
+    The engine applies this automatically when [scan_parallelism > 1]. *)
+
 (** Injected-failure control block for [failing]. *)
 type failure_plan = {
   mutable writes_until_failure : int;  (** -1 never; 0 = next write fails *)

@@ -29,4 +29,5 @@ let () =
       ("sql", Test_sql.suite);
       ("sql2", Test_sql2.suite);
       ("workload", Test_workload.suite);
+      ("parscan", Test_parscan.suite);
     ]

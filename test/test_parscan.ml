@@ -1,0 +1,225 @@
+(* Parallel time-travel reads (PR 3).
+
+   The fan-out AS OF path must be observationally identical to the serial
+   path at any [scan_parallelism]; the histcache must only ever hold
+   fully-stamped immutable history pages that match stable storage; and
+   ranges the cache cannot serve must fall back to the coordinator
+   without losing rows.  Also the satellite regression: a windowed AS OF
+   scan whose answer spans several historical pages must agree with
+   pointwise lookups. *)
+
+open Helpers
+module Db = Imdb_core.Db
+module E = Imdb_core.Engine
+module M = Imdb_obs.Metrics
+module P = Imdb_storage.Page
+module V = Imdb_version.Vpage
+module BP = Imdb_buffer.Buffer_pool
+module HC = Imdb_histcache.Histcache
+
+let config ?(pool_capacity = 16) ?(tsb = false) p =
+  {
+    default_config with
+    E.page_size = 1024;
+    pool_capacity;
+    tsb_enabled = tsb;
+    scan_parallelism = p;
+    histcache_capacity = 256;
+  }
+
+let fresh ?pool_capacity p =
+  let db, clock = fresh_db ~config:(config ?pool_capacity p) () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  (db, clock)
+
+let k i = Printf.sprintf "k%03d" i
+
+(* Apply [ops] as one-commit transactions; a delete of an absent key is
+   rewritten to an upsert so any generated sequence is total.  The clock
+   ticks identically per commit, so two databases fed the same ops get
+   the same commit timestamps. *)
+let apply db clock ops =
+  let present = Hashtbl.create 32 in
+  List.mapi
+    (fun step (kind, i) ->
+      let key = k i in
+      let ts =
+        commit_write db (fun txn ->
+            match kind with
+            | `Delete when Hashtbl.mem present key ->
+                Hashtbl.remove present key;
+                Db.delete db txn ~table:"t" ~key
+            | _ ->
+                Hashtbl.replace present key ();
+                Db.upsert db txn ~table:"t" ~key
+                  ~payload:(Printf.sprintf "v%d-%s" step key))
+      in
+      tick clock;
+      ts)
+    ops
+
+(* Rounds of upserts with varying payload sizes: deep history chains and
+   (with enough keys) router key splits. *)
+let churn db clock ~keys ~rounds =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun i ->
+          let ts =
+            commit_write db (fun txn ->
+                Db.upsert db txn ~table:"t" ~key:(k i)
+                  ~payload:
+                    (Printf.sprintf "r%d-%s-%s" r (k i)
+                       (String.make (20 + ((r * 7) + i mod 40)) 'x')))
+          in
+          tick clock;
+          ts)
+        (List.init keys Fun.id))
+    (List.init rounds Fun.id)
+
+let collect ?lo ?hi db ts =
+  let out = ref [] in
+  Db.as_of db ts (fun txn ->
+      Db.scan ?lo ?hi db txn ~table:"t" (fun key v -> out := (key, v) :: !out));
+  List.rev !out
+
+let hist db key = Db.exec db (fun txn -> Db.history db txn ~table:"t" ~key)
+let flush db = BP.flush_all (Db.engine db).E.pool
+
+(* --- property: parallel == serial ------------------------------------- *)
+
+let prop_parallel_equals_serial =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 60 120)
+        (pair
+           (frequency [ (4, return `Upsert); (1, return `Delete) ])
+           (int_bound 30)))
+  in
+  QCheck.Test.make ~name:"parallel AS OF/history == serial (p in {1,2,4})"
+    ~count:8 (QCheck.make gen) (fun ops ->
+      let db1, c1 = fresh 1 in
+      let db2, c2 = fresh 2 in
+      let db4, c4 = fresh 4 in
+      let ts1 = apply db1 c1 ops in
+      let ts2 = apply db2 c2 ops in
+      let ts4 = apply db4 c4 ops in
+      if ts1 <> ts2 || ts1 <> ts4 then
+        QCheck.Test.fail_report "commit timestamps diverged across engines";
+      List.iter flush [ db1; db2; db4 ];
+      let n = List.length ts1 in
+      let probes =
+        List.map (List.nth ts1) [ 0; n / 4; n / 2; 3 * n / 4; n - 1 ]
+      in
+      List.iter
+        (fun ts ->
+          let full1 = collect db1 ts in
+          if full1 <> collect db2 ts || full1 <> collect db4 ts then
+            QCheck.Test.fail_report "full AS OF scan diverged";
+          let w1 = collect ~lo:(k 5) ~hi:(k 22) db1 ts in
+          if
+            w1 <> collect ~lo:(k 5) ~hi:(k 22) db2 ts
+            || w1 <> collect ~lo:(k 5) ~hi:(k 22) db4 ts
+          then QCheck.Test.fail_report "windowed AS OF scan diverged")
+        probes;
+      List.iter
+        (fun i ->
+          let h1 = hist db1 (k i) in
+          if h1 <> hist db2 (k i) || h1 <> hist db4 (k i) then
+            QCheck.Test.fail_reportf "history diverged for %s" (k i))
+        [ 0; 7; 15; 29 ];
+      Db.close db1;
+      Db.close db2;
+      Db.close db4;
+      true)
+
+(* --- histcache only ever holds immutable, stamped, stable pages -------- *)
+
+let test_histcache_immutable () =
+  let db, clock = fresh 2 in
+  let tss = churn db clock ~keys:24 ~rounds:20 in
+  flush db;
+  (* warm the cache through temporal reads at many depths *)
+  List.iteri (fun i ts -> if i mod 17 = 0 then ignore (collect db ts)) tss;
+  List.iter (fun i -> ignore (hist db (k i))) [ 0; 5; 11; 23 ];
+  (* keep writing and stamping after the cache is warm: none of it may
+     leak into cached images *)
+  ignore (churn db clock ~keys:24 ~rounds:4);
+  Db.exec db (fun txn ->
+      List.iter (fun i -> ignore (Db.get db txn ~table:"t" ~key:(k i))) [ 0; 1; 2 ]);
+  let eng = Db.engine db in
+  let hc = Option.get eng.E.histcache in
+  Alcotest.(check bool) "cache populated" true (HC.length hc > 0);
+  HC.iter hc (fun pid b ->
+      Alcotest.(check bool) "checksum verifies" true (P.verify b);
+      Alcotest.(check bool) "is a history page" true (P.page_type b = P.P_history);
+      Alcotest.(check bool) "fully stamped" true (not (V.has_unstamped b));
+      Alcotest.(check bool)
+        "matches stable storage" true
+        (Bytes.equal b (eng.E.disk.Imdb_storage.Disk.read_page pid)));
+  Db.close db
+
+(* --- unflushed history: the cache cannot serve it; fall back ----------- *)
+
+let test_fallback_unflushed () =
+  (* A pool large enough that nothing is ever evicted (and no flush):
+     history pages exist only as dirty frames, stable storage cannot
+     serve them, so every fanned-out historical range must bounce back
+     to the coordinator — and the answer must not change. *)
+  let db1, c1 = fresh ~pool_capacity:512 1 in
+  let db2, c2 = fresh ~pool_capacity:512 2 in
+  let ops = List.init 200 (fun i -> (`Upsert, i mod 12)) in
+  let ts1 = apply db1 c1 ops in
+  let ts2 = apply db2 c2 ops in
+  Alcotest.(check bool) "same timestamps" true (ts1 = ts2);
+  let early = List.nth ts1 10 in
+  let r1 = collect db1 early in
+  let r2 = collect db2 early in
+  Alcotest.(check (list (pair string string))) "fallback scan identical" r1 r2;
+  Alcotest.(check bool) "rows returned" true (List.length r1 > 0);
+  Alcotest.(check bool)
+    "fallbacks counted" true
+    (M.get (Db.metrics db2) M.scan_parallel_fallbacks > 0);
+  Db.close db1;
+  Db.close db2
+
+(* --- satellite regression: window spanning several history pages ------- *)
+
+let scan_vs_pointwise db ts ~lo_i ~hi_i =
+  let got = collect ~lo:(k lo_i) ~hi:(k hi_i) db ts in
+  let expected =
+    List.filter_map
+      (fun i ->
+        Db.as_of db ts (fun txn -> Db.get db txn ~table:"t" ~key:(k i))
+        |> Option.map (fun v -> (k i, v)))
+      (List.init (hi_i - lo_i) (fun d -> lo_i + d))
+  in
+  Alcotest.(check (list (pair string string))) "window vs pointwise" expected got
+
+let test_range_spans_history_pages ~tsb () =
+  let db, clock = fresh_db ~config:(config ~pool_capacity:32 ~tsb 1) () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  (* enough keys for router key splits, enough rounds for deep chains:
+     a window's answer then lives in several historical pages *)
+  let tss = churn db clock ~keys:60 ~rounds:12 in
+  let n = List.length tss in
+  List.iter
+    (fun idx ->
+      let ts = List.nth tss idx in
+      scan_vs_pointwise db ts ~lo_i:0 ~hi_i:60;
+      scan_vs_pointwise db ts ~lo_i:10 ~hi_i:45)
+    [ n / 10; n / 3; n / 2; 3 * n / 4; n - 1 ];
+  Db.close db
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_parallel_equals_serial;
+    Alcotest.test_case "histcache holds only immutable stamped pages" `Quick
+      test_histcache_immutable;
+    Alcotest.test_case "unflushed history falls back, identically" `Quick
+      test_fallback_unflushed;
+    Alcotest.test_case "AS OF window spans history pages (chain)" `Quick
+      (test_range_spans_history_pages ~tsb:false);
+    Alcotest.test_case "AS OF window spans history pages (TSB)" `Quick
+      (test_range_spans_history_pages ~tsb:true);
+  ]
