@@ -482,8 +482,132 @@ let recovery ~scale =
     "checkpoints bound the redo scan (and keep the PTT collected) at the cost \
      of periodic page sweeps during normal operation.@."
 
+(* --- deterministic ablation counters for the CI gate ------------------------ *)
+
+(* The named experiments above print operator tables (with wall times);
+   this one distills their deterministic skeletons into BENCH_ablations:
+   PTT sizes with and without GC (plus the batched-drain histogram),
+   page counts across table modes, and the logging cost of lazy vs eager
+   timestamping.  Every value is a pure function of the workload. *)
+let ablations ~scale =
+  (* Ext C: final PTT size with and without GC, and the batch drains *)
+  let gc_txns = Harness.scaled ~scale 16000 in
+  let gc_events = Mo.generate ~seed:42 ~inserts:(min 500 gc_txns) ~total:gc_txns () in
+  let run_gc ~checkpoint_every =
+    let config = { E.default_config with E.auto_checkpoint_every = checkpoint_every } in
+    let db, clock = Driver.fresh_moving_objects ~config ~mode:Db.Immortal () in
+    ignore (Driver.run_events ~clock db ~table:"MovingObjects" gc_events);
+    let final = Imdb_tstamp.Ptt.count (E.ptt_exn (Db.engine db)) in
+    let h = M.histogram (Db.metrics db) M.h_ptt_gc_batch in
+    Db.close db;
+    (final, h)
+  in
+  let gc_final, gc_hist = run_gc ~checkpoint_every:1000 in
+  let nogc_final, _ = run_gc ~checkpoint_every:0 in
+  let gc_batches, gc_drained =
+    match gc_hist with
+    | Some h -> (h.M.h_count, h.M.h_sum)
+    | None -> (0, 0)
+  in
+  (* Ext G: storage across table modes *)
+  let sp_txns = Harness.scaled ~scale 20000 in
+  let sp_events = Mo.generate ~seed:42 ~inserts:(min 500 sp_txns) ~total:sp_txns () in
+  let run_space (label, mode) =
+    let db, clock = Driver.fresh_moving_objects ~mode () in
+    ignore (Driver.run_events ~clock db ~table:"MovingObjects" sp_events);
+    let hwm = (Db.engine db).E.meta.Imdb_core.Meta.hwm in
+    let m = Db.metrics db in
+    let tss = M.get m M.time_splits and kss = M.get m M.key_splits in
+    Db.close db;
+    let module J = Imdb_obs.Json in
+    J.Obj
+      [
+        ("mode", J.String label);
+        ("pages", J.Int hwm);
+        ("time_splits", J.Int tss);
+        ("key_splits", J.Int kss);
+      ]
+  in
+  let space_series =
+    List.map run_space
+      [
+        ("immortal", Db.Immortal);
+        ("snapshot", Db.Snapshot_table);
+        ("conventional", Db.Conventional);
+      ]
+  in
+  (* Ext B: the logging cost of eager timestamping *)
+  let ts_txns = Harness.scaled ~scale 400 in
+  let run_stamping mode =
+    let config =
+      { E.default_config with E.timestamping = mode; E.pool_capacity = 64 }
+    in
+    let clock = Imdb_clock.Clock.create_logical () in
+    let db = Db.open_memory ~config ~clock () in
+    Db.create_table db ~name:"t" ~mode:Db.Immortal
+      ~schema:Driver.moving_objects_schema;
+    let rng = Imdb_util.Rng.create 7 in
+    for i = 1 to ts_txns do
+      Imdb_clock.Clock.advance clock 20L;
+      let txn = Db.begin_txn db in
+      for _ = 1 to 50 do
+        let k = Imdb_util.Rng.int rng 20000 in
+        Db.upsert_row db txn ~table:"t" [ S.V_int k; S.V_int i; S.V_int i ]
+      done;
+      ignore (Db.commit db txn)
+    done;
+    let m = Db.metrics db in
+    let recs = M.get m M.log_appends and bytes = M.get m M.log_bytes in
+    Db.close db;
+    (recs, bytes)
+  in
+  let lazy_recs, lazy_bytes = run_stamping E.Lazy_stamping in
+  let eager_recs, eager_bytes = run_stamping E.Eager_stamping in
+  let module J = Imdb_obs.Json in
+  Harness.emit_json ~name:"ablations"
+    (J.Obj
+       [
+         ("schema_version", J.Int M.schema_version);
+         ( "ptt_gc",
+           J.Obj
+             [
+               ("txns", J.Int gc_txns);
+               ("final_with_gc", J.Int gc_final);
+               ("final_without_gc", J.Int nogc_final);
+               ("gc_batches", J.Int gc_batches);
+               ("gc_drained", J.Int gc_drained);
+             ] );
+         ("space", J.List space_series);
+         ( "timestamping",
+           J.Obj
+             [
+               ("txns", J.Int ts_txns);
+               ("lazy_log_records", J.Int lazy_recs);
+               ("lazy_log_bytes", J.Int lazy_bytes);
+               ("eager_log_records", J.Int eager_recs);
+               ("eager_log_bytes", J.Int eager_bytes);
+             ] );
+       ]);
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "ablations (CI gate): PTT GC (%d txns), storage modes (%d txns), \
+          stamping strategies (%d txns)"
+         gc_txns sp_txns ts_txns)
+    ~header:[ "quantity"; "value" ]
+    [
+      [ "PTT final (GC on)"; string_of_int gc_final ];
+      [ "PTT final (GC off)"; string_of_int nogc_final ];
+      [ "GC batch drains"; string_of_int gc_batches ];
+      [ "TIDs drained"; string_of_int gc_drained ];
+      [ "lazy log bytes"; string_of_int lazy_bytes ];
+      [ "eager log bytes"; string_of_int eager_bytes ];
+    ]
+
 let () =
   Harness.register ~name:"tsb" ~doc:"TSB index vs chain walk (Ext A)" tsb;
+  Harness.register ~name:"ablations"
+    ~doc:"deterministic ablation counters for the CI gate (Ext B/C/G)" ablations;
   Harness.register ~name:"lazy-eager" ~doc:"lazy vs eager timestamping (Ext B)" lazy_eager;
   Harness.register ~name:"ptt-gc" ~doc:"PTT garbage collection (Ext C)" ptt_gc;
   Harness.register ~name:"split-store" ~doc:"integrated vs split store (Ext D)" split_store;

@@ -662,6 +662,73 @@ let delete ?(undoable = false) t ~key =
       end;
       true
 
+(* Delete many keys in one pass: sort them, descend once per leaf run and
+   drop every key that lives in the pinned leaf before moving on.  Keys
+   in ascending order hit ascending leaves, so a key not found in the
+   current leaf is either absent or belongs to a later one — it becomes
+   the next run's head and gets its own descent.  Ptt GC deletes cluster
+   tightly by construction (TIDs are assigned in order), so the common
+   cost is one descent for the whole batch.  Returns the number of keys
+   that existed. *)
+let delete_batch ?(undoable = false) t ~keys =
+  let keys = List.sort_uniq String.compare keys in
+  let deleted = ref 0 in
+  let rec run = function
+    | [] -> ()
+    | key :: rest ->
+        let leaf_id, path = find_leaf t key in
+        let remaining = ref rest in
+        let emptied =
+          Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
+              let page = Imdb_buffer.Buffer_pool.bytes fr in
+              let del k =
+                match leaf_find_slot_fr t fr page k with
+                | None -> false
+                | Some slot ->
+                    let body = P.read_cell page slot in
+                    let op =
+                      if undoable then
+                        Imdb_wal.Log_record.Op_kv_delete
+                          { slot; body; table_id = t.table_id }
+                      else Imdb_wal.Log_record.Op_delete { slot; body }
+                    in
+                    t.io.exec fr ~undoable op;
+                    incr deleted;
+                    true
+              in
+              (* the head key routed here: absent if not found *)
+              ignore (del key);
+              let rec consume () =
+                match !remaining with
+                | k :: tl when del k ->
+                    remaining := tl;
+                    consume ()
+                | _ -> ()
+              in
+              consume ();
+              P.live_count page = 0 && leaf_id <> t.root)
+        in
+        if emptied then begin
+          let is_leftmost =
+            match List.rev path with
+            | (parent_id, slot) :: _ ->
+                Imdb_buffer.Buffer_pool.with_page t.pool parent_id (fun fr ->
+                    let page = Imdb_buffer.Buffer_pool.bytes fr in
+                    String.equal (cell_key page slot) "")
+            | [] -> true
+          in
+          if not is_leftmost then begin
+            Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
+                unlink_leaf t (Imdb_buffer.Buffer_pool.bytes fr));
+            remove_separator t (List.rev path) leaf_id;
+            t.io.free leaf_id
+          end
+        end;
+        run !remaining
+  in
+  run keys;
+  !deleted
+
 (* --- integrity checking (test support) ------------------------------------- *)
 
 exception Invariant_violation of string

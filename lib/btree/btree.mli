@@ -64,6 +64,11 @@ val delete : ?undoable:bool -> t -> key:string -> bool
     redo-only (GC, DROP TABLE); pass [~undoable:true] for transactional
     deletes.  Returns whether the key existed. *)
 
+val delete_batch : ?undoable:bool -> t -> keys:string list -> int
+(** Delete many keys with one descent per leaf run (keys are sorted
+    internally; duplicates collapse).  Same logging and leaf reclamation
+    as {!delete}.  Returns how many of the keys existed. *)
+
 (** {1 Ordered search} *)
 
 val find_floor : t -> key:string -> (string * bytes) option

@@ -33,6 +33,10 @@ type config = {
   histcache_capacity : int;
       (* pages in the immutable-history cache (only used when
          scan_parallelism > 1) *)
+  history_compression : bool;
+      (* delta-compress historical pages at time splits; false = the
+         plain P_history format, bit-for-bit identical to pre-compression
+         behavior *)
 }
 
 let default_config =
@@ -46,6 +50,7 @@ let default_config =
     group_commit_window = 1;
     scan_parallelism = 1;
     histcache_capacity = 1024;
+    history_compression = true;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -94,6 +99,13 @@ type t = {
          domains are allowed to touch *)
   mutable scan_pool : Imdb_parallel.Pool.t option;
       (* worker domains, spawned lazily by the first parallel scan *)
+  hist_decoded : (int, bytes) Hashtbl.t;
+      (* memoized decoded images of compressed history pages, for the
+         serial read path (coordinator domain only — workers decode at
+         histcache admission instead).  Entries never go stale: a
+         compressed page is immutable from the moment its time split
+         writes it. *)
+  hist_decoded_order : int Queue.t; (* FIFO bound for [hist_decoded] *)
 }
 
 let vtt t = Imdb_tstamp.Lazy_stamper.vtt t.stamper
@@ -193,6 +205,7 @@ let free_page t pid =
   (match t.histcache with
   | Some hc -> Imdb_histcache.Histcache.remove hc pid
   | None -> ());
+  Hashtbl.remove t.hist_decoded pid;
   BP.with_page t.pool pid (fun fr ->
       exec_op t fr ~undoable:false
         (LR.Op_format { page_type = P.P_free; table_id = 0; level = 0 });
@@ -327,6 +340,41 @@ let lock_record t txn ~table_id ~key mode =
   | Snapshot_isolation | As_of _ -> () (* versioned reads never lock *)
 
 (* ------------------------------------------------------------------ *)
+(* Compressed-history decoding                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Expand a compressed history image, timing the decode. *)
+let decode_with metrics b =
+  let t0 = Unix.gettimeofday () in
+  let img = Imdb_storage.Vcompress.decode b in
+  Imdb_obs.Metrics.observe metrics Imdb_obs.Metrics.h_compress_decode_ns
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  img
+
+(* Decoded view of a history page image for the serial read path: plain
+   pages pass through untouched; [P_history_compressed] images expand to
+   the equivalent [P_history] image.  Memoized — compressed pages are
+   immutable, so entries never go stale; the FIFO bound keeps memory in
+   check.  Coordinator domain only. *)
+let decoded_history t page =
+  if not (Imdb_storage.Vcompress.is_compressed page) then page
+  else begin
+    let pid = P.page_id page in
+    match Hashtbl.find_opt t.hist_decoded pid with
+    | Some img -> img
+    | None ->
+        let img = decode_with t.metrics page in
+        if Queue.length t.hist_decoded_order >= max 64 t.config.histcache_capacity
+        then begin
+          let victim = Queue.pop t.hist_decoded_order in
+          Hashtbl.remove t.hist_decoded victim
+        end;
+        Hashtbl.replace t.hist_decoded pid img;
+        Queue.push pid t.hist_decoded_order;
+        img
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Stamping helpers                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,8 +505,15 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.histcache_misses;
   Mx.ensure_counter metrics Mx.histcache_evictions;
   Mx.ensure_counter metrics Mx.scan_parallel_fallbacks;
+  Mx.ensure_counter metrics Mx.hist_bytes_written;
+  Mx.ensure_counter metrics Mx.compress_pages;
+  Mx.ensure_counter metrics Mx.compress_fallbacks;
+  Mx.ensure_counter metrics Mx.compress_raw_bytes;
+  Mx.ensure_counter metrics Mx.compress_written_bytes;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Mx.ensure_histogram metrics Mx.h_scan_fanout;
+  Mx.ensure_histogram metrics Mx.h_compress_decode_ns;
+  Mx.ensure_histogram metrics Mx.h_ptt_gc_batch;
   (* Parallel scans share the device between the coordinator (via the
      buffer pool) and worker-domain cache misses: serialize it.  At the
      default scan_parallelism = 1 the device is untouched, so the serial
@@ -476,6 +531,7 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       Some
         (Imdb_histcache.Histcache.create ~capacity:config.histcache_capacity
            ~load:(fun pid -> disk.Imdb_storage.Disk.read_page pid)
+           ~decode:(fun b -> decode_with metrics b)
            ())
     else None
   in
@@ -501,6 +557,8 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       in_recovery = false;
       histcache;
       scan_pool = None;
+      hist_decoded = Hashtbl.create 64;
+      hist_decoded_order = Queue.create ();
     }
   in
   (* Flush-time lazy stamping: volatile-only resolution, no logging. *)
@@ -509,7 +567,8 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       | P.P_data ->
           if config.timestamping = Lazy_stamping then
             ignore (Imdb_tstamp.Lazy_stamper.stamp_page_volatile stamper page)
-      | P.P_free | P.P_meta | P.P_history | P.P_index | P.P_tsb_index | P.P_heap -> ());
+      | P.P_free | P.P_meta | P.P_history | P.P_history_compressed | P.P_index
+      | P.P_tsb_index | P.P_heap -> ());
   t
 
 (* Fresh database: format page 0, create the catalog and PTT trees, and

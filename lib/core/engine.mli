@@ -31,6 +31,11 @@ type config = {
   histcache_capacity : int;
       (** pages held by the immutable-history cache (used only when
           [scan_parallelism > 1]) *)
+  history_compression : bool;
+      (** delta-compress historical pages at time splits ({!Imdb_storage.Vcompress});
+          readers decompress lazily and results are identical either way.
+          [false] keeps the plain [P_history] format, bit-for-bit
+          identical to pre-compression behavior. *)
 }
 
 val default_config : config
@@ -83,6 +88,10 @@ type t = {
           worker domains may read *)
   mutable scan_pool : Imdb_parallel.Pool.t option;
       (** worker domains, spawned lazily by the first parallel scan *)
+  hist_decoded : (int, bytes) Hashtbl.t;
+      (** memoized decoded images of compressed history pages (serial
+          path, coordinator domain only; immutable so never stale) *)
+  hist_decoded_order : int Queue.t;  (** FIFO bound for [hist_decoded] *)
 }
 
 val vtt : t -> Imdb_tstamp.Vtt.t
@@ -131,6 +140,14 @@ val note_write : t -> txn -> table_id:int -> key:string -> immortal:bool -> unit
 val lock_record : t -> txn -> table_id:int -> key:string -> Imdb_lock.Lock_manager.mode -> unit
 (** Isolation-aware locking: 2PL takes intent + record locks; snapshot
     writers take X only; versioned reads don't lock. *)
+
+(** {1 Compressed history} *)
+
+val decoded_history : t -> bytes -> bytes
+(** Decoded view of a history page image: plain pages pass through;
+    [P_history_compressed] images expand (memoized) to the equivalent
+    [P_history] image.  Never mutate the result.  Coordinator domain
+    only. *)
 
 (** {1 Stamping triggers} *)
 

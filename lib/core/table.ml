@@ -205,9 +205,33 @@ let split_data_page eng ti ~pid ~low ~high =
               ~history_page_id:hist_pid ()
           in
           E.exec_op eng fr ~undoable:false (LR.Op_image { image = images.V.si_current });
+          (* the history image is immutable from this point on: delta-
+             compress it (when enabled) so the logged image — the split's
+             permanent storage cost — shrinks.  [encode] is defensive;
+             a [None] keeps the plain page and counts a fallback. *)
+          let hist_image =
+            let module M = Imdb_obs.Metrics in
+            if not eng.E.config.E.history_compression then images.V.si_history
+            else
+              match Imdb_storage.Vcompress.encode images.V.si_history with
+              | Some c ->
+                  M.incr eng.E.metrics M.compress_pages;
+                  M.incr ~by:(Bytes.length images.V.si_history) eng.E.metrics
+                    M.compress_raw_bytes;
+                  M.incr ~by:(Bytes.length c) eng.E.metrics M.compress_written_bytes;
+                  let raw = M.get eng.E.metrics M.compress_raw_bytes in
+                  let written = M.get eng.E.metrics M.compress_written_bytes in
+                  if raw > 0 then
+                    M.set_gauge eng.E.metrics M.compress_ratio (written * 100 / raw);
+                  c
+              | None ->
+                  M.incr eng.E.metrics M.compress_fallbacks;
+                  images.V.si_history
+          in
+          Imdb_obs.Metrics.incr ~by:(Bytes.length hist_image) eng.E.metrics
+            Imdb_obs.Metrics.hist_bytes_written;
           BP.with_page eng.E.pool hist_pid (fun hfr ->
-              E.exec_op eng hfr ~undoable:false
-                (LR.Op_image { image = images.V.si_history }));
+              E.exec_op eng hfr ~undoable:false (LR.Op_image { image = hist_image }));
           (match tsb eng ti with
           | Some index ->
               Imdb_tsb.Tsb.insert index
@@ -291,7 +315,7 @@ let write_version eng txn ti ~key ~payload ~kind =
                     if pid' <> P.no_page then
                       let newest, next =
                         BP.with_page eng.E.pool pid' (fun hfr ->
-                            let hp = BP.bytes hfr in
+                            let hp = E.decoded_history eng (BP.bytes hfr) in
                             let best = ref None in
                             List.iter
                               (fun slot ->
@@ -503,21 +527,14 @@ let read_versioned_at eng txn ti ~key ~t =
       | None ->
           let lookup_in pid' =
             BP.with_page eng.E.pool pid' (fun fr' ->
-                let page' = BP.bytes fr' in
                 if pid' <> pid then E.stamp_record eng fr' ~key;
+                let page' = E.decoded_history eng (BP.bytes fr') in
                 Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_versions;
                 match V.find_stamped_as_of page' ~key ~asof:t with
                 | None -> None
                 | Some slot ->
                     if R.in_page_flags page' slot land R.f_delete_stub <> 0 then None
-                    else
-                      Some
-                        (Bytes.to_string
-                           (P.read_cell_part page' slot
-                              ~at:(5 + String.length key)
-                              ~len:
-                                (P.cell_length page' slot - R.fixed_overhead
-                               - String.length key))))
+                    else Some (R.in_page_payload page' slot))
           in
           if Ts.compare t (P.split_time page) >= 0 then lookup_in pid
           else (
@@ -583,11 +600,7 @@ let clipped_ranges eng ti ?(lo = "") ?hi () =
       if nonempty then Some (low', high', pid) else None)
     (router_ranges eng ti)
 
-let payload_of page slot key =
-  Bytes.to_string
-    (P.read_cell_part page slot
-       ~at:(5 + String.length key)
-       ~len:(P.cell_length page slot - R.fixed_overhead - String.length key))
+let payload_of page slot _key = R.in_page_payload page slot
 
 (* Scan of the current state (2PL path), optionally bounded to the key
    window [lo, hi). *)
@@ -666,8 +679,8 @@ let scan_range_serial eng ?own ti ~t (low, high, pid) =
             (V.keys page));
       let scan_page pid' =
         BP.with_page eng.E.pool pid' (fun fr' ->
-            let page' = BP.bytes fr' in
             if pid' <> pid then E.stamp_page eng fr';
+            let page' = E.decoded_history eng (BP.bytes fr') in
             List.iter
               (fun key ->
                 if in_range key ~low ~high && not (Hashtbl.mem overlaid key) then begin
@@ -881,8 +894,8 @@ let history_serial eng ti ~key =
   let out = ref [] in
   let collect_page pid' =
     BP.with_page eng.E.pool pid' (fun fr ->
-        let page = BP.bytes fr in
         E.stamp_page eng fr;
+        let page = E.decoded_history eng (BP.bytes fr) in
         List.iter
           (fun slot ->
             match R.in_page_timestamp page slot with
@@ -953,8 +966,8 @@ let history_parallel eng pool hc ti ~key =
         M.incr eng.E.metrics M.scan_parallel_fallbacks;
         let rows, next =
           BP.with_page eng.E.pool pid' (fun fr ->
-              let page = BP.bytes fr in
               E.stamp_page eng fr;
+              let page = E.decoded_history eng (BP.bytes fr) in
               (versions_of_key_image page ~key, P.history_pointer page))
         in
         chain := `Rows rows :: !chain;

@@ -22,13 +22,17 @@ type t = {
   shards : shard array;
   shard_capacity : int;
   load : int -> bytes;
+  decode : bytes -> bytes;
+      (* expands a compressed history image; cached pages hold the
+         decoded form so repeated chain walks pay the decode once *)
   c_hits : int Atomic.t;
   c_misses : int Atomic.t;
   c_evictions : int Atomic.t;
   c_rejected : int Atomic.t;
 }
 
-let create ?(shards = 16) ~capacity ~load () =
+let create ?(shards = 16) ?(decode = Imdb_storage.Vcompress.decode) ~capacity
+    ~load () =
   let shards = max 1 shards in
   {
     shards =
@@ -36,6 +40,7 @@ let create ?(shards = 16) ~capacity ~load () =
           { m = Mutex.create (); table = Hashtbl.create 64; fifo = Queue.create () });
     shard_capacity = max 1 (capacity / shards);
     load;
+    decode;
     c_hits = Atomic.make 0;
     c_misses = Atomic.make 0;
     c_evictions = Atomic.make 0;
@@ -55,15 +60,18 @@ let with_lock s f =
       raise e
 
 (* A page may enter the cache only when the image proves it immutable:
-   intact, historical, ours, and with every version stamped.  This also
-   rejects stale disk images of reused page ids (their type or table
-   won't match) and pages whose only copy is dirty in the buffer pool
-   (the load raises Page_missing before we get here). *)
+   intact, historical (plain or compressed), ours, and with every
+   version stamped.  This also rejects stale disk images of reused page
+   ids (their type or table won't match) and pages whose only copy is
+   dirty in the buffer pool (the load raises Page_missing before we get
+   here).  The stamped check runs on the decoded image for compressed
+   pages — on the raw image it would pass vacuously (slot count 0). *)
 let admissible ~table_id page =
   P.verify page
-  && P.page_type page = P.P_history
+  && (match P.page_type page with
+     | P.P_history | P.P_history_compressed -> true
+     | _ -> false)
   && P.table_id page = table_id
-  && not (V.has_unstamped page)
 
 let evict_to_capacity t s =
   while Hashtbl.length s.table > t.shard_capacity do
@@ -87,17 +95,28 @@ let get t ~table_id pid =
           Atomic.incr t.c_misses;
           match t.load pid with
           | exception _ -> None
-          | b ->
-              if P.page_id b = pid && admissible ~table_id b then begin
-                Hashtbl.replace s.table pid b;
-                Queue.push pid s.fifo;
-                evict_to_capacity t s;
-                Some b
-              end
-              else begin
-                Atomic.incr t.c_rejected;
-                None
-              end))
+          | b -> (
+              match
+                if P.page_id b = pid && admissible ~table_id b then
+                  let img =
+                    if Imdb_storage.Vcompress.is_compressed b then t.decode b
+                    else b
+                  in
+                  if V.has_unstamped img then None else Some img
+                else None
+              with
+              | exception _ ->
+                  (* a corrupt blob that still passed the checksum *)
+                  Atomic.incr t.c_rejected;
+                  None
+              | Some img ->
+                  Hashtbl.replace s.table pid img;
+                  Queue.push pid s.fifo;
+                  evict_to_capacity t s;
+                  Some img
+              | None ->
+                  Atomic.incr t.c_rejected;
+                  None)))
 
 let remove t pid =
   let s = shard_of t pid in

@@ -10,12 +10,17 @@
     and can be shared freely across domains.
 
     Admission is defensive, not trusting: a page enters the cache only if
-    its checksum verifies, its type is [P_history], it belongs to the
-    expected table, and it contains no unstamped version.  Anything else
-    — including a page that only exists dirty in the buffer pool, or a
-    stale image from a freed-and-reused page id — is rejected, and the
-    caller falls back to the coordinating domain where the buffer pool
-    and the stamping triggers are legal.
+    its checksum verifies, its type is [P_history] or
+    [P_history_compressed], it belongs to the expected table, and it
+    contains no unstamped version.  Anything else — including a page that
+    only exists dirty in the buffer pool, or a stale image from a
+    freed-and-reused page id — is rejected, and the caller falls back to
+    the coordinating domain where the buffer pool and the stamping
+    triggers are legal.
+
+    Compressed pages are expanded at admission (under the shard lock, so
+    concurrent readers pay one decode) and the cache holds the decoded
+    [P_history]-format image: consumers never see a compressed page.
 
     The cache is volatile and never logged (the same discipline as the
     buffer pool's key directories): it holds bytes the WAL already made
@@ -30,12 +35,21 @@ type stats = {
   rejected : int;  (** loads that failed admission (subset of misses) *)
 }
 
-val create : ?shards:int -> capacity:int -> load:(int -> bytes) -> unit -> t
+val create :
+  ?shards:int ->
+  ?decode:(bytes -> bytes) ->
+  capacity:int ->
+  load:(int -> bytes) ->
+  unit ->
+  t
 (** [create ~capacity ~load ()] builds a cache of at most [capacity]
     pages striped over [shards] (default 16) independently locked shards.
     [load] reads a page image from stable storage (it must be safe to
     call concurrently — the engine passes a serialized disk); it may
-    raise on missing pages, which [get] reports as [None]. *)
+    raise on missing pages, which [get] reports as [None].  [decode]
+    (default {!Imdb_storage.Vcompress.decode}) expands compressed history
+    images at admission; the engine overrides it to record decode
+    latency. *)
 
 val get : t -> table_id:int -> int -> bytes option
 (** [get t ~table_id pid] returns the immutable image of page [pid], from
@@ -47,8 +61,9 @@ val get : t -> table_id:int -> int -> bytes option
     of one page cost exactly one load. *)
 
 val admissible : table_id:int -> bytes -> bool
-(** The admission predicate alone (checksum, [P_history], table, fully
-    stamped) — exposed for tests. *)
+(** The admission predicate alone (checksum, history page type, table) —
+    exposed for tests.  The fully-stamped check happens separately on the
+    decoded image inside [get]. *)
 
 val remove : t -> int -> unit
 (** Drop a page (defense in depth for freed page ids). *)

@@ -232,8 +232,11 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
 (* v2: hot-path overhaul counters (buffer.clock_sweeps, the keydir
    hit/miss pair) and the txn.group_commit_batch histogram.
    v3: parallel read path — the histcache hit/miss/eviction counters,
-   scan.parallel_fallbacks, and the scan.fanout histogram. *)
-let schema_version = 3
+   scan.parallel_fallbacks, and the scan.fanout histogram.
+   v4: history compression — the compress.* counters/gauge, the
+   hist.bytes_written counter, the compress.decode_ns histogram — and
+   the ptt.gc_batch histogram for batched checkpoint-time GC. *)
+let schema_version = 4
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -327,6 +330,12 @@ let asof_versions = "asof.versions_visited"
 let histcache_hits = "histcache.hits"
 let histcache_misses = "histcache.misses"
 let histcache_evictions = "histcache.evictions"
+let hist_bytes_written = "hist.bytes_written"
+let compress_pages = "compress.pages"
+let compress_fallbacks = "compress.fallbacks"
+let compress_raw_bytes = "compress.raw_bytes"
+let compress_written_bytes = "compress.written_bytes"
+let compress_ratio = "compress.ratio"
 let scan_parallel_fallbacks = "scan.parallel_fallbacks"
 let txn_commits = "txn.commits"
 let txn_aborts = "txn.aborts"
@@ -341,6 +350,8 @@ let h_commit_writes = "txn.commit_writes"
 let h_group_commit_batch = "txn.group_commit_batch"
 let h_commit_latency_ms = "txn.commit_latency_ms"
 let h_scan_fanout = "scan.fanout"
+let h_compress_decode_ns = "compress.decode_ns"
+let h_ptt_gc_batch = "ptt.gc_batch"
 let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"
 let h_page_utilization_pct = "page.utilization_pct"

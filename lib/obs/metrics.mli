@@ -107,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -152,6 +152,19 @@ val asof_versions : string
 val histcache_hits : string
 val histcache_misses : string
 val histcache_evictions : string
+
+val hist_bytes_written : string
+(** Bytes logged for history page images at time splits (the permanent
+    storage cost of a split, plain or compressed). *)
+
+val compress_pages : string
+val compress_fallbacks : string
+val compress_raw_bytes : string
+val compress_written_bytes : string
+
+val compress_ratio : string
+(** Gauge: cumulative compressed/raw percentage for history images. *)
+
 val scan_parallel_fallbacks : string
 val txn_commits : string
 val txn_aborts : string
@@ -170,6 +183,8 @@ val h_group_commit_batch : string
    and its commit timestamp — logical-clock ticks, not wall time. *)
 val h_commit_latency_ms : string
 val h_scan_fanout : string
+val h_compress_decode_ns : string
+val h_ptt_gc_batch : string
 val h_split_current_live : string
 val h_split_history_live : string
 val h_page_utilization_pct : string

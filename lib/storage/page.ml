@@ -52,6 +52,7 @@ type page_type =
   | P_index (* B-tree internal node *)
   | P_tsb_index (* TSB-tree index node *)
   | P_heap (* unversioned auxiliary storage (split-store baseline) *)
+  | P_history_compressed (* delta-compressed historical page (Vcompress) *)
 
 let int_of_page_type = function
   | P_free -> 0
@@ -61,6 +62,7 @@ let int_of_page_type = function
   | P_index -> 4
   | P_tsb_index -> 5
   | P_heap -> 6
+  | P_history_compressed -> 7
 
 let page_type_of_int = function
   | 0 -> P_free
@@ -70,6 +72,7 @@ let page_type_of_int = function
   | 4 -> P_index
   | 5 -> P_tsb_index
   | 6 -> P_heap
+  | 7 -> P_history_compressed
   | n -> invalid_arg (Printf.sprintf "Page.page_type_of_int: %d" n)
 
 let pp_page_type ppf t =
@@ -81,7 +84,8 @@ let pp_page_type ppf t =
     | P_history -> "history"
     | P_index -> "index"
     | P_tsb_index -> "tsb-index"
-    | P_heap -> "heap")
+    | P_heap -> "heap"
+    | P_history_compressed -> "history-z")
 
 (* --- header accessors -------------------------------------------------- *)
 

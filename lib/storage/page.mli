@@ -33,6 +33,10 @@ type page_type =
   | P_index  (** B-tree internal node *)
   | P_tsb_index  (** TSB-tree index node *)
   | P_heap  (** B-tree leaf (PTT, catalog, routers, split-store) *)
+  | P_history_compressed
+      (** delta-compressed historical page; same 56-byte header (so
+          header-only chain walks work untouched), cells replaced by a
+          {!Vcompress} blob, slot count 0 (so stamping sweeps no-op) *)
 
 val int_of_page_type : page_type -> int
 val page_type_of_int : int -> page_type

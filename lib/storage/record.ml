@@ -97,6 +97,12 @@ let rec key_bytes_equal page off key k i =
   i >= k || (Bytes.unsafe_get page (off + i) = String.unsafe_get key i
             && key_bytes_equal page off key k (i + 1))
 
+let in_page_payload page slot =
+  let body = Page.cell_body_offset page slot in
+  let k = Codec.get_u16 page (body + 1) in
+  let p = Codec.get_u16 page (body + 3) in
+  Codec.get_string page (body + 5 + k) p
+
 let in_page_key_matches page slot key =
   let body = Page.cell_body_offset page slot in
   let k = Codec.get_u16 page (body + 1) in

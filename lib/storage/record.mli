@@ -58,6 +58,7 @@ val decode : bytes -> t
 
 val in_page_key : bytes -> int -> string
 val in_page_key_length : bytes -> int -> int
+val in_page_payload : bytes -> int -> string
 
 val in_page_key_matches : bytes -> int -> string -> bool
 (** Allocation-free key equality — the hot path of every in-page lookup. *)

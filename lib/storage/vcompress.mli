@@ -1,0 +1,37 @@
+(** Delta compression of historical page images.
+
+    Time splits emit [P_history] images with a rigid sequential layout:
+    chains head-first in consecutive slots, cells back-to-back in slot
+    order, every version stamped.  [encode] re-encodes such an image as a
+    [P_history_compressed] image — one full head record per chain run
+    plus per-version deltas (varint time/SN deltas, a byte-range payload
+    diff against the newer successor, implicit version pointers) — and
+    [decode] reproduces the encoder's input byte for byte.
+
+    The compressed image keeps the full 56-byte header (so header-only
+    chain walks — history pointer, split time — need no decoding) with
+    [slot_count = 0], so stamping sweeps and slot iteration no-op on it.
+    Everything past the blob is implicitly zero, which lets the split
+    path log the truncated image. *)
+
+val encode : bytes -> bytes option
+(** [encode plain] compresses a plain [P_history] image.  The result is
+    trimmed to header + blob (the tail of the page is all zeros by
+    construction).  [None] when the image is not a history page, does
+    not have the sequential split-output layout, or would not shrink —
+    the caller keeps the plain image. *)
+
+val decode : bytes -> bytes
+(** [decode b] rebuilds the plain [P_history] image, bit-for-bit equal
+    to what [encode] consumed.  [b] must be a full page-size frame (as
+    stored: the trimmed logged image is zero-filled back to page size by
+    the Op_image redo and the buffer-pool write path); the output has
+    [Bytes.length b].
+    @raise Invalid_argument if [b] is not a compressed history page.
+    @raise Imdb_util.Codec.Out_of_bounds on a corrupt blob. *)
+
+val is_compressed : bytes -> bool
+
+val encoded_size : bytes -> int
+(** Meaningful bytes of a compressed image (header + blob); the rest of
+    the frame is zero padding. *)

@@ -90,9 +90,16 @@ let stamp_page_volatile t page =
    TIDs. *)
 let garbage_collect t ~redo_scan_start =
   let candidates = Vtt.gc_candidates t.vtt ~redo_scan_start in
-  List.iter
-    (fun (tid, persistent) ->
-      if persistent then ignore (Ptt.delete (ptt_exn t) tid);
-      Vtt.drop t.vtt tid)
-    candidates;
+  (* one batched PTT pass instead of a descent per candidate: collected
+     TIDs are consecutive by construction, so the whole drain usually
+     lands in a single leaf *)
+  let persistent =
+    List.filter_map
+      (fun (tid, persistent) -> if persistent then Some tid else None)
+      candidates
+  in
+  if persistent <> [] then ignore (Ptt.delete_batch (ptt_exn t) persistent);
+  List.iter (fun (tid, _) -> Vtt.drop t.vtt tid) candidates;
+  Imdb_obs.Metrics.observe t.metrics Imdb_obs.Metrics.h_ptt_gc_batch
+    (List.length candidates);
   List.map fst candidates

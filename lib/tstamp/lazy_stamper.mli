@@ -33,4 +33,6 @@ val stamp_page_volatile : t -> bytes -> int
 
 val garbage_collect : t -> redo_scan_start:int64 -> Imdb_clock.Tid.t list
 (** Incremental PTT GC, run after each checkpoint: delete every mapping
-    whose stamping is provably durable; returns the collected TIDs. *)
+    whose stamping is provably durable, in one batched PTT pass
+    ({!Ptt.delete_batch}); records the drain size in [ptt.gc_batch].
+    Returns the collected TIDs. *)

@@ -53,6 +53,12 @@ let delete t tid =
   M.incr t.metrics M.ptt_deletes;
   Imdb_btree.Btree.delete t.tree ~key:(key_of_tid tid)
 
+(* Batched GC: TIDs are assigned in order, so a checkpoint's candidates
+   cluster in a handful of leaves — one descent covers the run. *)
+let delete_batch t tids =
+  M.incr ~by:(List.length tids) t.metrics M.ptt_deletes;
+  Imdb_btree.Btree.delete_batch t.tree ~keys:(List.map key_of_tid tids)
+
 let count t = Imdb_btree.Btree.count t.tree
 
 let iter t f =

@@ -33,6 +33,13 @@ val insert : t -> Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t -> unit
 
 val lookup : t -> Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t option
 val delete : t -> Imdb_clock.Tid.t -> bool
+
+val delete_batch : t -> Imdb_clock.Tid.t list -> int
+(** One GC sweep's deletions as a single batched B-tree pass (TIDs
+    cluster, so the usual cost is one descent).  Counts every requested
+    TID in [ptt.deletes], like per-entry {!delete} calls would; returns
+    how many actually existed. *)
+
 val count : t -> int
 val iter : t -> (Imdb_clock.Tid.t -> Imdb_clock.Timestamp.t -> unit) -> unit
 

@@ -51,6 +51,13 @@ module Writer : sig
   val lbytes32 : t -> bytes -> unit
   (** 32-bit length prefix (page images). *)
 
+  val varint64 : t -> int64 -> unit
+  (** Unsigned LEB128 of the 64-bit word (negative values round-trip,
+      costing the full 10 bytes). *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128 of a non-negative [int]; raises on negatives. *)
+
   val contents : t -> bytes
   val length : t -> int
 end
@@ -72,4 +79,6 @@ module Reader : sig
   val lstring : t -> string
   val lbytes : t -> bytes
   val lbytes32 : t -> bytes
+  val varint64 : t -> int64
+  val varint : t -> int
 end

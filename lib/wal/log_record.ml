@@ -91,7 +91,13 @@ let redo_op page op =
   | Op_format { page_type; table_id; level } ->
       let id = P.page_id page in
       P.format page ~page_id:id ~page_type ~table_id ~level ()
-  | Op_image { image } -> Bytes.blit image 0 page 0 (Bytes.length image)
+  | Op_image { image } ->
+      (* The image may be trimmed (compressed history pages log only
+         header + blob; everything past it is zero by construction) —
+         clear the tail so replay onto a recycled frame is exact. *)
+      let n = Bytes.length image in
+      Bytes.blit image 0 page 0 n;
+      if n < Bytes.length page then Bytes.fill page n (Bytes.length page - n) '\000'
   | Op_kv_insert { slot; body; _ } -> P.insert_at_slot page slot body
   | Op_kv_replace { slot; new_body; _ } -> P.replace_at_slot page slot new_body
   | Op_kv_delete { slot; _ } -> P.delete_slot page slot

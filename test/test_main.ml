@@ -30,4 +30,5 @@ let () =
       ("sql2", Test_sql2.suite);
       ("workload", Test_workload.suite);
       ("parscan", Test_parscan.suite);
+      ("compress", Test_compress.suite);
     ]
