@@ -1,0 +1,126 @@
+(* Tracing-overhead experiment (Ext K): the same deterministic workload
+   under tracing disabled / sampled / full, proving the "cheap when off"
+   contract of lib/obs/tracer.
+
+   Wall times are printed for the operator (disabled must sit within
+   noise of the untraced hot path), but BENCH_traceov.json carries only
+   the deterministic counters: the per-mode trace.* counts and a
+   [counters_identical] bool certifying that tracing changed nothing the
+   engine itself counts — commits, log flushes, stamps, splits are
+   byte-for-byte the same with tracing off and on. *)
+
+module Db = Imdb_core.Db
+module E = Imdb_core.Engine
+module M = Imdb_obs.Metrics
+module S = Imdb_core.Schema
+
+let schema =
+  S.make
+    [
+      { S.col_name = "id"; col_type = S.T_int };
+      { S.col_name = "val"; col_type = S.T_string };
+    ]
+
+let row i v = [ S.V_int i; S.V_string v ]
+
+(* One workload run: update-heavy traffic over a small key set (commits,
+   group commit, lazy stamping, time splits), then an AS OF scan and a
+   checkpoint (PTT GC) — every traced subsystem fires. *)
+let run_mode ~scale ~sampling =
+  let txns = Harness.scaled ~scale 6000 in
+  let keys = 64 in
+  let config =
+    { E.default_config with E.trace_sampling = sampling; auto_checkpoint_every = 0 }
+  in
+  let clock = Imdb_clock.Clock.create_logical () in
+  let db = Db.open_memory ~config ~clock () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema;
+  let elapsed, () =
+    Harness.time_it (fun () ->
+        for i = 1 to txns do
+          Imdb_clock.Clock.advance clock 20L;
+          Db.exec db (fun txn ->
+              Db.upsert_row db txn ~table:"t"
+                (row (i mod keys) (Printf.sprintf "v%08d" i)))
+        done;
+        Imdb_clock.Clock.advance clock 20L;
+        let ts = Imdb_clock.Clock.last_issued (Db.engine db).E.clock in
+        Db.exec db (fun txn ->
+            ignore (Db.scan_rows_as_of db txn ~table:"t" ~ts));
+        Db.checkpoint db)
+  in
+  let m = Db.metrics db in
+  let g = M.get m in
+  let trace =
+    [
+      ("trace_spans", g M.trace_spans);
+      ("trace_dropped", g M.trace_drops);
+      ("trace_slow_ops", g M.trace_slow_ops);
+    ]
+  in
+  (* everything the engine counts, minus the tracer's own counters: this
+     must be invariant across modes *)
+  let engine_snapshot =
+    List.filter
+      (fun (name, _) ->
+        name <> M.trace_spans && name <> M.trace_drops && name <> M.trace_slow_ops)
+      (M.snapshot m)
+  in
+  Db.close db;
+  (elapsed, txns, trace, engine_snapshot)
+
+let modes = [ ("off", 0); ("sampled", 8); ("full", 1) ]
+
+let run ~scale =
+  let results =
+    List.map (fun (name, sampling) -> (name, sampling, run_mode ~scale ~sampling)) modes
+  in
+  let base_s =
+    match results with (_, _, (s, _, _, _)) :: _ -> s | [] -> 0.0
+  in
+  Harness.print_table
+    ~title:"traceov: tracing overhead (same workload; off is the contract)"
+    ~header:[ "mode"; "sampling"; "wall ms"; "vs off"; "spans"; "dropped"; "slow" ]
+    (List.map
+       (fun (name, sampling, (s, _, trace, _)) ->
+         [
+           name;
+           string_of_int sampling;
+           Harness.ms s;
+           Harness.pct s base_s;
+           string_of_int (List.assoc "trace_spans" trace);
+           string_of_int (List.assoc "trace_dropped" trace);
+           string_of_int (List.assoc "trace_slow_ops" trace);
+         ])
+       results);
+  let snapshots = List.map (fun (_, _, (_, _, _, snap)) -> snap) results in
+  let counters_identical =
+    match snapshots with
+    | first :: rest -> List.for_all (fun s -> s = first) rest
+    | [] -> true
+  in
+  if not counters_identical then
+    Fmt.pr "WARNING: tracing perturbed engine counters@.";
+  let module J = Imdb_obs.Json in
+  Harness.emit_json ~name:"traceov"
+    (J.Obj
+       [
+         ("schema_version", J.Int M.schema_version);
+         ( "modes",
+           J.List
+             (List.map
+                (fun (name, sampling, (_, txns, trace, _)) ->
+                  J.Obj
+                    ([
+                       ("mode", J.String name);
+                       ("sampling", J.Int sampling);
+                       ("txns", J.Int txns);
+                     ]
+                    @ List.map (fun (k, v) -> (k, J.Int v)) trace))
+                results) );
+         ("counters_identical", J.Bool counters_identical);
+       ])
+
+let () =
+  Harness.register ~name:"traceov"
+    ~doc:"structured-tracing overhead: disabled vs sampled vs full" run

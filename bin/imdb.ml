@@ -5,7 +5,8 @@
      imdb tables DIR                          list tables
      imdb history DIR TABLE KEY               show a record's version history
      imdb workload DIR [-n N] [--objects K]   load a moving-objects stream
-     imdb stats DIR [--json]                  storage statistics / metrics JSON
+     imdb stats DIR [--json] [--traces]       storage statistics / metrics JSON
+     imdb trace DIR [--chrome] [-o FILE]      trace a workload, export spans
      imdb checkpoint DIR                      force a checkpoint (and PTT GC)
      imdb backup DIR DEST [--as-of TS]        extract a queryable AS OF backup
 
@@ -17,8 +18,8 @@ module S = Imdb_core.Schema
 module E = Imdb_core.Engine
 module Ts = Imdb_clock.Timestamp
 
-let with_db dir f =
-  let db = Db.open_dir dir in
+let with_db ?config dir f =
+  let db = Db.open_dir ?config dir in
   Fun.protect ~finally:(fun () -> Db.close db) (fun () -> f db)
 
 let dir_arg =
@@ -173,23 +174,32 @@ let survey_tables db =
       end)
     (Db.list_tables db)
 
-(* The stable document behind `imdb stats DIR --json` (schema_version 1):
+(* The stable document behind `imdb stats DIR --json` (stats_schema_version 1):
 
-   { "schema_version": 1,
+   { "stats_schema_version": 1,
      "storage": { "pages_hwm": n, "page_size": n, "tables": n,
                   "ptt_entries": n,
                   "immortal_tables": [ { "name": s, "current_pages": n }, ... ] },
-     "metrics": <Metrics.to_json> }
+     "metrics": <Metrics.to_json>,
+     "traces": <Tracer.to_json> }          -- only with --traces
+
+   Two versioning namespaces meet here: [stats_schema_version] covers this
+   wrapper document's shape, while the metrics sub-document carries its own
+   [schema_version] ({!Imdb_obs.Metrics.schema_version}) for the registry
+   key set.  They advance independently.
 
    The metrics sub-document always carries the page.utilization_pct
    histogram (populated by the survey above), so p50/p99 are available. *)
-let stats_json db =
+let stats_json ?(traces = false) db =
   let eng = Db.engine db in
   M.ensure_histogram (Db.metrics db) M.h_page_utilization_pct;
   let tables = survey_tables db in
+  let traces_field =
+    if traces then [ ("traces", Imdb_obs.Tracer.to_json (Db.tracer db)) ] else []
+  in
   J.Obj
-    [
-      ("schema_version", J.Int M.schema_version);
+    ([
+      ("stats_schema_version", J.Int 1);
       ( "storage",
         J.Obj
           [
@@ -210,14 +220,26 @@ let stats_json db =
           ] );
       ("metrics", M.to_json (Db.metrics db));
     ]
+    @ traces_field)
 
 let stats_cmd =
   let json_flag =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON (schema_version 1).")
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON (stats_schema_version 1).")
   in
-  let run dir json =
-    with_db dir (fun db ->
-        if json then Fmt.pr "%s@." (J.to_string (stats_json db))
+  let traces_flag =
+    Arg.(value & flag
+         & info [ "traces" ]
+             ~doc:"Include the retained trace spans in the JSON (opens the \
+                   database with tracing enabled, so the open itself — \
+                   recovery, checkpoint — is traced).  Implies --json.")
+  in
+  let run dir json traces =
+    let config =
+      if traces then { E.default_config with E.trace_sampling = 1 }
+      else E.default_config
+    in
+    with_db ~config dir (fun db ->
+        if json || traces then Fmt.pr "%s@." (J.to_string (stats_json ~traces db))
         else begin
           let eng = Db.engine db in
           Fmt.pr "pages allocated (high-water):  %d@." eng.E.meta.Imdb_core.Meta.hwm;
@@ -239,7 +261,83 @@ let stats_cmd =
         end)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.")
-    Term.(const run $ dir_arg $ json_flag)
+    Term.(const run $ dir_arg $ json_flag $ traces_flag)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+(* Open with tracing at full sampling, drive some work (user SQL, or a
+   small moving-objects workload sized to force time splits and a
+   checkpoint), and dump the retained spans — natively, or as Chrome
+   trace-event JSON for Perfetto / chrome://tracing. *)
+let trace_cmd =
+  let chrome_flag =
+    Arg.(value & flag
+         & info [ "chrome" ]
+             ~doc:"Emit Chrome trace-event JSON (load in Perfetto or \
+                   chrome://tracing) instead of the native span list.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to FILE instead of stdout.")
+  in
+  let exec =
+    Arg.(value & opt (some string) None
+         & info [ "e" ] ~docv:"SQL" ~doc:"Statements to run under tracing (results discarded).")
+  in
+  let total =
+    Arg.(value & opt int 2000
+         & info [ "n" ] ~docv:"N" ~doc:"Workload transactions to trace when no SQL is given.")
+  in
+  let objects =
+    Arg.(value & opt int 100 & info [ "objects" ] ~docv:"K" ~doc:"Moving objects in the workload.")
+  in
+  let sampling =
+    Arg.(value & opt int 1
+         & info [ "sampling" ] ~docv:"S" ~doc:"Record every S-th root span (1 = all).")
+  in
+  let run dir chrome out exec total objects sampling =
+    let config = { E.default_config with E.trace_sampling = max 1 sampling } in
+    with_db ~config dir (fun db ->
+        (match exec with
+        | Some src ->
+            let session = Imdb_sql.Executor.make_session db in
+            ignore (Imdb_sql.Executor.exec_string session src)
+        | None ->
+            (match
+               Db.list_tables db
+               |> List.find_opt (fun ti -> ti.Imdb_core.Catalog.ti_name = "MovingObjects")
+             with
+            | Some _ -> ()
+            | None ->
+                Db.create_table db ~name:"MovingObjects" ~mode:Db.Immortal
+                  ~schema:Imdb_workload.Driver.moving_objects_schema);
+            let events = Imdb_workload.Moving_objects.generate ~inserts:objects ~total () in
+            ignore (Imdb_workload.Driver.run_events db ~table:"MovingObjects" events);
+            (* a temporal read and a checkpoint, so the trace shows the
+               whole lifecycle: commits, stamping, splits, AS OF, PTT GC *)
+            let ts = Imdb_clock.Clock.last_issued (Db.engine db).E.clock in
+            ignore (Db.as_of db ts (fun txn -> Db.scan_rows_as_of db txn ~table:"MovingObjects" ~ts));
+            Db.checkpoint db);
+        let tracer = Db.tracer db in
+        let body =
+          if chrome then Imdb_obs.Tracer.to_chrome_string tracer
+          else Imdb_obs.Tracer.to_json_string tracer
+        in
+        match out with
+        | None -> print_string body; print_newline ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc body;
+            close_out oc;
+            Fmt.pr "wrote %s (%d spans, %d slow, %d dropped)@." path
+              (List.length (Imdb_obs.Tracer.spans tracer))
+              (List.length (Imdb_obs.Tracer.slow_ops tracer))
+              (Imdb_obs.Tracer.dropped tracer))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace a workload (or SQL) and export the spans, optionally as Chrome trace JSON.")
+    Term.(const run $ dir_arg $ chrome_flag $ out $ exec $ total $ objects $ sampling)
 
 let checkpoint_cmd =
   let run dir =
@@ -316,5 +414,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ sql_cmd; tables_cmd; history_cmd; workload_cmd; stats_cmd; checkpoint_cmd;
-            backup_cmd; vacuum_cmd ]))
+          [ sql_cmd; tables_cmd; history_cmd; workload_cmd; stats_cmd; trace_cmd;
+            checkpoint_cmd; backup_cmd; vacuum_cmd ]))

@@ -60,6 +60,7 @@ let close t = E.close t.eng
 let checkpoint t = ignore (E.checkpoint t.eng)
 let engine t = t.eng
 let metrics t = t.eng.E.metrics
+let tracer t = t.eng.E.tracer
 
 exception Vacuum_blocked of string
 

@@ -85,6 +85,10 @@ val metrics : t -> Imdb_obs.Metrics.t
     trace events for everything its engine has done since open.  Two open
     databases never share a registry. *)
 
+val tracer : t -> Imdb_obs.Tracer.t
+(** This database's span tracer ({!Imdb_obs.Tracer.null} unless the
+    engine config enables tracing via [trace_sampling > 0]). *)
+
 (** {1 Transactions} *)
 
 val begin_txn : ?isolation:isolation -> t -> txn

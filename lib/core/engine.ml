@@ -37,6 +37,12 @@ type config = {
       (* delta-compress historical pages at time splits; false = the
          plain P_history format, bit-for-bit identical to pre-compression
          behavior *)
+  trace_sampling : int;
+      (* 0 = tracing off (the null tracer: one dead branch per site);
+         1 = every root span; n > 1 = every n-th root span, children
+         following their root *)
+  slow_op_threshold_us : int;
+      (* spans at least this long are retained in the slow-op ring *)
 }
 
 let default_config =
@@ -51,6 +57,8 @@ let default_config =
     scan_parallelism = 1;
     histcache_capacity = 1024;
     history_compression = true;
+    trace_sampling = 0;
+    slow_op_threshold_us = 10_000;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -83,6 +91,7 @@ type t = {
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
   metrics : Imdb_obs.Metrics.t;
+  tracer : Imdb_obs.Tracer.t;
   config : config;
   mutable meta : Meta.t;
   mutable ptt : Imdb_tstamp.Ptt.t option;
@@ -272,6 +281,8 @@ let begin_txn t ~isolation =
     }
   in
   Tid.Table.replace t.active tid txn;
+  Imdb_obs.Tracer.instant t.tracer "txn.begin"
+    ~attrs:[ ("tid", Tid.to_string tid) ];
   txn
 
 let check_running txn =
@@ -344,12 +355,14 @@ let lock_record t txn ~table_id ~key mode =
 (* ------------------------------------------------------------------ *)
 
 (* Expand a compressed history image, timing the decode. *)
-let decode_with metrics b =
-  let t0 = Unix.gettimeofday () in
-  let img = Imdb_storage.Vcompress.decode b in
-  Imdb_obs.Metrics.observe metrics Imdb_obs.Metrics.h_compress_decode_ns
-    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
-  img
+let decode_with ?(tracer = Imdb_obs.Tracer.null) metrics b =
+  Imdb_obs.Tracer.with_span tracer "compress.decode" (fun sp ->
+      let t0 = Unix.gettimeofday () in
+      let img = Imdb_storage.Vcompress.decode b in
+      Imdb_obs.Metrics.observe metrics Imdb_obs.Metrics.h_compress_decode_ns
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+      Imdb_obs.Tracer.add_attr sp "page" (string_of_int (P.page_id b));
+      img)
 
 (* Decoded view of a history page image for the serial read path: plain
    pages pass through untouched; [P_history_compressed] images expand to
@@ -363,7 +376,7 @@ let decoded_history t page =
     match Hashtbl.find_opt t.hist_decoded pid with
     | Some img -> img
     | None ->
-        let img = decode_with t.metrics page in
+        let img = decode_with ~tracer:t.tracer t.metrics page in
         if Queue.length t.hist_decoded_order >= max 64 t.config.histcache_capacity
         then begin
           let victim = Queue.pop t.hist_decoded_order in
@@ -384,30 +397,37 @@ let decoded_history t page =
    disk. *)
 let stamp_page t fr =
   let page = BP.bytes fr in
-  if Imdb_version.Vpage.has_unstamped page then begin
-    BP.mark_dirty_unlogged t.pool fr;
-    ignore (Imdb_tstamp.Lazy_stamper.stamp_page t.stamper page)
-  end
+  if Imdb_version.Vpage.has_unstamped page then
+    Imdb_obs.Tracer.with_span t.tracer "stamp.page" (fun sp ->
+        BP.mark_dirty_unlogged t.pool fr;
+        let n = Imdb_tstamp.Lazy_stamper.stamp_page t.stamper page in
+        Imdb_obs.Tracer.add_attr sp "page" (string_of_int (BP.page_id fr));
+        Imdb_obs.Tracer.add_attr sp "stamped" (string_of_int n))
 
 (* Per-record variant: the write/read-path trigger stamps only the
    accessed record's versions. *)
 let stamp_record t fr ~key =
   let page = BP.bytes fr in
-  if Imdb_version.Vpage.key_has_unstamped page ~key then begin
-    BP.mark_dirty_unlogged t.pool fr;
-    ignore
-      (Imdb_version.Vpage.stamp_versions_of ~metrics:t.metrics page ~key
-         ~resolve:(Imdb_tstamp.Lazy_stamper.resolve t.stamper)
-         ~on_stamp:(Imdb_tstamp.Lazy_stamper.on_stamp t.stamper))
-  end
+  if Imdb_version.Vpage.key_has_unstamped page ~key then
+    Imdb_obs.Tracer.with_span t.tracer "stamp.record" (fun sp ->
+        BP.mark_dirty_unlogged t.pool fr;
+        let n =
+          Imdb_version.Vpage.stamp_versions_of ~metrics:t.metrics page ~key
+            ~resolve:(Imdb_tstamp.Lazy_stamper.resolve t.stamper)
+            ~on_stamp:(Imdb_tstamp.Lazy_stamper.on_stamp t.stamper)
+        in
+        Imdb_obs.Tracer.add_attr sp "stamped" (string_of_int n))
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing and PTT garbage collection                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The span closes on exception too ([Tracer.with_span] wraps the body
+   in [Fun.protect]) — the old ad-hoc [Metrics.trace Span_begin/Span_end]
+   pair leaked its begin if anything between the two raised. *)
 let checkpoint t =
   let module M = Imdb_obs.Metrics in
-  M.trace t.metrics M.Span_begin "checkpoint";
+  Imdb_obs.Tracer.with_span t.tracer "checkpoint" @@ fun sp ->
   (* Sweep pages dirty since before the previous checkpoint, so the
      redo-scan start point (and the PTT GC horizon) moves forward: a page
      escapes the dirty-page table only by reaching disk. *)
@@ -446,13 +466,9 @@ let checkpoint t =
      recovery rebuilds the mappings as uncollectable cache entries *)
   if collected > 0 then Imdb_wal.Wal.flush t.wal;
   M.incr t.metrics M.checkpoints;
-  M.trace t.metrics M.Span_end "checkpoint"
-    ~attrs:
-      [
-        ("swept", string_of_int swept);
-        ("dirty_pages", string_of_int (List.length dpt));
-        ("ptt_collected", string_of_int collected);
-      ];
+  Imdb_obs.Tracer.add_attr sp "swept" (string_of_int swept);
+  Imdb_obs.Tracer.add_attr sp "dirty_pages" (string_of_int (List.length dpt));
+  Imdb_obs.Tracer.add_attr sp "ptt_collected" (string_of_int collected);
   Log.debug (fun m ->
       m "checkpoint at %Ld: swept %d pages, dpt %d, att %d, redo start %Ld, GC'd %d PTT entries"
         lsn swept (List.length dpt) (List.length att) redo_scan_start collected);
@@ -510,10 +526,22 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.compress_fallbacks;
   Mx.ensure_counter metrics Mx.compress_raw_bytes;
   Mx.ensure_counter metrics Mx.compress_written_bytes;
+  Mx.ensure_counter metrics Mx.trace_spans;
+  Mx.ensure_counter metrics Mx.trace_drops;
+  Mx.ensure_counter metrics Mx.trace_slow_ops;
+  Mx.set_gauge metrics Mx.recovery_redo_lsn 0;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Mx.ensure_histogram metrics Mx.h_scan_fanout;
   Mx.ensure_histogram metrics Mx.h_compress_decode_ns;
   Mx.ensure_histogram metrics Mx.h_ptt_gc_batch;
+  (* The tracer: null when sampling is off, so every instrumentation
+     site costs a single branch on the shared disabled instance. *)
+  let tracer =
+    if config.trace_sampling <= 0 then Imdb_obs.Tracer.null
+    else
+      Imdb_obs.Tracer.create ~sampling:config.trace_sampling
+        ~slow_threshold_us:config.slow_op_threshold_us ~metrics ()
+  in
   (* Parallel scans share the device between the coordinator (via the
      buffer pool) and worker-domain cache misses: serialize it.  At the
      default scan_parallelism = 1 the device is untouched, so the serial
@@ -523,15 +551,18 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   in
   Imdb_storage.Disk.set_metrics disk metrics;
   let wal = Imdb_wal.Wal.open_device ~metrics log_device in
+  Imdb_wal.Wal.set_tracer wal tracer;
   let pool = BP.create ~capacity:config.pool_capacity ~metrics ~disk ~wal () in
   let stamper = Imdb_tstamp.Lazy_stamper.create ~metrics () in
+  Imdb_tstamp.Lazy_stamper.set_tracer stamper tracer;
   Imdb_tstamp.Lazy_stamper.set_end_of_log stamper (fun () -> Imdb_wal.Wal.next_lsn wal);
   let histcache =
     if config.scan_parallelism > 1 then
       Some
-        (Imdb_histcache.Histcache.create ~capacity:config.histcache_capacity
+        (Imdb_histcache.Histcache.create ~tracer
+           ~capacity:config.histcache_capacity
            ~load:(fun pid -> disk.Imdb_storage.Disk.read_page pid)
-           ~decode:(fun b -> decode_with metrics b)
+           ~decode:(fun b -> decode_with ~tracer metrics b)
            ())
     else None
   in
@@ -544,6 +575,7 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       locks = Imdb_lock.Lock_manager.create ();
       stamper;
       metrics;
+      tracer;
       config;
       meta = Meta.fresh ();
       ptt = None;
@@ -590,7 +622,7 @@ let bootstrap t =
       ~name:"catalog" ()
   in
   let ptt =
-    Imdb_tstamp.Ptt.create ~metrics:t.metrics ~pool:t.pool
+    Imdb_tstamp.Ptt.create ~metrics:t.metrics ~tracer:t.tracer ~pool:t.pool
       ~io:(btree_io_for t Meta.ptt_table_id) ~table_id:Meta.ptt_table_id ()
   in
   update_meta t (fun m ->
@@ -610,7 +642,7 @@ let attach_system t =
       ~table_id:Meta.catalog_table_id ~name:"catalog" ()
   in
   let ptt =
-    Imdb_tstamp.Ptt.attach ~metrics:t.metrics ~pool:t.pool
+    Imdb_tstamp.Ptt.attach ~metrics:t.metrics ~tracer:t.tracer ~pool:t.pool
       ~io:(btree_io_for t Meta.ptt_table_id) ~root:t.meta.Meta.ptt_root
       ~table_id:Meta.ptt_table_id ()
   in

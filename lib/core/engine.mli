@@ -36,6 +36,15 @@ type config = {
           readers decompress lazily and results are identical either way.
           [false] keeps the plain [P_history] format, bit-for-bit
           identical to pre-compression behavior. *)
+  trace_sampling : int;
+      (** structured-tracing sampling rate.  [0] (the default) disables
+          tracing entirely — every instrumentation site short-circuits on
+          the shared {!Imdb_obs.Tracer.null}; [1] records every root span;
+          [n > 1] records every n-th root span, children following their
+          root so sampled traces are complete trees. *)
+  slow_op_threshold_us : int;
+      (** spans at least this long (µs) are promoted to the tracer's
+          retained slow-op ring and counted in [trace.slow_ops] *)
 }
 
 val default_config : config
@@ -72,6 +81,9 @@ type t = {
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
   metrics : Imdb_obs.Metrics.t;  (** this engine's private registry *)
+  tracer : Imdb_obs.Tracer.t;
+      (** this engine's span tracer; {!Imdb_obs.Tracer.null} unless
+          [config.trace_sampling > 0] *)
   config : config;
   mutable meta : Meta.t;
   mutable ptt : Imdb_tstamp.Ptt.t option;

@@ -147,10 +147,15 @@ let op_rebuilds = function
     ->
       false
 
+(* Returns (redo_start, LSN of the last record applied) — the range the
+   redo pass actually covered.  The [recovery.redo_lsn] gauge tracks the
+   scan position record by record, so an observer (or a post-mortem of a
+   crashed recovery) sees monotone progress, not just the final value. *)
 let redo eng (a : analysis) ~checkpoint_lsn =
   let redo_start =
     List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) checkpoint_lsn a.dpt
   in
+  let last_applied = ref redo_start in
   Imdb_wal.Wal.iter_from eng.E.wal ~from_lsn:redo_start (fun lsn body ->
       let apply page_id op =
         match List.assoc_opt page_id a.dpt with
@@ -168,6 +173,9 @@ let redo eng (a : analysis) ~checkpoint_lsn =
                       LR.redo_op page op;
                       Imdb_obs.Metrics.incr eng.E.metrics
                         Imdb_obs.Metrics.recovery_redo;
+                      last_applied := lsn;
+                      Imdb_obs.Metrics.set_gauge eng.E.metrics
+                        Imdb_obs.Metrics.recovery_redo_lsn (Int64.to_int lsn);
                       BP.mark_dirty_logged eng.E.pool fr ~lsn
                     end))
         | _ -> ()
@@ -176,7 +184,8 @@ let redo eng (a : analysis) ~checkpoint_lsn =
       | LR.Update { page_id; op; _ } | LR.Clr { page_id; op; _ }
       | LR.Redo_only { page_id; op } ->
           apply page_id op
-      | LR.Begin _ | LR.Commit _ | LR.Abort _ | LR.End _ | LR.Checkpoint _ -> ())
+      | LR.Begin _ | LR.Commit _ | LR.Abort _ | LR.End _ | LR.Checkpoint _ -> ());
+  (redo_start, !last_applied)
 
 (* --- the full open-time protocol ---------------------------------------------- *)
 
@@ -188,12 +197,17 @@ let read_meta_from_disk eng =
     else
       try Some (Meta.decode (P.read_cell b Meta.meta_slot)) with _ -> None
 
+(* The recovery span (and its per-phase children) close on exception too
+   — [Tracer.with_span] is [Fun.protect]-based, replacing the old ad-hoc
+   [Metrics.trace Span_begin/Span_end] pair that leaked its begin if any
+   phase raised. *)
 let recover eng =
+  let module Tr = Imdb_obs.Tracer in
   eng.E.in_recovery <- true;
-  Imdb_obs.Metrics.trace eng.E.metrics Imdb_obs.Metrics.Span_begin "recovery";
   Fun.protect
     ~finally:(fun () -> eng.E.in_recovery <- false)
     (fun () ->
+      Tr.with_span eng.E.tracer "recovery" @@ fun sp ->
       let checkpoint_lsn =
         match read_meta_from_disk eng with
         | Some m ->
@@ -201,26 +215,42 @@ let recover eng =
             m.Meta.last_checkpoint_lsn
         | None -> 0L
       in
-      let a = analyze eng ~checkpoint_lsn in
+      let a =
+        Tr.with_span eng.E.tracer "recovery.analysis" (fun asp ->
+            let a = analyze eng ~checkpoint_lsn in
+            Tr.add_attr asp "att" (string_of_int (List.length a.att));
+            Tr.add_attr asp "dirty_pages" (string_of_int (List.length a.dpt));
+            Tr.add_attr asp "commits" (string_of_int (List.length a.commits));
+            a)
+      in
       Log.info (fun m ->
           m "recovery: checkpoint %Ld, %d in-flight txns, %d dirty pages, %d commits known"
             checkpoint_lsn (List.length a.att) (List.length a.dpt)
             (List.length a.commits));
-      redo eng a ~checkpoint_lsn;
-      (* scrub: a write torn by the crash may sit on a page the redo scan
-         never visits (e.g. dirtied only by unlogged stamping); detect by
-         checksum and rebuild from the log *)
-      for pid = 0 to eng.E.disk.Imdb_storage.Disk.page_count () - 1 do
-        if
-          eng.E.disk.Imdb_storage.Disk.page_exists pid
-          && not (BP.is_cached eng.E.pool pid)
-          && not (P.verify (eng.E.disk.Imdb_storage.Disk.read_page pid))
-        then begin
-          let fr = rebuild_page_from_log eng pid in
-          BP.unpin eng.E.pool fr;
-          BP.flush_page eng.E.pool pid
-        end
-      done;
+      Tr.with_span eng.E.tracer "recovery.redo" (fun rsp ->
+          let redo_start, redo_end = redo eng a ~checkpoint_lsn in
+          Tr.add_attr rsp "redo_start" (Int64.to_string redo_start);
+          Tr.add_attr rsp "redo_end" (Int64.to_string redo_end);
+          Tr.add_attr rsp "records"
+            (string_of_int
+               (Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_redo));
+          (* scrub: a write torn by the crash may sit on a page the redo
+             scan never visits (e.g. dirtied only by unlogged stamping);
+             detect by checksum and rebuild from the log *)
+          let scrubbed = ref 0 in
+          for pid = 0 to eng.E.disk.Imdb_storage.Disk.page_count () - 1 do
+            if
+              eng.E.disk.Imdb_storage.Disk.page_exists pid
+              && not (BP.is_cached eng.E.pool pid)
+              && not (P.verify (eng.E.disk.Imdb_storage.Disk.read_page pid))
+            then begin
+              incr scrubbed;
+              let fr = rebuild_page_from_log eng pid in
+              BP.unpin eng.E.pool fr;
+              BP.flush_page eng.E.pool pid
+            end
+          done;
+          Tr.add_attr rsp "scrubbed" (string_of_int !scrubbed));
       (* the redone meta page is authoritative now *)
       if
         eng.E.disk.Imdb_storage.Disk.page_exists Meta.meta_page_id
@@ -239,25 +269,22 @@ let recover eng =
         a.commits;
       (* roll back losers *)
       let losers = ref 0 in
-      List.iter
-        (fun (tid, (last_lsn, status)) ->
-          match status with
-          | St_committed -> ()
-          | St_running | St_aborting ->
-              incr losers;
-              if Int64.compare last_lsn LR.nil_lsn > 0 then
-                Txnmgr.rollback_loser eng ~tid ~last_lsn
-              else ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid })))
-        a.att;
+      Tr.with_span eng.E.tracer "recovery.undo" (fun usp ->
+          List.iter
+            (fun (tid, (last_lsn, status)) ->
+              match status with
+              | St_committed -> ()
+              | St_running | St_aborting ->
+                  incr losers;
+                  if Int64.compare last_lsn LR.nil_lsn > 0 then
+                    Txnmgr.rollback_loser eng ~tid ~last_lsn
+                  else ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid })))
+            a.att;
+          Tr.add_attr usp "losers" (string_of_int !losers));
       Log.info (fun m -> m "recovery: rolled back %d losers" !losers);
-      Imdb_obs.Metrics.trace eng.E.metrics Imdb_obs.Metrics.Span_end "recovery"
-        ~attrs:
-          [
-            ("losers", string_of_int !losers);
-            ( "redo_records",
-              string_of_int
-                (Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_redo)
-            );
-          ];
+      Tr.add_attr sp "losers" (string_of_int !losers);
+      Tr.add_attr sp "redo_records"
+        (string_of_int
+           (Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_redo));
       (* a fresh checkpoint caps the next recovery's work *)
       ignore (E.checkpoint eng))

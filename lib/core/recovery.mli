@@ -25,5 +25,9 @@ type analysis = {
 }
 
 val analyze : Engine.t -> checkpoint_lsn:int64 -> analysis
-val redo : Engine.t -> analysis -> checkpoint_lsn:int64 -> unit
+
+val redo : Engine.t -> analysis -> checkpoint_lsn:int64 -> int64 * int64
+(** Returns (redo_start, last applied LSN); tracks progress in the
+    [recovery.redo_lsn] gauge. *)
+
 val read_meta_from_disk : Engine.t -> Meta.t option

@@ -120,6 +120,8 @@ let write t txn ~key ~payload ~stub =
           let ttime, sn, old_stub, old_payload = decode_current old in
           match resolve_ts t ~ttime ~sn with
           | Some ts ->
+              Imdb_obs.Tracer.instant t.eng.E.tracer "splitstore.displace"
+                ~attrs:[ ("ts", Ts.to_string ts) ];
               Imdb_btree.Btree.insert t.history ~key:(history_key ~key ~ts)
                 ~value:(encode_history ~stub:old_stub ~payload:old_payload)
           | None ->
@@ -179,6 +181,8 @@ let read_as_of t txn ~key ~ts =
 let scan_as_of t txn ~ts f =
   E.check_running txn;
   ignore txn;
+  (* the double traversal the paper critiques, visible as one span *)
+  Imdb_obs.Tracer.with_span t.eng.E.tracer "splitstore.scan_asof" @@ fun _ ->
   let emitted = Hashtbl.create 64 in
   (* pass 1: current store *)
   Imdb_btree.Btree.iter t.current (fun key v ->

@@ -171,6 +171,9 @@ let drop eng name =
 let split_data_page eng ti ~pid ~low ~high =
   let threshold = eng.E.config.E.key_split_threshold in
   let key_split_page fr =
+    Imdb_obs.Tracer.with_span eng.E.tracer "split.key"
+      ~attrs:[ ("table", ti.Catalog.ti_name); ("page", string_of_int pid) ]
+    @@ fun sp ->
     let page = BP.bytes fr in
     if List.length (V.keys page) < 2 then
       raise
@@ -182,6 +185,7 @@ let split_data_page eng ti ~pid ~low ~high =
     E.exec_op eng fr ~undoable:false (LR.Op_image { image = ks.V.ks_left });
     BP.with_page eng.E.pool right_pid (fun rfr ->
         E.exec_op eng rfr ~undoable:false (LR.Op_image { image = ks.V.ks_right }));
+    Imdb_obs.Tracer.add_attr sp "right_page" (string_of_int right_pid);
     Imdb_btree.Btree.insert ~undoable:false (router eng ti) ~key:ks.V.ks_separator
       ~value:(page_id_value right_pid)
   in
@@ -193,6 +197,9 @@ let split_data_page eng ti ~pid ~low ~high =
       match ti.Catalog.ti_mode with
       | Catalog.Conventional -> assert false
       | Catalog.Immortal ->
+          Imdb_obs.Tracer.with_span eng.E.tracer "split.time"
+            ~attrs:[ ("table", ti.Catalog.ti_name); ("page", string_of_int pid) ]
+          @@ fun sp ->
           (* split at now, strictly after every issued commit timestamp *)
           let s = Ts.succ (Imdb_clock.Clock.last_issued eng.E.clock) in
           Imdb_clock.Clock.observe eng.E.clock s;
@@ -230,6 +237,9 @@ let split_data_page eng ti ~pid ~low ~high =
           in
           Imdb_obs.Metrics.incr ~by:(Bytes.length hist_image) eng.E.metrics
             Imdb_obs.Metrics.hist_bytes_written;
+          Imdb_obs.Tracer.add_attr sp "hist_page" (string_of_int hist_pid);
+          Imdb_obs.Tracer.add_attr sp "hist_bytes"
+            (string_of_int (Bytes.length hist_image));
           BP.with_page eng.E.pool hist_pid (fun hfr ->
               E.exec_op eng hfr ~undoable:false (LR.Op_image { image = hist_image }));
           (match tsb eng ti with
@@ -281,6 +291,9 @@ type write_kind = W_insert | W_update | W_upsert | W_delete
    upsert accepts both. *)
 let write_version eng txn ti ~key ~payload ~kind =
   E.check_running txn;
+  Imdb_obs.Tracer.with_span eng.E.tracer "txn.update"
+    ~attrs:[ ("table", ti.Catalog.ti_name) ]
+  @@ fun _ ->
   E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.X;
   let immortal = ti.Catalog.ti_mode = Catalog.Immortal in
   let rec attempt budget =
@@ -701,6 +714,9 @@ let scan_range_serial eng ?own ti ~t (low, high, pid) =
   List.sort compare !pending
 
 let scan_versioned_at_serial eng ?own ?lo ?hi ti ~t emit =
+  Imdb_obs.Tracer.with_span eng.E.tracer "scan.asof"
+    ~attrs:[ ("table", ti.Catalog.ti_name); ("parallel", "false") ]
+  @@ fun _ ->
   List.iter
     (fun range ->
       List.iter (fun (k, p) -> emit k p) (scan_range_serial eng ?own ti ~t range))
@@ -783,6 +799,12 @@ let publish_histcache_delta eng ~before hc =
 
 let scan_versioned_at_parallel eng pool hc ?lo ?hi ti ~t emit =
   let module M = Imdb_obs.Metrics in
+  (* The coordinator span is threaded into the worker closures as the
+     explicit parent: workers run on other domains, where the implicit
+     (stack-based) parent would be wrong. *)
+  Imdb_obs.Tracer.with_span eng.E.tracer "scan.asof"
+    ~attrs:[ ("table", ti.Catalog.ti_name); ("parallel", "true") ]
+  @@ fun coord ->
   let s0 = Imdb_histcache.Histcache.stats hc in
   (* Phase 1 (coordinator): pin each range's current page — stamping is
      legal here — and either scan it in place (t falls in its time range)
@@ -818,13 +840,17 @@ let scan_versioned_at_parallel eng pool hc ?lo ?hi ti ~t emit =
       0 tasks
   in
   M.observe eng.E.metrics M.h_scan_fanout fanout;
+  Imdb_obs.Tracer.add_attr coord "ranges" (string_of_int (Array.length tasks));
+  Imdb_obs.Tracer.add_attr coord "fanout" (string_of_int fanout);
   (* Phase 2: fan the ranges out across the worker domains (the
      coordinator participates in the drain). *)
   let results =
     Imdb_parallel.Pool.run pool
       (fun i ->
         let low, high, _, plan = tasks.(i) in
-        run_range_task eng hc ti ~t ~low ~high plan)
+        Imdb_obs.Tracer.with_span eng.E.tracer ~parent:coord "scan.range"
+          ~attrs:[ ("range", string_of_int i) ]
+        @@ fun _ -> run_range_task eng hc ti ~t ~low ~high plan)
       (Array.length tasks)
   in
   (* Phase 3 (coordinator): ranges the workers could not serve fall back
@@ -889,6 +915,9 @@ let scan eng ?lo ?hi txn ti f =
 (* Time travel: the full version history of [key], newest first, as
    (timestamp, payload option) — None marks a deletion. *)
 let history_serial eng ti ~key =
+  Imdb_obs.Tracer.with_span eng.E.tracer "history.walk"
+    ~attrs:[ ("table", ti.Catalog.ti_name); ("parallel", "false") ]
+  @@ fun _ ->
   let pid = locate_page eng ti ~key in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
@@ -942,6 +971,9 @@ let versions_of_key_image page ~key =
 let history_parallel eng pool hc ti ~key =
   let module M = Imdb_obs.Metrics in
   let module HC = Imdb_histcache.Histcache in
+  Imdb_obs.Tracer.with_span eng.E.tracer "history.walk"
+    ~attrs:[ ("table", ti.Catalog.ti_name); ("parallel", "true") ]
+  @@ fun coord ->
   let table_id = ti.Catalog.ti_id in
   let s0 = HC.stats hc in
   let pid = locate_page eng ti ~key in
@@ -974,9 +1006,13 @@ let history_parallel eng pool hc ti ~key =
         p := next
   done;
   let chain = Array.of_list (List.rev !chain) in
+  Imdb_obs.Tracer.add_attr coord "chain" (string_of_int (Array.length chain));
   let extracted =
     Imdb_parallel.Pool.run pool
       (fun i ->
+        Imdb_obs.Tracer.with_span eng.E.tracer ~parent:coord "history.page"
+          ~attrs:[ ("link", string_of_int i) ]
+        @@ fun _ ->
         match chain.(i) with
         | `Image page -> versions_of_key_image page ~key
         | `Rows rows -> rows)

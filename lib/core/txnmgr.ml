@@ -44,6 +44,7 @@ let commit eng txn =
     None
   end
   else begin
+    Imdb_obs.Tracer.with_span eng.E.tracer "txn.commit" @@ fun sp ->
     let ts = Imdb_clock.Clock.next_commit_timestamp eng.E.clock in
     txn.E.tx_commit_ts <- Some ts;
     let persistent = ref false in
@@ -85,6 +86,13 @@ let commit eng txn =
       Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_latency_ms
         (Int64.to_int (Int64.sub (Ts.ttime ts) (Ts.ttime txn.E.tx_snapshot)));
     eng.E.commits_since_checkpoint <- eng.E.commits_since_checkpoint + 1;
+    Imdb_obs.Tracer.add_attr sp "tid" (Tid.to_string txn.E.tx_tid);
+    Imdb_obs.Tracer.add_attr sp "ts" (Ts.to_string ts);
+    Imdb_obs.Tracer.add_attr sp "writes"
+      (string_of_int (List.length txn.E.tx_writes));
+    (* an auto-checkpoint (and the PTT GC inside it) shows up as a child
+       of the commit that tripped it — exactly the causality the tracer
+       exists to surface *)
     E.maybe_auto_checkpoint eng;
     Some ts
   end
@@ -186,6 +194,9 @@ let abort eng txn =
   (match txn.E.tx_state with
   | E.Finished -> raise E.Txn_finished
   | E.Running | E.Rolling_back -> ());
+  Imdb_obs.Tracer.with_span eng.E.tracer "txn.abort"
+    ~attrs:[ ("tid", Tid.to_string txn.E.tx_tid) ]
+  @@ fun _ ->
   txn.E.tx_state <- E.Rolling_back;
   if txn.E.tx_begun then begin
     ignore (Imdb_wal.Wal.append eng.E.wal (LR.Abort { tid = txn.E.tx_tid }));

@@ -29,10 +29,11 @@ type t = {
   c_misses : int Atomic.t;
   c_evictions : int Atomic.t;
   c_rejected : int Atomic.t;
+  tracer : Imdb_obs.Tracer.t;
 }
 
-let create ?(shards = 16) ?(decode = Imdb_storage.Vcompress.decode) ~capacity
-    ~load () =
+let create ?(shards = 16) ?(decode = Imdb_storage.Vcompress.decode)
+    ?(tracer = Imdb_obs.Tracer.null) ~capacity ~load () =
   let shards = max 1 shards in
   {
     shards =
@@ -45,6 +46,7 @@ let create ?(shards = 16) ?(decode = Imdb_storage.Vcompress.decode) ~capacity
     c_misses = Atomic.make 0;
     c_evictions = Atomic.make 0;
     c_rejected = Atomic.make 0;
+    tracer;
   }
 
 let shard_of t pid = t.shards.(pid mod Array.length t.shards)
@@ -79,7 +81,9 @@ let evict_to_capacity t s =
     | victim ->
         if Hashtbl.mem s.table victim then begin
           Hashtbl.remove s.table victim;
-          Atomic.incr t.c_evictions
+          Atomic.incr t.c_evictions;
+          Imdb_obs.Tracer.instant t.tracer "histcache.evict"
+            ~attrs:[ ("page", string_of_int victim) ]
         end
     | exception Queue.Empty -> Hashtbl.reset s.table
   done
@@ -93,8 +97,13 @@ let get t ~table_id pid =
           Some b
       | None -> (
           Atomic.incr t.c_misses;
+          Imdb_obs.Tracer.with_span t.tracer "histcache.admit"
+            ~attrs:[ ("page", string_of_int pid) ]
+          @@ fun sp ->
           match t.load pid with
-          | exception _ -> None
+          | exception _ ->
+              Imdb_obs.Tracer.add_attr sp "admitted" "load_failed";
+              None
           | b -> (
               match
                 if P.page_id b = pid && admissible ~table_id b then
@@ -108,14 +117,17 @@ let get t ~table_id pid =
               | exception _ ->
                   (* a corrupt blob that still passed the checksum *)
                   Atomic.incr t.c_rejected;
+                  Imdb_obs.Tracer.add_attr sp "admitted" "rejected";
                   None
               | Some img ->
                   Hashtbl.replace s.table pid img;
                   Queue.push pid s.fifo;
                   evict_to_capacity t s;
+                  Imdb_obs.Tracer.add_attr sp "admitted" "true";
                   Some img
               | None ->
                   Atomic.incr t.c_rejected;
+                  Imdb_obs.Tracer.add_attr sp "admitted" "rejected";
                   None)))
 
 let remove t pid =

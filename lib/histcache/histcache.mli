@@ -38,6 +38,7 @@ type stats = {
 val create :
   ?shards:int ->
   ?decode:(bytes -> bytes) ->
+  ?tracer:Imdb_obs.Tracer.t ->
   capacity:int ->
   load:(int -> bytes) ->
   unit ->
@@ -49,7 +50,9 @@ val create :
     raise on missing pages, which [get] reports as [None].  [decode]
     (default {!Imdb_storage.Vcompress.decode}) expands compressed history
     images at admission; the engine overrides it to record decode
-    latency. *)
+    latency.  [tracer] records a "histcache.admit" span per miss (with
+    the admission outcome) and a "histcache.evict" instant per eviction;
+    both may fire on worker domains — the tracer is domain-safe. *)
 
 val get : t -> table_id:int -> int -> bytes option
 (** [get t ~table_id pid] returns the immutable image of page [pid], from

@@ -235,8 +235,12 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
    scan.parallel_fallbacks, and the scan.fanout histogram.
    v4: history compression — the compress.* counters/gauge, the
    hist.bytes_written counter, the compress.decode_ns histogram — and
-   the ptt.gc_batch histogram for batched checkpoint-time GC. *)
-let schema_version = 4
+   the ptt.gc_batch histogram for batched checkpoint-time GC.
+   v5: structured tracing — the trace.spans/trace.dropped/trace.slow_ops
+   counters, the recovery.redo_lsn progress gauge, and per-span-kind
+   "span.<name>_us" duration histograms (present only when tracing is
+   enabled; see Tracer). *)
+let schema_version = 5
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -343,6 +347,10 @@ let btree_node_splits = "btree.node_splits"
 let checkpoints = "engine.checkpoints"
 let recovery_redo = "recovery.redo_records"
 let recovery_undo = "recovery.undo_records"
+let trace_spans = "trace.spans"
+let trace_drops = "trace.dropped"
+let trace_slow_ops = "trace.slow_ops"
+let recovery_redo_lsn = "recovery.redo_lsn"
 
 let h_log_record_bytes = "log.record_bytes"
 let h_log_flush_bytes = "log.flush_bytes"
@@ -355,3 +363,4 @@ let h_ptt_gc_batch = "ptt.gc_batch"
 let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"
 let h_page_utilization_pct = "page.utilization_pct"
+let span_hist name = "span." ^ name ^ "_us"

@@ -107,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -173,6 +173,20 @@ val checkpoints : string
 val recovery_redo : string
 val recovery_undo : string
 
+val trace_spans : string
+(** Events recorded into the tracer's completed ring (spans + instants). *)
+
+val trace_drops : string
+(** Spans evicted from the tracer's completed ring when it overflows. *)
+
+val trace_slow_ops : string
+(** Spans whose duration reached [slow_op_threshold_us]. *)
+
+val recovery_redo_lsn : string
+(** Gauge: LSN of the last log record applied by recovery's redo pass —
+    a live progress indicator while recovery runs, the final redo
+    position afterwards. *)
+
 (** Histogram names. *)
 
 val h_log_record_bytes : string
@@ -188,3 +202,7 @@ val h_ptt_gc_batch : string
 val h_split_current_live : string
 val h_split_history_live : string
 val h_page_utilization_pct : string
+
+val span_hist : string -> string
+(** [span_hist name] is the duration histogram ["span." ^ name ^ "_us"]
+    the tracer feeds for each span kind. *)

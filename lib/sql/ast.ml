@@ -57,6 +57,7 @@ type statement =
   | Set_isolation of [ `Serializable | `Snapshot ]
   | Checkpoint_stmt
   | Metrics_stmt
+  | Trace_stmt
 
 let pp_literal ppf = function
   | L_int i -> Fmt.int ppf i
@@ -137,5 +138,6 @@ let pp_statement ppf = function
   | Set_isolation `Snapshot -> Fmt.string ppf "SET ISOLATION SNAPSHOT"
   | Checkpoint_stmt -> Fmt.string ppf "CHECKPOINT"
   | Metrics_stmt -> Fmt.string ppf "METRICS"
+  | Trace_stmt -> Fmt.string ppf "TRACE"
 
 let statement_to_string s = Fmt.str "%a" pp_statement s

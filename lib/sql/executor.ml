@@ -317,6 +317,7 @@ let exec session stmt =
       R_ok "checkpoint complete"
   | Metrics_stmt ->
       R_ok (Imdb_obs.Metrics.to_json_string (Db.metrics session.db))
+  | Trace_stmt -> R_ok (Imdb_obs.Tracer.to_json_string (Db.tracer session.db))
 
 let exec_string session src =
   List.map (fun stmt -> exec session stmt) (Parser.parse_script src)

@@ -247,6 +247,10 @@ let parse_statement st =
     advance st;
     Metrics_stmt
   end
+  else if is_kw t "TRACE" then begin
+    advance st;
+    Trace_stmt
+  end
   else fail "unexpected %a at statement start" Lexer.pp_token t
 
 (* Parse a script: semicolon-separated statements. *)

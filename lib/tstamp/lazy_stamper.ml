@@ -22,15 +22,18 @@ type t = {
   mutable end_of_log : unit -> int64; (* for lsn_at_zero bookkeeping *)
   mutable unknown_tids : int; (* integrity counter: should stay 0 *)
   mutable metrics : Imdb_obs.Metrics.t;
+  mutable tracer : Imdb_obs.Tracer.t;
 }
 
 let create ?(metrics = Imdb_obs.Metrics.null) () =
   { vtt = Vtt.create ~metrics (); ptt = None; end_of_log = (fun () -> 0L);
-    unknown_tids = 0; metrics }
+    unknown_tids = 0; metrics; tracer = Imdb_obs.Tracer.null }
 
 let set_metrics t m =
   t.metrics <- m;
   Vtt.set_metrics t.vtt m
+
+let set_tracer t tr = t.tracer <- tr
 
 let set_ptt t ptt = t.ptt <- Some ptt
 let set_end_of_log t f = t.end_of_log <- f
@@ -89,6 +92,7 @@ let stamp_page_volatile t page =
    transaction is on disk and the mapping can go.  Returns collected
    TIDs. *)
 let garbage_collect t ~redo_scan_start =
+  Imdb_obs.Tracer.with_span t.tracer "ptt.gc" @@ fun sp ->
   let candidates = Vtt.gc_candidates t.vtt ~redo_scan_start in
   (* one batched PTT pass instead of a descent per candidate: collected
      TIDs are consecutive by construction, so the whole drain usually
@@ -102,4 +106,8 @@ let garbage_collect t ~redo_scan_start =
   List.iter (fun (tid, _) -> Vtt.drop t.vtt tid) candidates;
   Imdb_obs.Metrics.observe t.metrics Imdb_obs.Metrics.h_ptt_gc_batch
     (List.length candidates);
+  Imdb_obs.Tracer.add_attr sp "candidates"
+    (string_of_int (List.length candidates));
+  Imdb_obs.Tracer.add_attr sp "persistent"
+    (string_of_int (List.length persistent));
   List.map fst candidates

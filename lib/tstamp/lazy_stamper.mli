@@ -12,6 +12,12 @@ type t
 
 val create : ?metrics:Imdb_obs.Metrics.t -> unit -> t
 val set_metrics : t -> Imdb_obs.Metrics.t -> unit
+
+val set_tracer : t -> Imdb_obs.Tracer.t -> unit
+(** Spans: {!garbage_collect} records a "ptt.gc" span
+    (candidates/persistent attrs) that nests under the checkpoint that
+    triggered it. *)
+
 val set_ptt : t -> Ptt.t -> unit
 val set_end_of_log : t -> (unit -> int64) -> unit
 val vtt : t -> Vtt.t

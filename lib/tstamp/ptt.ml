@@ -14,7 +14,11 @@ module Ts = Imdb_clock.Timestamp
 module Tid = Imdb_clock.Tid
 module M = Imdb_obs.Metrics
 
-type t = { tree : Imdb_btree.Btree.t; mutable metrics : M.t }
+type t = {
+  tree : Imdb_btree.Btree.t;
+  mutable metrics : M.t;
+  mutable tracer : Imdb_obs.Tracer.t;
+}
 
 (* Order-preserving big-endian encoding of the TID. *)
 let key_of_tid tid =
@@ -31,16 +35,23 @@ let value_of_ts ts =
 
 let ts_of_value v = Ts.read v 0
 
-let create ?(metrics = M.null) ~pool ~io ~table_id () =
-  { tree = Imdb_btree.Btree.create ~metrics ~pool ~io ~table_id ~name:"ptt" (); metrics }
+let create ?(metrics = M.null) ?(tracer = Imdb_obs.Tracer.null) ~pool ~io
+    ~table_id () =
+  { tree = Imdb_btree.Btree.create ~metrics ~pool ~io ~table_id ~name:"ptt" ();
+    metrics; tracer }
 
-let attach ?(metrics = M.null) ~pool ~io ~root ~table_id () =
-  { tree = Imdb_btree.Btree.attach ~metrics ~pool ~io ~root ~table_id ~name:"ptt" (); metrics }
+let attach ?(metrics = M.null) ?(tracer = Imdb_obs.Tracer.null) ~pool ~io ~root
+    ~table_id () =
+  { tree = Imdb_btree.Btree.attach ~metrics ~pool ~io ~root ~table_id ~name:"ptt" ();
+    metrics; tracer }
 
 let root t = Imdb_btree.Btree.root t.tree
 
 (* Commit-path insert: one logged update per transaction. *)
 let insert t tid ts =
+  Imdb_obs.Tracer.with_span t.tracer "ptt.insert"
+    ~attrs:[ ("tid", Tid.to_string tid) ]
+  @@ fun _ ->
   M.incr t.metrics M.ptt_inserts;
   Imdb_btree.Btree.insert t.tree ~key:(key_of_tid tid) ~value:(value_of_ts ts)
 
@@ -56,6 +67,9 @@ let delete t tid =
 (* Batched GC: TIDs are assigned in order, so a checkpoint's candidates
    cluster in a handful of leaves — one descent covers the run. *)
 let delete_batch t tids =
+  Imdb_obs.Tracer.with_span t.tracer "ptt.delete_batch"
+    ~attrs:[ ("tids", string_of_int (List.length tids)) ]
+  @@ fun _ ->
   M.incr ~by:(List.length tids) t.metrics M.ptt_deletes;
   Imdb_btree.Btree.delete_batch t.tree ~keys:(List.map key_of_tid tids)
 

@@ -7,10 +7,15 @@
     timestamping performs per transaction; deletes are garbage
     collection, redo-only. *)
 
-type t = { tree : Imdb_btree.Btree.t; mutable metrics : Imdb_obs.Metrics.t }
+type t = {
+  tree : Imdb_btree.Btree.t;
+  mutable metrics : Imdb_obs.Metrics.t;
+  mutable tracer : Imdb_obs.Tracer.t;
+}
 
 val create :
   ?metrics:Imdb_obs.Metrics.t ->
+  ?tracer:Imdb_obs.Tracer.t ->
   pool:Imdb_buffer.Buffer_pool.t ->
   io:Imdb_btree.Btree.io ->
   table_id:int ->
@@ -19,6 +24,7 @@ val create :
 
 val attach :
   ?metrics:Imdb_obs.Metrics.t ->
+  ?tracer:Imdb_obs.Tracer.t ->
   pool:Imdb_buffer.Buffer_pool.t ->
   io:Imdb_btree.Btree.io ->
   root:int ->

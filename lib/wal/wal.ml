@@ -103,9 +103,11 @@ type t = {
   mutable pending : (int64 * (unit -> unit)) list;
       (* group-commit waiters (commit LSN, durability ack), newest first *)
   mutable metrics : M.t;
+  mutable tracer : Imdb_obs.Tracer.t;
 }
 
 let set_metrics t m = t.metrics <- m
+let set_tracer t tr = t.tracer <- tr
 
 let frame_of payload =
   let len = Bytes.length payload in
@@ -144,6 +146,7 @@ let open_device ?(metrics = M.null) device =
     tail_index = Hashtbl.create 64;
     pending = [];
     metrics;
+    tracer = Imdb_obs.Tracer.null;
   }
 
 let next_lsn t = t.next_lsn
@@ -177,6 +180,8 @@ let drain_pending t =
   t.pending <- still;
   if durable <> [] then begin
     M.observe t.metrics M.h_group_commit_batch (List.length durable);
+    Imdb_obs.Tracer.instant t.tracer "wal.group_commit"
+      ~attrs:[ ("batch", string_of_int (List.length durable)) ];
     (* fire oldest-first: acknowledgment order follows commit order *)
     List.iter (fun (_, ack) -> ack ()) (List.rev durable)
   end
@@ -191,17 +196,22 @@ let flush ?lsn t =
   let needed = match lsn with Some l -> l | None -> Int64.pred t.next_lsn in
   if Int64.compare needed t.durable_end < 0 then ()
   else begin
-    if t.tail <> [] then begin
-      let frames = List.rev t.tail in
-      let bytes = List.fold_left (fun acc (_, f) -> acc + Bytes.length f) 0 frames in
-      List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
-      t.device.Device.sync ();
-      t.tail <- [];
-      Hashtbl.reset t.tail_index;
-      t.durable_end <- t.next_lsn;
-      M.incr t.metrics M.log_flushes;
-      M.observe t.metrics M.h_log_flush_bytes bytes
-    end;
+    if t.tail <> [] then
+      Imdb_obs.Tracer.with_span t.tracer "wal.flush" (fun sp ->
+          let frames = List.rev t.tail in
+          let bytes =
+            List.fold_left (fun acc (_, f) -> acc + Bytes.length f) 0 frames
+          in
+          List.iter (fun (_, frame) -> t.device.Device.append frame) frames;
+          t.device.Device.sync ();
+          t.tail <- [];
+          Hashtbl.reset t.tail_index;
+          t.durable_end <- t.next_lsn;
+          M.incr t.metrics M.log_flushes;
+          M.observe t.metrics M.h_log_flush_bytes bytes;
+          Imdb_obs.Tracer.add_attr sp "bytes" (string_of_int bytes);
+          Imdb_obs.Tracer.add_attr sp "frames"
+            (string_of_int (List.length frames)));
     drain_pending t
   end
 

@@ -31,6 +31,12 @@ val set_metrics : t -> Imdb_obs.Metrics.t -> unit
 (** Point the log at an engine's registry (appends, flushes, byte
     histograms are charged there). *)
 
+val set_tracer : t -> Imdb_obs.Tracer.t -> unit
+(** Point the log at an engine's tracer: [flush] records a "wal.flush"
+    span (bytes/frames attrs) around the append+sync, and each drained
+    group-commit batch a "wal.group_commit" instant — both nest under
+    the commit span that triggered the flush. *)
+
 val append : t -> Log_record.body -> int64
 (** Buffer a record; returns its LSN. *)
 

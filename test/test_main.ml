@@ -31,4 +31,5 @@ let () =
       ("workload", Test_workload.suite);
       ("parscan", Test_parscan.suite);
       ("compress", Test_compress.suite);
+      ("tracer", Test_tracer.suite);
     ]
