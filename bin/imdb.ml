@@ -9,6 +9,8 @@
      imdb trace DIR [--chrome] [-o FILE]      trace a workload, export spans
      imdb checkpoint DIR                      force a checkpoint (and PTT GC)
      imdb backup DIR DEST [--as-of TS]        extract a queryable AS OF backup
+     imdb torture [--seed N]... [--ops N] [--crashes N] [--replay]
+                                              adversarial crash-recovery torture
 
    DIR is a database directory (created on first use). *)
 
@@ -389,6 +391,61 @@ let vacuum_cmd =
        ~doc:"Force timestamping to completion and empty the persistent timestamp table.")
     Term.(const run $ dir_arg)
 
+(* --- torture ------------------------------------------------------------- *)
+
+module H = Imdb_torture.Harness
+
+let torture_cmd =
+  let seeds_arg =
+    Arg.(value & opt_all int [] & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed to run (repeatable; default: seed 0).")
+  in
+  let ops_arg =
+    Arg.(value & opt int H.default.H.ops & info [ "ops" ] ~docv:"N"
+           ~doc:"Write-operation budget per seed.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int H.default.H.crashes & info [ "crashes" ] ~docv:"N"
+           ~doc:"Scheduled crash points per seed.")
+  in
+  let replay_arg =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Print every workload action while running — replay a \
+                 failing seed from a CI report to watch it unfold.")
+  in
+  let run seeds ops crashes replay =
+    let seeds = if seeds = [] then [ 0 ] else seeds in
+    let failed = ref false in
+    List.iter
+      (fun seed ->
+        let cfg =
+          { H.default with
+            H.seed; ops; crashes;
+            log = (if replay then Some (fun s -> Fmt.pr "  %s@." s) else None) }
+        in
+        Fmt.pr "torture: %s@." (H.describe_config cfg);
+        match H.run cfg with
+        | H.Passed r -> Fmt.pr "%a@." H.pp_report r
+        | H.Failed f ->
+            failed := true;
+            Fmt.pr "%a@." H.pp_failure f;
+            if not replay then begin
+              Fmt.pr "minimizing the failing run...@.";
+              let mcfg, mf = H.minimize cfg f in
+              Fmt.pr "minimized: %s@.%a@." (H.describe_config mcfg) H.pp_failure mf;
+              Fmt.pr "reproduce: imdb torture --seed %d --ops %d --crashes %d --replay@."
+                mf.H.f_seed mcfg.H.ops mcfg.H.crashes
+            end)
+      seeds;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Run the adversarial crash/workload torture harness against a \
+             linearized AS OF oracle.  Exits non-zero on any oracle \
+             disagreement, printing the seed that reproduces it.")
+    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg)
+
 (* IMDB_LOG=debug|info enables engine/recovery diagnostics on stderr. *)
 let setup_logs () =
   match Sys.getenv_opt "IMDB_LOG" with
@@ -415,4 +472,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sql_cmd; tables_cmd; history_cmd; workload_cmd; stats_cmd; trace_cmd;
-            checkpoint_cmd; backup_cmd; vacuum_cmd ]))
+            checkpoint_cmd; backup_cmd; vacuum_cmd; torture_cmd ]))

@@ -29,9 +29,9 @@ exception No_such_table of string
 (* Open (or create) a database over explicit devices.  Used directly by
    crash tests, which reopen the same in-memory devices after dropping
    volatile state. *)
-let open_devices ?(config = E.default_config) ?clock ~disk ~log_device () =
+let open_devices ?metrics ?(config = E.default_config) ?clock ~disk ~log_device () =
   let clock = match clock with Some c -> c | None -> Imdb_clock.Clock.create_wall () in
-  let eng = E.make ~disk ~log_device ~config ~clock () in
+  let eng = E.make ?metrics ~disk ~log_device ~config ~clock () in
   let fresh =
     (not (disk.Imdb_storage.Disk.page_exists Meta.meta_page_id))
     && log_device.Imdb_wal.Wal.Device.size () = 0
@@ -59,6 +59,11 @@ let open_dir ?(config = E.default_config) ?clock dir =
 let close t = E.close t.eng
 let checkpoint t = ignore (E.checkpoint t.eng)
 let engine t = t.eng
+
+(* The devices this database was opened over.  Crash harnesses need them
+   to reopen after an open/recovery attempt itself crashed (in which case
+   there is no live handle to call [crash_and_reopen] on). *)
+let devices t = (t.disk, t.log_device)
 let metrics t = t.eng.E.metrics
 let tracer t = t.eng.E.tracer
 

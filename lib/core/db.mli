@@ -49,13 +49,17 @@ val open_dir : ?config:Engine.config -> ?clock:Imdb_clock.Clock.t -> string -> t
     Runs crash recovery if the previous session did not close cleanly. *)
 
 val open_devices :
+  ?metrics:Imdb_obs.Metrics.t ->
   ?config:Engine.config ->
   ?clock:Imdb_clock.Clock.t ->
   disk:Imdb_storage.Disk.t ->
   log_device:Imdb_wal.Wal.Device.t ->
   unit ->
   t
-(** Open over explicit devices (crash tests reuse in-memory devices). *)
+(** Open over explicit devices (crash tests reuse in-memory devices).
+    Passing [metrics] lets a crash harness keep one registry across
+    repeated reopens, so work counters accumulate over the whole
+    crash/recover history instead of resetting per open. *)
 
 val close : t -> unit
 (** Flush everything and release the devices. *)
@@ -79,6 +83,11 @@ val crash_and_reopen : ?config:Engine.config -> ?clock:Imdb_clock.Clock.t -> t -
 
 val engine : t -> Engine.t
 (** The underlying engine, for tools and tests that need internals. *)
+
+val devices : t -> Imdb_storage.Disk.t * Imdb_wal.Wal.Device.t
+(** The devices this database was opened over — what a crash harness
+    needs to reopen via {!open_devices} when recovery itself crashed and
+    left no live handle for {!crash_and_reopen}. *)
 
 val metrics : t -> Imdb_obs.Metrics.t
 (** This database's private metrics registry: counters, histograms and

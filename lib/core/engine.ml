@@ -413,7 +413,7 @@ let stamp_record t fr ~key =
         BP.mark_dirty_unlogged t.pool fr;
         let n =
           Imdb_version.Vpage.stamp_versions_of ~metrics:t.metrics page ~key
-            ~resolve:(Imdb_tstamp.Lazy_stamper.resolve t.stamper)
+            ~resolve:(Imdb_tstamp.Lazy_stamper.resolve_for_stamping t.stamper)
             ~on_stamp:(Imdb_tstamp.Lazy_stamper.on_stamp t.stamper)
         in
         Imdb_obs.Tracer.add_attr sp "stamped" (string_of_int n))
@@ -529,6 +529,7 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.trace_spans;
   Mx.ensure_counter metrics Mx.trace_drops;
   Mx.ensure_counter metrics Mx.trace_slow_ops;
+  Mx.ensure_counter metrics Mx.recovery_torn_pages;
   Mx.set_gauge metrics Mx.recovery_redo_lsn 0;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Mx.ensure_histogram metrics Mx.h_scan_fanout;
@@ -556,6 +557,10 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   let stamper = Imdb_tstamp.Lazy_stamper.create ~metrics () in
   Imdb_tstamp.Lazy_stamper.set_tracer stamper tracer;
   Imdb_tstamp.Lazy_stamper.set_end_of_log stamper (fun () -> Imdb_wal.Wal.next_lsn wal);
+  Imdb_tstamp.Lazy_stamper.set_flushed_lsn stamper (fun () ->
+      Imdb_wal.Wal.flushed_lsn wal);
+  Imdb_tstamp.Lazy_stamper.set_force_log stamper (fun () ->
+      Imdb_wal.Wal.flush wal);
   let histcache =
     if config.scan_parallelism > 1 then
       Some

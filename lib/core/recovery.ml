@@ -110,6 +110,7 @@ let analyze eng ~checkpoint_lsn =
    not cover. *)
 let rebuild_page_from_log eng page_id =
   Log.warn (fun m -> m "page %d is torn; rebuilding it from the full log" page_id);
+  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.recovery_torn_pages;
   let fr = BP.pin_new eng.E.pool page_id in
   let page = BP.bytes fr in
   P.set_page_id page page_id;
@@ -136,7 +137,12 @@ let pin_for_redo eng page_id ~rebuilds =
   else if eng.E.disk.Imdb_storage.Disk.page_exists page_id then (
     try `Frame (BP.pin eng.E.pool page_id)
     with BP.Corrupt_page _ ->
-      if rebuilds then `Frame (fresh ()) else `Frame (rebuild_page_from_log eng page_id))
+      if rebuilds then begin
+        (* torn, but the op about to replay rebuilds the page wholesale *)
+        Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.recovery_torn_pages;
+        `Frame (fresh ())
+      end
+      else `Frame (rebuild_page_from_log eng page_id))
   else if rebuilds then `Frame (fresh ())
   else `Missing
 

@@ -484,30 +484,35 @@ let historical_page eng ti ~key ~t ~current_page =
   (* asof.pages_visited counts actual pages visited on the temporal
      access path: one per chain page examined, one per TSB target found.
      (The chain walk used to double-count its entry page.) *)
+  (* walk the chain one page at a time — pin, read the two header
+     fields, unpin, step — so a deep walk never holds more than one
+     frame (the chain can exceed the buffer pool) *)
+  let rec walk pid =
+    if pid = P.no_page then None
+    else begin
+      Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
+      let split, next =
+        BP.with_page eng.E.pool pid (fun fr ->
+            let page = BP.bytes fr in
+            (P.split_time page, P.history_pointer page))
+      in
+      if Ts.compare t split >= 0 then Some pid else walk next
+    end
+  in
   match tsb eng ti with
   | Some index -> (
       match Imdb_tsb.Tsb.find index ~key ~ts:t with
       | Some pid ->
           Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
           Some pid
-      | None -> None)
-  | None ->
-      (* walk the chain one page at a time — pin, read the two header
-         fields, unpin, step — so a deep walk never holds more than one
-         frame (the chain can exceed the buffer pool) *)
-      let rec walk pid =
-        if pid = P.no_page then None
-        else begin
-          Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.asof_pages;
-          let split, next =
-            BP.with_page eng.E.pool pid (fun fr ->
-                let page = BP.bytes fr in
-                (P.split_time page, P.history_pointer page))
-          in
-          if Ts.compare t split >= 0 then Some pid else walk next
-        end
-      in
-      walk (P.history_pointer current_page)
+      | None ->
+          (* A miss normally means the key has no version that old — but
+             the chain, not the index, is ground truth, so confirm by
+             walking it rather than silently answering "absent".  On a
+             true miss the walk falls off the end; the indexed hit path
+             above stays O(depth). *)
+          walk (P.history_pointer current_page))
+  | None -> walk (P.history_pointer current_page)
 
 (* Visible payload of [key] at time [t] for transaction [txn] (own writes
    visible).  [None] = key absent at [t]. *)

@@ -239,8 +239,11 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
    v5: structured tracing — the trace.spans/trace.dropped/trace.slow_ops
    counters, the recovery.redo_lsn progress gauge, and per-span-kind
    "span.<name>_us" duration histograms (present only when tracing is
-   enabled; see Tracer). *)
-let schema_version = 5
+   enabled; see Tracer).
+
+   v6 adds recovery.torn_pages (pages whose checksum failed after a crash
+   and were rebuilt wholesale from the log). *)
+let schema_version = 6
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -347,6 +350,7 @@ let btree_node_splits = "btree.node_splits"
 let checkpoints = "engine.checkpoints"
 let recovery_redo = "recovery.redo_records"
 let recovery_undo = "recovery.undo_records"
+let recovery_torn_pages = "recovery.torn_pages"
 let trace_spans = "trace.spans"
 let trace_drops = "trace.dropped"
 let trace_slow_ops = "trace.slow_ops"

@@ -107,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 5,
+    { "schema_version": 6,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -172,6 +172,10 @@ val btree_node_splits : string
 val checkpoints : string
 val recovery_redo : string
 val recovery_undo : string
+
+val recovery_torn_pages : string
+(** Pages whose checksum failed after a crash (torn writes) and were
+    rebuilt wholesale from the log by recovery. *)
 
 val trace_spans : string
 (** Events recorded into the tracer's completed ring (spans + instants). *)

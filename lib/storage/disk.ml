@@ -164,35 +164,95 @@ let serialized inner =
 (* Failure injection                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Operation-targeted triggers: the countdown decrements only on writes
+   the target selects, so a plan can say "fail on the Nth history-page
+   write" (crashing mid-time-split) or "fail on the next meta-page write"
+   (crashing mid-checkpoint) without counting unrelated traffic. *)
+type write_target =
+  | Any_write
+  | Writes_of_type of Page.page_type list
+      (** writes of pages whose header carries one of these types — e.g.
+          [P_history; P_history_compressed] crashes a time-split at the
+          moment it persists the historical page *)
+  | Writes_to_page of int  (** writes of one page id (0 = the meta page) *)
+  | Writes_matching of (int -> bytes -> bool)
+      (** arbitrary predicate over (page id, sealed image) *)
+
 type failure_plan = {
   mutable writes_until_failure : int;
-      (** -1 = never fail; 0 = next write fails *)
+      (** -1 = never fail; 0 = next targeted write fails *)
   mutable tear_on_failure : bool;
       (** if set, the failing write persists only the first half of the
           page (a torn write) before raising *)
+  mutable target : write_target;
+      (** which writes the countdown counts *)
+  mutable dead : bool;
+      (** set when the plan fires: the device rejects every write,
+          targeted or not, until the plan is lifted or re-armed *)
+  mutable fired : int;
+      (** failures injected so far (never reset); dead-device rejections
+          after the fire do not count *)
 }
 
-let never_fail () = { writes_until_failure = -1; tear_on_failure = false }
+let never_fail () =
+  { writes_until_failure = -1; tear_on_failure = false; target = Any_write;
+    dead = false; fired = 0 }
+
+let arm plan ?(tear = false) ?(target = Any_write) ~after () =
+  plan.writes_until_failure <- after;
+  plan.tear_on_failure <- tear;
+  plan.target <- target;
+  plan.dead <- false
+
+let lift plan =
+  plan.writes_until_failure <- -1;
+  plan.tear_on_failure <- false;
+  plan.target <- Any_write;
+  plan.dead <- false
+
+(* Does this write count toward the plan's countdown?  A malformed image
+   (too short for a header, unknown type byte) never matches a typed
+   target — the trigger is for well-formed engine pages. *)
+let target_matches plan id b =
+  match plan.target with
+  | Any_write -> true
+  | Writes_to_page pid -> id = pid
+  | Writes_of_type tys -> (
+      match Page.page_type b with
+      | ty -> List.mem ty tys
+      | exception _ -> false)
+  | Writes_matching f -> ( try f id b with _ -> false)
 
 (* Wrap [inner] so that the [plan] can trigger a failure mid-run.  Used by
-   recovery tests to crash the engine at an exact write. *)
+   recovery tests and the torture harness to crash the engine at an exact
+   write.  Once fired, every subsequent write fails too (the device is
+   dead) until the plan is lifted. *)
 let failing ~plan inner =
   {
     inner with
     write_page =
       (fun id b ->
-        if plan.writes_until_failure = 0 then begin
-          if plan.tear_on_failure then begin
-            (* Persist a torn page: first half new, second half stale/zero. *)
-            let torn =
-              try inner.read_page id with Page_missing _ -> Bytes.create inner.page_size
-            in
-            Bytes.blit b 0 torn 0 (inner.page_size / 2);
-            inner.write_page id torn
+        if plan.dead then raise (Io_failure "device dead after injected failure");
+        if plan.writes_until_failure >= 0 && target_matches plan id b then begin
+          if plan.writes_until_failure = 0 then begin
+            plan.fired <- plan.fired + 1;
+            (* the device is now dead for every write, targeted or not *)
+            plan.dead <- true;
+            plan.writes_until_failure <- -1;
+            if plan.tear_on_failure then begin
+              (* Persist a torn page: first half new, second half stale
+                 (zero when the page never existed — deterministic, so
+                 torture runs replay bit-identically). *)
+              let torn =
+                try inner.read_page id
+                with Page_missing _ -> Bytes.make inner.page_size '\000'
+              in
+              Bytes.blit b 0 torn 0 (inner.page_size / 2);
+              inner.write_page id torn
+            end;
+            raise (Io_failure "injected write failure")
           end;
-          raise (Io_failure "injected write failure")
+          plan.writes_until_failure <- plan.writes_until_failure - 1
         end;
-        if plan.writes_until_failure > 0 then
-          plan.writes_until_failure <- plan.writes_until_failure - 1;
         inner.write_page id b);
   }

@@ -41,14 +41,43 @@ val serialized : t -> t
     to share across domains (the built-in devices are single-domain).
     The engine applies this automatically when [scan_parallelism > 1]. *)
 
+(** Which writes a {!failure_plan}'s countdown counts — operation-targeted
+    triggers, so a crash can be aimed at "the Nth history-page write"
+    (mid-time-split) or "the next meta-page write" (mid-checkpoint)
+    without counting unrelated traffic. *)
+type write_target =
+  | Any_write
+  | Writes_of_type of Page.page_type list
+      (** writes of pages whose sealed header carries one of these types *)
+  | Writes_to_page of int  (** writes of one page id (0 = the meta page) *)
+  | Writes_matching of (int -> bytes -> bool)
+      (** arbitrary predicate over (page id, sealed image); exceptions in
+          the predicate count as "no match" *)
+
 (** Injected-failure control block for [failing]. *)
 type failure_plan = {
-  mutable writes_until_failure : int;  (** -1 never; 0 = next write fails *)
+  mutable writes_until_failure : int;  (** -1 never; 0 = next targeted write fails *)
   mutable tear_on_failure : bool;
       (** the failing write persists only the first half of the page *)
+  mutable target : write_target;  (** which writes count *)
+  mutable dead : bool;
+      (** set when the plan fires: the device rejects every write until
+          the plan is lifted or re-armed *)
+  mutable fired : int;
+      (** failures injected so far (never reset); dead-device rejections
+          after the fire do not count *)
 }
 
 val never_fail : unit -> failure_plan
 
+val arm : failure_plan -> ?tear:bool -> ?target:write_target -> after:int -> unit -> unit
+(** Arm the plan: the [after]-th upcoming write matching [target]
+    (0 = the next one) fails, tearing the page first if [tear]. *)
+
+val lift : failure_plan -> unit
+(** Disarm: no further injected failures ([fired] is preserved). *)
+
 val failing : plan:failure_plan -> t -> t
-(** Wrap a device so the plan can crash it at an exact write. *)
+(** Wrap a device so the plan can crash it at an exact write.  Once the
+    plan fires, every subsequent write raises [Io_failure] (the device is
+    dead) until the plan is lifted. *)

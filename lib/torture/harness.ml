@@ -1,0 +1,797 @@
+(* The torture harness: a seed-driven workload generator, a crash
+   scheduler aimed at the engine's most delicate write paths, and a
+   verification loop that checks every answer the engine can give against
+   the linearized oracle in {!Model}.
+
+   Everything derives from the seed: the workload PRNG, the crash
+   schedule (seed lxor a salt), each crash point's private countdown
+   (seed mixed with the point's position).  The clock is logical and
+   ticks a fixed quantum per transaction.  No wall time, no OS
+   randomness: a failure replays from the printed seed alone. *)
+
+module Ts = Imdb_clock.Timestamp
+module Clock = Imdb_clock.Clock
+module Rng = Imdb_util.Rng
+module Mx = Imdb_obs.Metrics
+module Disk = Imdb_storage.Disk
+module Page = Imdb_storage.Page
+module Wal = Imdb_wal.Wal
+module E = Imdb_core.Engine
+module Db = Imdb_core.Db
+
+exception Torture_failure of string
+
+type crash_kind =
+  | Crash_wal_tail
+  | Crash_data_write
+  | Crash_history_write
+  | Crash_meta_write
+  | Crash_recovery
+
+let crash_kind_name = function
+  | Crash_wal_tail -> "wal-tail"
+  | Crash_data_write -> "data-write"
+  | Crash_history_write -> "history-write"
+  | Crash_meta_write -> "meta-write"
+  | Crash_recovery -> "recovery"
+
+let all_crash_kinds =
+  [ Crash_wal_tail; Crash_data_write; Crash_history_write; Crash_meta_write; Crash_recovery ]
+
+let kind_index k =
+  let rec go i = function
+    | [] -> 0
+    | k' :: rest -> if k' = k then i else go (i + 1) rest
+  in
+  go 0 all_crash_kinds
+
+type crash_point = { cp_commit : int; cp_kind : crash_kind; cp_torn : bool }
+type sabotage = Skew_stamp of int | Drop_write of int
+
+type config = {
+  seed : int;
+  ops : int;
+  crashes : int;
+  tables : int;
+  keys_per_table : int;
+  page_size : int;
+  pool_capacity : int;
+  group_commit_window : int;
+  auto_checkpoint_every : int;
+  history_compression : bool;
+  verify_every : int;
+  verify_limit : int;
+  sabotage : sabotage option;
+  schedule : crash_point list option;
+  log : (string -> unit) option;
+}
+
+let default =
+  {
+    seed = 1;
+    ops = 10_000;
+    crashes = 60;
+    tables = 2;
+    keys_per_table = 48;
+    page_size = 1024;
+    pool_capacity = 12;
+    group_commit_window = 4;
+    auto_checkpoint_every = 40;
+    history_compression = true;
+    verify_every = 0;
+    verify_limit = 0;
+    sabotage = None;
+    schedule = None;
+    log = None;
+  }
+
+(* The crash schedule: [crashes] points spread over the expected commit
+   count (ops / mean txn size, minus aborts), kinds cycling through a
+   per-block shuffle of all five so every kind appears once in every
+   window of five crashes. *)
+let schedule_of cfg =
+  match cfg.schedule with
+  | Some s -> s
+  | None ->
+      let rng = Rng.create (cfg.seed lxor 0x5EED) in
+      let expected_commits = max 20 (cfg.ops * 2 / 5) in
+      let n = cfg.crashes in
+      if n <= 0 then []
+      else begin
+        let gap = max 4 (expected_commits / (n + 1)) in
+        let kinds = Array.of_list all_crash_kinds in
+        let block = Array.copy kinds in
+        let out = ref [] in
+        let at = ref 0 in
+        for i = 0 to n - 1 do
+          if i mod Array.length kinds = 0 then Rng.shuffle rng block;
+          let kind = block.(i mod Array.length kinds) in
+          at := !at + max 2 ((gap / 2) + Rng.int rng (max 1 gap));
+          let torn = (match kind with Crash_wal_tail -> false | _ -> Rng.bool rng) in
+          out := { cp_commit = !at; cp_kind = kind; cp_torn = torn } :: !out
+        done;
+        List.rev !out
+      end
+
+type report = {
+  r_seed : int;
+  r_ops : int;
+  r_commits : int;
+  r_aborts : int;
+  r_crashes : int;
+  r_crash_kinds : (string * int) list;
+  r_torn : int;
+  r_recoveries : int;
+  r_double_recoveries : int;
+  r_lost_commits : int;
+  r_asof_checks : int;
+  r_boundary_checks : int;
+  r_history_checks : int;
+  r_spot_checks : int;
+  r_time_splits : int;
+  r_checkpoints : int;
+  r_torn_rebuilt : int;
+}
+
+type failure = {
+  f_seed : int;
+  f_op : int;
+  f_commits : int;
+  f_msg : string;
+  f_trace : string list;
+}
+
+type outcome = Passed of report | Failed of failure
+
+(* The immediate predecessor of [ts] in the (ttime, sn) lattice: the
+   last instant at which a commit stamped [ts] must NOT yet be visible. *)
+let just_before ts =
+  let sn = Ts.sn ts in
+  if sn > 0 then Ts.make ~ttime:(Ts.ttime ts) ~sn:(sn - 1)
+  else Ts.make ~ttime:(Int64.sub (Ts.ttime ts) 1L) ~sn:0xFFFFFFFF
+
+let torture_schema =
+  Imdb_core.Schema.make
+    [
+      { Imdb_core.Schema.col_name = "k"; col_type = Imdb_core.Schema.T_string };
+      { Imdb_core.Schema.col_name = "v"; col_type = Imdb_core.Schema.T_string };
+    ]
+
+let short v = if String.length v > 16 then String.sub v 0 16 ^ "..." else v
+
+let run cfg =
+  let rng = Rng.create cfg.seed in
+  let clock = Clock.create_logical () in
+  let plan = Disk.never_fail () in
+  let disk = Disk.failing ~plan (Disk.in_memory ~page_size:cfg.page_size ()) in
+  let log_device = Wal.Device.in_memory () in
+  let metrics = Mx.create () in
+  let econfig =
+    {
+      E.default_config with
+      E.page_size = cfg.page_size;
+      pool_capacity = cfg.pool_capacity;
+      group_commit_window = cfg.group_commit_window;
+      auto_checkpoint_every = cfg.auto_checkpoint_every;
+      history_compression = cfg.history_compression;
+    }
+  in
+  let table_names = List.init cfg.tables (Printf.sprintf "t%d") in
+  let key_name k = Printf.sprintf "k%03d" k in
+  let reopen () = Db.open_devices ~metrics ~config:econfig ~clock ~disk ~log_device () in
+
+  (* ---- mutable run state -------------------------------------------- *)
+  let model = Model.create ~tables:table_names in
+  let db = ref (reopen ()) in
+  List.iter
+    (fun name -> Db.create_table !db ~name ~mode:Db.Immortal ~schema:torture_schema)
+    table_names;
+  Db.checkpoint !db;
+
+  let ops_done = ref 0 in
+  let commits = ref 0 in
+  let commit_seq = ref 0 in
+  let aborts = ref 0 in
+  let crashes = ref 0 in
+  let torn = ref 0 in
+  let recoveries = ref 0 in
+  let double_recoveries = ref 0 in
+  let lost_commits = ref 0 in
+  let asof_checks = ref 0 in
+  let boundary_checks = ref 0 in
+  let history_checks = ref 0 in
+  let spot_checks = ref 0 in
+  let kind_fired = List.map (fun k -> (k, ref 0)) all_crash_kinds in
+
+  (* commits whose durability we have not yet observed: (ts, txn, writes).
+     The writes are the transaction's actual writes (pre-sabotage), kept
+     so a crash can probe the recovered engine for the commit's fate. *)
+  let watch : (Ts.t * E.txn * Model.write list) list ref = ref [] in
+  (* the transaction a crash may interrupt, with the writes it applied *)
+  let inflight : (E.txn * Model.write list) option ref = ref None in
+
+  (* ---- trace ring --------------------------------------------------- *)
+  let trace_cap = 64 in
+  let trace = Array.make trace_cap "" in
+  let trace_n = ref 0 in
+  let act fmt =
+    Printf.ksprintf
+      (fun s ->
+        (match cfg.log with Some f -> f s | None -> ());
+        trace.(!trace_n mod trace_cap) <- s;
+        incr trace_n)
+      fmt
+  in
+  let trace_list () =
+    let n = !trace_n in
+    let start = max 0 (n - trace_cap) in
+    List.init (n - start) (fun i -> trace.((start + i) mod trace_cap))
+  in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Torture_failure s)) fmt in
+
+  (* ---- oracle plumbing ---------------------------------------------- *)
+  (* Record a commit in the model, applying any configured sabotage: the
+     self-test switch that makes the oracle deliberately wrong so a
+     passing detector can be shown to fail. *)
+  let record_commit ~ts writes =
+    incr commit_seq;
+    incr commits;
+    let ts, writes =
+      match cfg.sabotage with
+      | Some (Skew_stamp n) when n > 0 && !commit_seq mod n = 0 -> (just_before ts, writes)
+      | Some (Drop_write n) when n > 0 && !commit_seq mod n = 0 && writes <> [] ->
+          (ts, List.tl writes)
+      | _ -> (ts, writes)
+    in
+    Model.record model ~ts ~tag:!ops_done writes
+  in
+
+  let tick () = Clock.advance clock 20L in
+
+  let scan_now table =
+    let out = ref [] in
+    Db.exec !db (fun txn -> Db.scan !db txn ~table (fun k v -> out := (k, v) :: !out));
+    List.rev !out
+  in
+  let scan_at table ts =
+    let out = ref [] in
+    Db.exec !db (fun txn ->
+        Db.scan_as_of !db txn ~table ~ts (fun k v -> out := (k, v) :: !out));
+    List.rev !out
+  in
+  let get_at table key ts = Db.as_of !db ts (fun txn -> Db.get !db txn ~table ~key) in
+
+  let compare_states ~what ~table want got =
+    if want <> got then begin
+      let rec first a b =
+        match (a, b) with
+        | [], [] -> "?"
+        | (k, v) :: _, [] -> Printf.sprintf "engine missing %s=%s" k (short v)
+        | [], (k, v) :: _ -> Printf.sprintf "engine has extra %s=%s" k (short v)
+        | (k1, v1) :: ta, (k2, v2) :: tb ->
+            if k1 = k2 && v1 = v2 then first ta tb
+            else if k1 = k2 then Printf.sprintf "%s: model=%s engine=%s" k1 (short v1) (short v2)
+            else if k1 < k2 then Printf.sprintf "engine missing %s=%s" k1 (short v1)
+            else Printf.sprintf "engine has extra %s=%s" k2 (short v2)
+      in
+      fail "%s: table %s: model has %d rows, engine %d; first diff: %s" what table
+        (List.length want) (List.length got) (first want got)
+    end
+  in
+
+  (* Full verification: current state, the state as of EVERY commit
+     timestamp (subject to [verify_limit]), boundary states just below
+     commit timestamps, and every key's version history. *)
+  let verify_full ~label () =
+    List.iter
+      (fun table ->
+        compare_states ~what:(label ^ ": current state") ~table
+          (Model.current_state model ~table)
+          (scan_now table);
+        let n = Model.commit_count model in
+        if n > 0 then begin
+          let dense_from, stride =
+            if cfg.verify_limit <= 0 || n <= cfg.verify_limit then (0, 1)
+            else
+              (n - (cfg.verify_limit / 2), max 2 (n / max 1 (cfg.verify_limit / 2)))
+          in
+          let idx = ref (-1) in
+          let prev = ref [] in
+          Model.iter_states model ~table ~f:(fun ~ts ~tag ~state ->
+              incr idx;
+              if !idx >= dense_from || !idx mod stride = 0 then begin
+                compare_states
+                  ~what:
+                    (Printf.sprintf "%s: AS OF %s (commit #%d, op %d)" label (Ts.to_string ts)
+                       !idx tag)
+                  ~table state (scan_at table ts);
+                incr asof_checks;
+                (* just below the commit timestamp the commit must be
+                   invisible: catches stamps leaking backward in time *)
+                if !idx land 3 = 0 then begin
+                  compare_states
+                    ~what:
+                      (Printf.sprintf "%s: AS OF just below %s (commit #%d)" label
+                         (Ts.to_string ts) !idx)
+                    ~table !prev
+                    (scan_at table (just_before ts));
+                  incr boundary_checks
+                end
+              end;
+              prev := state)
+        end;
+        let want_h = Model.histories model ~table in
+        for k = 0 to cfg.keys_per_table - 1 do
+          let key = key_name k in
+          let want = Option.value (Hashtbl.find_opt want_h key) ~default:[] in
+          let got = Db.exec !db (fun txn -> Db.history !db txn ~table ~key) in
+          let equal =
+            List.length want = List.length got
+            && List.for_all2
+                 (fun (t1, v1) (t2, v2) -> Ts.compare t1 t2 = 0 && v1 = v2)
+                 want got
+          in
+          if not equal then
+            fail "%s: history of %s/%s: model has %d versions, engine %d" label table key
+              (List.length want) (List.length got);
+          incr history_checks
+        done)
+      table_names
+  in
+
+  (* ---- workload ----------------------------------------------------- *)
+  let gen_value () =
+    Printf.sprintf "v%d.%d|%s" !commit_seq !ops_done (String.make (Rng.int rng 64) 'x')
+  in
+
+  (* One transaction: 1..4 writes on distinct keys, chosen to be valid
+     against the oracle's current state (insert absent keys, update or
+     delete present ones), with read-your-writes checks inline.  About
+     one in twelve deliberately aborts. *)
+  let txn_step ?size ?(no_abort = false) () =
+    let budget = cfg.ops - !ops_done in
+    if budget > 0 then begin
+      let size =
+        match size with Some s -> min s budget | None -> min (1 + Rng.int rng 4) budget
+      in
+      tick ();
+      let txn = Db.begin_txn !db in
+      inflight := Some (txn, []);
+      let writes = ref [] in
+      let overlay : (string * string, string option) Hashtbl.t = Hashtbl.create 8 in
+      let donec = ref 0 in
+      let attempts = ref 0 in
+      while !donec < size && !attempts < size * 4 do
+        incr attempts;
+        let table = List.nth table_names (Rng.int rng cfg.tables) in
+        let key = key_name (Rng.int rng cfg.keys_per_table) in
+        if not (Hashtbl.mem overlay (table, key)) then begin
+          let live = Model.mem model ~table ~key in
+          let value = gen_value () in
+          let w =
+            if live then
+              match Rng.int rng 100 with
+              | d when d < 55 ->
+                  Db.update !db txn ~table ~key ~payload:value;
+                  { Model.w_table = table; w_key = key; w_value = Some value }
+              | d when d < 80 ->
+                  Db.delete !db txn ~table ~key;
+                  { Model.w_table = table; w_key = key; w_value = None }
+              | _ ->
+                  Db.upsert !db txn ~table ~key ~payload:value;
+                  { Model.w_table = table; w_key = key; w_value = Some value }
+            else if Rng.int rng 100 < 70 then begin
+              Db.insert !db txn ~table ~key ~payload:value;
+              { Model.w_table = table; w_key = key; w_value = Some value }
+            end
+            else begin
+              Db.upsert !db txn ~table ~key ~payload:value;
+              { Model.w_table = table; w_key = key; w_value = Some value }
+            end
+          in
+          Hashtbl.replace overlay (table, key) w.Model.w_value;
+          writes := w :: !writes;
+          inflight := Some (txn, List.rev !writes);
+          incr donec;
+          incr ops_done;
+          if Rng.int rng 3 = 0 then begin
+            (* read check: own writes shadow the committed state *)
+            let rk = key_name (Rng.int rng cfg.keys_per_table) in
+            let expect =
+              match Hashtbl.find_opt overlay (table, rk) with
+              | Some v -> v
+              | None -> Model.value_of model ~table ~key:rk
+            in
+            let got = Db.get !db txn ~table ~key:rk in
+            if got <> expect then
+              fail "op %d: read of %s/%s inside txn: model=%s engine=%s" !ops_done table rk
+                (Option.fold ~none:"-" ~some:short expect)
+                (Option.fold ~none:"-" ~some:short got)
+          end
+        end
+      done;
+      if !writes = [] then begin
+        Db.abort !db txn;
+        inflight := None
+      end
+      else if (not no_abort) && Rng.int rng 12 = 0 then begin
+        Db.abort !db txn;
+        incr aborts;
+        inflight := None;
+        act "op %d: abort (%d writes rolled back)" !ops_done (List.length !writes)
+      end
+      else begin
+        match Db.commit !db txn with
+        | Some ts ->
+            inflight := None;
+            record_commit ~ts (List.rev !writes);
+            watch :=
+              (ts, txn, List.rev !writes)
+              :: List.filter (fun (_, t, _) -> not t.E.tx_durable) !watch;
+            act "op %d: commit ts=%s (%d writes)" !ops_done (Ts.to_string ts)
+              (List.length !writes)
+        | None -> fail "op %d: commit of a writing transaction returned no timestamp" !ops_done
+      end
+    end
+  in
+
+  let spot_check () =
+    let n = Model.commit_count model in
+    if n > 0 then begin
+      let i = Rng.int rng n in
+      let c = List.nth (Model.commits model) i in
+      let table = List.nth table_names (Rng.int rng cfg.tables) in
+      compare_states
+        ~what:(Printf.sprintf "spot check AS OF %s (commit #%d)" (Ts.to_string c.Model.c_ts) i)
+        ~table
+        (Model.state_at model ~table c.Model.c_ts)
+        (scan_at table c.Model.c_ts);
+      incr spot_checks
+    end
+  in
+
+  (* ---- crashes ------------------------------------------------------ *)
+  let point_rng cp =
+    Rng.create ((cfg.seed * 1_000_003) lxor (cp.cp_commit * 7919) lxor kind_index cp.cp_kind)
+  in
+
+  let sched = ref (schedule_of cfg) in
+  let armed : (crash_point * int) option ref = ref None in
+  let meta_force = ref false in
+
+  (* The crash proper.  Durability semantics: an {e acknowledged} commit
+     MUST survive; an {e unacknowledged} one MAY — its log record can
+     reach the device before the group-commit ack that would have set
+     [tx_durable] (the flush race).  So the harness cannot decide the
+     fate of the unacknowledged tail a priori.  It crashes, recovers
+     (twice, for Crash_recovery), then probes the engine for each at-risk
+     commit oldest-first with an exact-timestamp AS OF point read; the
+     survivors must form a log prefix, and the oracle is truncated at the
+     first commit recovery actually lost.  Then everything is verified. *)
+  let do_crash cp =
+    incr crashes;
+    incr (List.assq cp.cp_kind kind_fired);
+    if cp.cp_torn then incr torn;
+    Disk.lift plan;
+    let inflight_entry =
+      match !inflight with
+      | Some (txn, writes) -> (
+          match txn.E.tx_commit_ts with Some ts -> Some (ts, txn, writes) | None -> None)
+      | None -> None
+    in
+    let entries =
+      !watch
+      @ (match inflight_entry with Some (ts, txn, ws) -> [ (ts, txn, ws) ] | None -> [])
+    in
+    let durable, casualties = List.partition (fun (_, t, _) -> t.E.tx_durable) entries in
+    let casualties =
+      List.sort (fun (a, _, _) (b, _, _) -> Ts.compare a b) casualties
+    in
+    (match casualties with
+    | [] -> ()
+    | (min_cas, _, _) :: _ ->
+        List.iter
+          (fun (dts, _, _) ->
+            if Ts.compare dts min_cas > 0 then
+              fail
+                "crash: acknowledged commit %s is newer than unacknowledged commit %s — \
+                 acknowledgments are not a log prefix"
+                (Ts.to_string dts) (Ts.to_string min_cas))
+          durable;
+        act "crash: %d unacknowledged commits in the balance (oldest %s)"
+          (List.length casualties) (Ts.to_string min_cas));
+    let adopt_inflight =
+      match inflight_entry with Some (ts, txn, _) -> Some (ts, txn.E.tx_durable) | None -> None
+    in
+    inflight := None;
+    watch := [];
+    (* pull the plug: volatile state evaporates, the devices persist *)
+    Wal.crash_volatile (Db.engine !db).E.wal;
+    Imdb_buffer.Buffer_pool.drop_all (Db.engine !db).E.pool;
+    let new_db =
+      if cp.cp_kind = Crash_recovery then begin
+        (* a short fuse: recovery's data-page traffic is only the scrub
+           rebuilds plus the final checkpoint sweep, so the armed failure
+           must land within its first few writes to hit recovery at all *)
+        let prng = point_rng cp in
+        Disk.arm plan ~tear:cp.cp_torn ~after:(Rng.int prng 3) ();
+        match reopen () with
+        | db2 ->
+            Disk.lift plan;
+            act "crash: recovery finished before its armed failure";
+            db2
+        | exception Disk.Io_failure _ ->
+            Disk.lift plan;
+            incr double_recoveries;
+            act "crash: recovery itself crashed; recovering again";
+            reopen ()
+      end
+      else reopen ()
+    in
+    db := new_db;
+    incr recoveries;
+    if Wal.pending_commits (Db.engine !db).E.wal <> 0 then
+      fail "crash: recovery left group-commit acknowledgments pending";
+    (* Settle the fate of the unacknowledged tail: probe each commit's
+       first write at its exact timestamp.  The write targets a key whose
+       prior state the oracle knows (values are unique per op), so
+       presence of the written value — or absence, for a delete of a key
+       live before the commit — proves the commit was recovered. *)
+    let survived_probe ts = function
+      | [] -> (false, "commit had no writes to probe")
+      | w :: _ ->
+          let got = get_at w.Model.w_table w.Model.w_key ts in
+          ( got = w.Model.w_value,
+            Printf.sprintf "probe %s/%s AS OF %s: want=%s got=%s" w.Model.w_table
+              w.Model.w_key (Ts.to_string ts)
+              (Option.fold ~none:"<absent>" ~some:short w.Model.w_value)
+              (Option.fold ~none:"<absent>" ~some:short got) )
+    in
+    let rec settle = function
+      | [] -> ()
+      | (ts, _txn, writes) :: rest ->
+          let survived, detail = survived_probe ts writes in
+          if survived then begin
+            (match adopt_inflight with
+            | Some (its, _) when Ts.equal its ts ->
+                (* the commit the crash interrupted: never recorded *)
+                record_commit ~ts writes;
+                act "crash: in-flight commit ts=%s survived the flush race; adopted"
+                  (Ts.to_string ts)
+            | _ ->
+                act "crash: unacknowledged commit ts=%s survived the flush race (%s)"
+                  (Ts.to_string ts) detail);
+            settle rest
+          end
+          else begin
+            (* first loss: everything newer must be gone too (log prefix) *)
+            let lost = Model.truncate_after model (just_before ts) in
+            lost_commits := !lost_commits + lost;
+            act "crash: %d commits lost (oldest %s, %d at-risk survived; %s)" lost
+              (Ts.to_string ts)
+              (List.length casualties - List.length rest - 1)
+              detail
+          end
+    in
+    (* A durable (acknowledged) in-flight commit implies an empty casualty
+       list: group commit acknowledges in log order, so everything older
+       was acknowledged first.  A non-durable one is simply the newest
+       casualty and is settled by the probe like any other. *)
+    (match (casualties, adopt_inflight) with
+    | [], Some (ts, true) -> (
+        match inflight_entry with
+        | Some (_, _, writes) ->
+            record_commit ~ts writes;
+            act "crash: in-flight commit ts=%s already acknowledged; adopted"
+              (Ts.to_string ts)
+        | None -> ())
+    | _ -> settle casualties);
+    act "crash #%d (%s%s): recovered; model has %d commits" !crashes
+      (crash_kind_name cp.cp_kind)
+      (if cp.cp_torn then ", torn page" else "")
+      (Model.commit_count model);
+    verify_full ~label:(Printf.sprintf "post-recovery #%d" !crashes) ()
+  in
+
+  let initiate cp =
+    match cp.cp_kind with
+    | Crash_wal_tail ->
+        (* build up a pending group-commit batch, then pull the plug *)
+        let tries = ref 0 in
+        while
+          Wal.pending_commits (Db.engine !db).E.wal = 0
+          && !tries < (2 * cfg.group_commit_window) + 2
+          && !ops_done < cfg.ops
+        do
+          incr tries;
+          txn_step ~size:1 ~no_abort:true ()
+        done;
+        act "crash point: wal-tail with %d commits pending"
+          (Wal.pending_commits (Db.engine !db).E.wal);
+        do_crash cp
+    | Crash_recovery -> do_crash cp
+    | Crash_data_write ->
+        let prng = point_rng cp in
+        Disk.arm plan ~tear:cp.cp_torn
+          ~target:(Disk.Writes_of_type [ Page.P_data ])
+          ~after:(Rng.int prng 25) ();
+        armed := Some (cp, !commits);
+        act "crash point armed: data-write%s" (if cp.cp_torn then " (torn)" else "")
+    | Crash_history_write ->
+        Disk.arm plan ~tear:cp.cp_torn
+          ~target:(Disk.Writes_of_type [ Page.P_history; Page.P_history_compressed ])
+          ~after:0 ();
+        armed := Some (cp, !commits);
+        act "crash point armed: history-write%s (mid-time-split)"
+          (if cp.cp_torn then " (torn)" else "")
+    | Crash_meta_write ->
+        Disk.arm plan ~tear:cp.cp_torn
+          ~target:(Disk.Writes_to_page Imdb_storage.Page.no_page)
+          ~after:0 ();
+        meta_force := true;
+        armed := Some (cp, !commits);
+        act "crash point armed: meta-write%s (mid-checkpoint)"
+          (if cp.cp_torn then " (torn)" else "")
+  in
+
+  let on_io_failure () =
+    match !armed with
+    | Some (cp, _) ->
+        armed := None;
+        meta_force := false;
+        do_crash cp
+    | None -> fail "unexpected injected I/O failure with no armed crash point"
+  in
+
+  (* ---- main loop ---------------------------------------------------- *)
+  let last_verified = ref 0 in
+  let passed () =
+    Passed
+      {
+        r_seed = cfg.seed;
+        r_ops = !ops_done;
+        r_commits = !commits;
+        r_aborts = !aborts;
+        r_crashes = !crashes;
+        r_crash_kinds = List.map (fun (k, c) -> (crash_kind_name k, !c)) kind_fired;
+        r_torn = !torn;
+        r_recoveries = !recoveries;
+        r_double_recoveries = !double_recoveries;
+        r_lost_commits = !lost_commits;
+        r_asof_checks = !asof_checks;
+        r_boundary_checks = !boundary_checks;
+        r_history_checks = !history_checks;
+        r_spot_checks = !spot_checks;
+        r_time_splits = Mx.get metrics Mx.time_splits;
+        r_checkpoints = Mx.get metrics Mx.checkpoints;
+        r_torn_rebuilt = Mx.get metrics Mx.recovery_torn_pages;
+      }
+  in
+  let failed msg =
+    Failed
+      {
+        f_seed = cfg.seed;
+        f_op = !ops_done;
+        f_commits = !commits;
+        f_msg = msg;
+        f_trace = trace_list ();
+      }
+  in
+  (try
+     while !ops_done < cfg.ops do
+       (match (!armed, !sched) with
+       | None, cp :: rest when !commits >= cp.cp_commit ->
+           sched := rest;
+           (try initiate cp with Disk.Io_failure _ -> on_io_failure ())
+       | _ -> ());
+       (match !armed with
+       | Some (cp, since) when !commits - since > 300 ->
+           (* the aimed-at write never happened; degrade to a plain crash *)
+           Disk.lift plan;
+           armed := None;
+           meta_force := false;
+           act "crash point (%s) did not fire within 300 commits; pulling the plug"
+             (crash_kind_name cp.cp_kind);
+           do_crash { cp with cp_kind = Crash_wal_tail; cp_torn = false }
+       | _ -> ());
+       if !meta_force then begin
+         (* a checkpoint writes the meta page; make the armed plan fire *)
+         meta_force := false;
+         tick ();
+         try Db.checkpoint !db with Disk.Io_failure _ -> on_io_failure ()
+       end;
+       (try
+          let dice = Rng.int rng 100 in
+          if dice < 2 then begin
+            tick ();
+            Db.checkpoint !db;
+            act "op %d: checkpoint" !ops_done
+          end
+          else if dice < 3 then begin
+            tick ();
+            match Db.vacuum !db with
+            | n -> act "op %d: vacuum removed %d PTT entries" !ops_done n
+            | exception Db.Vacuum_blocked _ -> ()
+          end
+          else if dice < 9 then spot_check ()
+          else txn_step ()
+        with Disk.Io_failure _ -> on_io_failure ());
+       if
+         cfg.verify_every > 0
+         && !commits - !last_verified >= cfg.verify_every
+         && !armed = None
+       then begin
+         last_verified := !commits;
+         verify_full ~label:(Printf.sprintf "periodic @%d commits" !commits) ()
+       end
+     done;
+     Disk.lift plan;
+     verify_full ~label:"final" ();
+     passed ()
+   with
+  | Torture_failure msg -> failed msg
+  | Disk.Io_failure m -> failed ("unhandled injected I/O failure: " ^ m)
+  | e -> failed (Printf.sprintf "unexpected exception: %s" (Printexc.to_string e)))
+
+let minimize cfg failure =
+  let failing c = match run c with Failed f -> Some f | Passed _ -> None in
+  (* 1. truncate the op budget to just past the failing op *)
+  let cfg, failure =
+    let c = { cfg with ops = min cfg.ops (failure.f_op + 8) } in
+    if c.ops < cfg.ops then
+      match failing c with Some f -> (c, f) | None -> (cfg, failure)
+    else (cfg, failure)
+  in
+  (* 2. greedily drop crash points, newest first *)
+  let sched = ref (schedule_of cfg) in
+  let cfg = ref { cfg with schedule = Some !sched } in
+  let failure = ref failure in
+  let i = ref (List.length !sched - 1) in
+  while !i >= 0 do
+    let candidate = List.filteri (fun j _ -> j <> !i) !sched in
+    let c = { !cfg with schedule = Some candidate } in
+    (match failing c with
+    | Some f ->
+        sched := candidate;
+        cfg := c;
+        failure := f
+    | None -> ());
+    decr i
+  done;
+  (!cfg, !failure)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>torture PASS: seed=%d@,\
+     ops=%d commits=%d aborts=%d lost-commits=%d@,\
+     crashes=%d (%s) torn=%d recoveries=%d double=%d@,\
+     checks: as-of=%d boundary=%d history=%d spot=%d@,\
+     engine: time-splits=%d checkpoints=%d torn-pages-rebuilt=%d@]" r.r_seed r.r_ops
+    r.r_commits r.r_aborts r.r_lost_commits r.r_crashes
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) r.r_crash_kinds))
+    r.r_torn r.r_recoveries r.r_double_recoveries r.r_asof_checks r.r_boundary_checks
+    r.r_history_checks r.r_spot_checks r.r_time_splits r.r_checkpoints r.r_torn_rebuilt
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>torture FAIL: seed=%d (replay: torture --replay --seed %d)@,\
+     at op %d:@,%s@,recent actions:@,%a@]" f.f_seed f.f_seed f.f_op f.f_msg
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "  %s" s))
+    f.f_trace
+
+let describe_config cfg =
+  let sched = schedule_of cfg in
+  Printf.sprintf
+    "seed=%d ops=%d crashes=%d tables=%dx%d page=%dB pool=%d window=%d ckpt-every=%d \
+     compression=%b verify-every=%d verify-limit=%d schedule=[%s]"
+    cfg.seed cfg.ops cfg.crashes cfg.tables cfg.keys_per_table cfg.page_size
+    cfg.pool_capacity cfg.group_commit_window cfg.auto_checkpoint_every
+    cfg.history_compression cfg.verify_every cfg.verify_limit
+    (String.concat "; "
+       (List.map
+          (fun cp ->
+            Printf.sprintf "@%d %s%s" cp.cp_commit (crash_kind_name cp.cp_kind)
+              (if cp.cp_torn then "+torn" else ""))
+          sched))

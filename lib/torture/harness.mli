@@ -1,0 +1,120 @@
+(** Adversarial crash/workload torture harness.
+
+    A deterministic, seed-driven loop drives long randomized histories of
+    INSERT/UPDATE/DELETE transactions (with aborts, AS OF reads,
+    checkpoints and vacuums mixed in) against a real engine over a
+    failure-injecting in-memory disk, crashes it at targeted points —
+    mid-group-commit, mid-time-split, mid-checkpoint, during recovery
+    itself, with or without a torn page on the failing write — recovers,
+    and verifies {e every} past AS OF time, every record history and the
+    current state against the linearized {!Model} oracle.
+
+    Determinism contract: a [config] fully determines the run.  The
+    workload PRNG, the crash schedule and the logical clock all derive
+    from [seed], so a failure reproduces from the printed seed alone. *)
+
+module Ts := Imdb_clock.Timestamp
+
+(** Where a scheduled crash aims. *)
+type crash_kind =
+  | Crash_wal_tail
+      (** power loss with an open group-commit batch: no injected I/O
+          error, just dropped volatile state while commits are pending *)
+  | Crash_data_write  (** a data-page write fails after a short countdown *)
+  | Crash_history_write
+      (** the next history-page write fails: mid-time-split, exactly when
+          the split persists the historical page *)
+  | Crash_meta_write  (** the next meta-page write fails: mid-checkpoint *)
+  | Crash_recovery
+      (** crash, then fail one of recovery's own writes, then recover
+          again: redo/undo idempotence across a double crash *)
+
+val crash_kind_name : crash_kind -> string
+val all_crash_kinds : crash_kind list
+
+type crash_point = {
+  cp_commit : int;  (** arm once this many transactions have committed *)
+  cp_kind : crash_kind;
+  cp_torn : bool;  (** tear the page on the failing write *)
+}
+
+(** Deliberate oracle/engine disagreement, for detector self-tests: a
+    sabotaged run MUST fail.  [Skew_stamp n] records every n-th commit in
+    the oracle one timestamp early — what an engine stamping bug looks
+    like from the oracle's side; [Drop_write n] omits every n-th commit's
+    first write — a lost update. *)
+type sabotage = Skew_stamp of int | Drop_write of int
+
+type config = {
+  seed : int;
+  ops : int;  (** write-operation budget (a transaction carries 1–4) *)
+  crashes : int;  (** scheduled crash points *)
+  tables : int;
+  keys_per_table : int;
+  page_size : int;
+  pool_capacity : int;
+  group_commit_window : int;
+  auto_checkpoint_every : int;
+  history_compression : bool;
+  verify_every : int;
+      (** full oracle verification every n commits even without a crash
+          (0 = only after recoveries and at the end) *)
+  verify_limit : int;
+      (** cap on AS OF times checked per table per verification, newest
+          checked densely, older ones by stride (0 = every one) *)
+  sabotage : sabotage option;
+  schedule : crash_point list option;  (** [None]: derived from [seed] *)
+  log : (string -> unit) option;  (** replay mode: every action printed *)
+}
+
+val default : config
+(** The capped profile: 10_000 ops, 60 crashes, 2 tables × 48 keys,
+    1 KiB pages, group-commit window 4, full verification. *)
+
+val schedule_of : config -> crash_point list
+(** The crash schedule a run will use (derived from the seed unless
+    overridden) — what the minimizer shrinks. *)
+
+type report = {
+  r_seed : int;
+  r_ops : int;  (** write ops executed *)
+  r_commits : int;
+  r_aborts : int;
+  r_crashes : int;  (** crash points that actually fired *)
+  r_crash_kinds : (string * int) list;  (** fired count per kind name *)
+  r_torn : int;  (** crashes that tore the failing write *)
+  r_recoveries : int;
+  r_double_recoveries : int;  (** recoveries that crashed and re-ran *)
+  r_lost_commits : int;  (** unacknowledged commits erased by crashes *)
+  r_asof_checks : int;  (** full-state AS OF comparisons *)
+  r_boundary_checks : int;  (** comparisons just below a commit timestamp *)
+  r_history_checks : int;  (** per-key history comparisons *)
+  r_spot_checks : int;  (** inline mid-run AS OF spot checks *)
+  r_time_splits : int;
+  r_checkpoints : int;
+  r_torn_rebuilt : int;  (** pages recovery rebuilt after checksum failure *)
+}
+
+type failure = {
+  f_seed : int;
+  f_op : int;  (** write-op counter at failure *)
+  f_commits : int;
+  f_msg : string;
+  f_trace : string list;  (** most recent actions, oldest first *)
+}
+
+type outcome = Passed of report | Failed of failure
+
+val run : config -> outcome
+
+val minimize : config -> failure -> config * failure
+(** Shrink a failing run: truncate the op budget to the failing op, then
+    greedily drop crash points while the failure persists.  Returns the
+    smallest still-failing config and its failure (deterministic; every
+    candidate is a full re-run). *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+val describe_config : config -> string
+(** One line: seed / ops / crashes / schedule summary, for artifacts. *)

@@ -1,0 +1,136 @@
+(* The linearized oracle: committed history as data.
+
+   Commits live in a growable array ordered by timestamp (the harness is
+   single-session, so commit order is serialization order).  A crash that
+   loses the unacknowledged group-commit tail is [truncate_after]: the
+   surviving history is always a prefix.  The per-table current state is
+   maintained incrementally for the generator's benefit and rebuilt by
+   replay after a truncation (truncations are rare — one per crash). *)
+
+module Ts = Imdb_clock.Timestamp
+
+type write = { w_table : string; w_key : string; w_value : string option }
+type commit = { c_ts : Ts.t; c_writes : write list; c_tag : int }
+
+type t = {
+  table_names : string list;
+  mutable arr : commit array;
+  mutable len : int;
+  current : (string, (string, string) Hashtbl.t) Hashtbl.t;
+      (* table -> live key -> latest value *)
+}
+
+let create ~tables =
+  let current = Hashtbl.create 4 in
+  List.iter (fun name -> Hashtbl.replace current name (Hashtbl.create 64)) tables;
+  { table_names = tables; arr = Array.make 1024 { c_ts = Ts.zero; c_writes = []; c_tag = 0 };
+    len = 0; current }
+
+let tables t = t.table_names
+
+let table_state t name =
+  match Hashtbl.find_opt t.current name with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Torture model: unknown table %s" name)
+
+let apply_write t w =
+  let h = table_state t w.w_table in
+  match w.w_value with
+  | Some v -> Hashtbl.replace h w.w_key v
+  | None -> Hashtbl.remove h w.w_key
+
+let record t ~ts ~tag writes =
+  if t.len > 0 && Ts.compare ts t.arr.(t.len - 1).c_ts <= 0 then
+    invalid_arg
+      (Printf.sprintf "Torture model: commit timestamp %s does not advance past %s"
+         (Ts.to_string ts)
+         (Ts.to_string t.arr.(t.len - 1).c_ts));
+  if t.len = Array.length t.arr then begin
+    let bigger = Array.make (2 * t.len) t.arr.(0) in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end;
+  t.arr.(t.len) <- { c_ts = ts; c_writes = writes; c_tag = tag };
+  t.len <- t.len + 1;
+  List.iter (apply_write t) writes
+
+let commit_count t = t.len
+let commits t = Array.to_list (Array.sub t.arr 0 t.len)
+let last_ts t = if t.len = 0 then None else Some t.arr.(t.len - 1).c_ts
+
+let rebuild_current t =
+  List.iter (fun name -> Hashtbl.reset (table_state t name)) t.table_names;
+  for i = 0 to t.len - 1 do
+    List.iter (apply_write t) t.arr.(i).c_writes
+  done
+
+let truncate_after t ts =
+  let keep = ref t.len in
+  (* commits are ts-ordered: find the first index past [ts] *)
+  (try
+     for i = 0 to t.len - 1 do
+       if Ts.compare t.arr.(i).c_ts ts > 0 then begin
+         keep := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let lost = t.len - !keep in
+  if lost > 0 then begin
+    t.len <- !keep;
+    rebuild_current t
+  end;
+  lost
+
+let sorted_bindings h =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let current_state t ~table = sorted_bindings (table_state t table)
+let mem t ~table ~key = Hashtbl.mem (table_state t table) key
+let value_of t ~table ~key = Hashtbl.find_opt (table_state t table) key
+
+let iter_states t ~table ~f =
+  let state = Hashtbl.create 64 in
+  for i = 0 to t.len - 1 do
+    let c = t.arr.(i) in
+    List.iter
+      (fun w ->
+        if w.w_table = table then
+          match w.w_value with
+          | Some v -> Hashtbl.replace state w.w_key v
+          | None -> Hashtbl.remove state w.w_key)
+      c.c_writes;
+    f ~ts:c.c_ts ~tag:c.c_tag ~state:(sorted_bindings state)
+  done
+
+let state_at t ~table ts =
+  let state = Hashtbl.create 64 in
+  (try
+     for i = 0 to t.len - 1 do
+       let c = t.arr.(i) in
+       if Ts.compare c.c_ts ts > 0 then raise Exit;
+       List.iter
+         (fun w ->
+           if w.w_table = table then
+             match w.w_value with
+             | Some v -> Hashtbl.replace state w.w_key v
+             | None -> Hashtbl.remove state w.w_key)
+         c.c_writes
+     done
+   with Exit -> ());
+  sorted_bindings state
+
+let histories t ~table =
+  let out : (string, (Ts.t * string option) list) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to t.len - 1 do
+    let c = t.arr.(i) in
+    List.iter
+      (fun w ->
+        if w.w_table = table then
+          let prev = Option.value (Hashtbl.find_opt out w.w_key) ~default:[] in
+          (* prepend: histories come out newest first, like [Db.history] *)
+          Hashtbl.replace out w.w_key ((c.c_ts, w.w_value) :: prev))
+      c.c_writes
+  done;
+  out

@@ -148,19 +148,6 @@ let find_range t ~low ~high ~ts =
 (* Insertion with node splitting                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* The child of an internal node that should receive [rect]: the entry
-   whose rectangle contains the rect's reference point (t_low, key_low).
-   Because data rectangles never straddle index boundaries in the time
-   dimension at their low edge, and key-straddling entries are posted
-   redundantly, the reference-point rule is sufficient. *)
-let route_slot page rect =
-  let best = ref None in
-  P.iter_live page (fun slot ->
-      if !best = None then
-        let e = decode_entry (P.read_cell page slot) in
-        if rect_contains e.rect ~key:rect.key_low ~ts:rect.t_low then best := Some (slot, e));
-  !best
-
 (* Split an overfull index node.
 
    Leaf index nodes hold entries for *historical data pages*, which are
@@ -281,44 +268,50 @@ let split_node t fr ~node_rect =
 let everything =
   { key_low = ""; key_high = None; t_low = Ts.zero; t_high = Ts.infinity }
 
-(* Insert an entry for historical page [child] covering [rect]. *)
+(* Insert an entry for historical page [child] covering [rect].
+
+   A data rectangle can straddle index-node time boundaries: a data page
+   that goes a long stretch without time-splitting keeps an old
+   split_time, so the history rect it eventually produces spans any index
+   split line chosen in between.  Routing such a rect into the single
+   subtree containing its reference point would leave it unreachable for
+   queries on the other side of the line.  Insertion therefore posts the
+   entry redundantly into {e every} leaf whose region intersects the
+   rectangle — the same redundancy [split_node] applies to straddling
+   entries at split time.  Historical pages are immutable, so redundant
+   copies are safe; [find] and [find_range] reach the same child through
+   any copy. *)
 let insert t ~rect ~child =
   let entry = { rect; child } in
   let cell = encode_entry entry in
-  (* Path of (page_id, node_rect) from root down to the leaf node. *)
-  let rec descend page_id node_rect path =
+  let intersects r =
+    rect_key_overlaps r ~low:rect.key_low ~high:rect.key_high
+    && rect_time_overlaps r ~t0:rect.t_low ~t1:rect.t_high
+  in
+  (* The next leaf whose region intersects [rect] and does not yet hold
+     the entry, with its (page_id, node_rect) path from the root.
+     Recomputed from the root after every insert and every split, so a
+     split that reshapes the tree — or cuts the rect's footprint across a
+     fresh boundary — is picked up on the next pass, and a restart never
+     double-posts into a leaf already covered. *)
+  let rec pending page_id node_rect path =
     Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
         let page = Imdb_buffer.Buffer_pool.bytes fr in
-        if is_leaf page then (page_id, node_rect, path)
+        let es = node_entries page in
+        if is_leaf page then
+          if List.mem entry es then None else Some (page_id, node_rect, path)
         else
-          match route_slot page rect with
-          | Some (_, e) -> descend e.child e.rect ((page_id, node_rect) :: path)
-          | None ->
-              failwith
-                (Fmt.str "Tsb: no route for %a in node %d" pp_rect rect page_id))
+          List.fold_left
+            (fun acc e ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if intersects e.rect then
+                    pending e.child e.rect ((page_id, node_rect) :: path)
+                  else None)
+            None es)
   in
-  let rec insert_at budget page_id node_rect path =
-    if budget = 0 then failwith "Tsb.insert: no room after repeated splits";
-    let need_split =
-      Imdb_buffer.Buffer_pool.with_page t.pool page_id (fun fr ->
-          let page = Imdb_buffer.Buffer_pool.bytes fr in
-          if P.fits page (Bytes.length cell) then begin
-            let slot = P.choose_insert_slot page in
-            t.io.exec fr (Imdb_wal.Log_record.Op_insert { slot; body = cell });
-            None
-          end
-          else Some (split_node t fr ~node_rect))
-    in
-    match need_split with
-    | None -> ()
-    | Some (left_rect, right_rect, right_id) ->
-        let (_ : int) = post_to_parent path ~page_id ~left_rect ~right_rect ~right_id in
-        (* Re-descend from the root: the split may have restructured the
-           path (in particular a root split moves the old root's contents
-           into a fresh child). *)
-        let leaf_id, leaf_rect, path' = descend t.root everything [] in
-        insert_at (budget - 1) leaf_id leaf_rect path'
-  and post_to_parent path ~page_id ~left_rect ~right_rect ~right_id =
+  let rec post_to_parent path ~page_id ~left_rect ~right_rect ~right_id =
     (* Record that [page_id] now covers [left_rect] and the fresh
        [right_id] covers [right_rect].  Returns the node that physically
        holds what used to be [page_id]'s contents: [page_id] itself
@@ -403,8 +396,30 @@ let insert t ~rect ~child =
                 t.io.exec root_fr (Imdb_wal.Log_record.Op_image { image = root_img });
                 left_id))
   in
-  let leaf_id, leaf_rect, path = descend t.root everything [] in
-  insert_at 8 leaf_id leaf_rect path
+  let rec loop splits =
+    if splits > 16 then failwith "Tsb.insert: no room after repeated splits";
+    match pending t.root everything [] with
+    | None -> ()
+    | Some (leaf_id, leaf_rect, path) -> (
+        let need_split =
+          Imdb_buffer.Buffer_pool.with_page t.pool leaf_id (fun fr ->
+              let page = Imdb_buffer.Buffer_pool.bytes fr in
+              if P.fits page (Bytes.length cell) then begin
+                let slot = P.choose_insert_slot page in
+                t.io.exec fr (Imdb_wal.Log_record.Op_insert { slot; body = cell });
+                None
+              end
+              else Some (split_node t fr ~node_rect:leaf_rect))
+        in
+        match need_split with
+        | None -> loop splits
+        | Some (left_rect, right_rect, right_id) ->
+            let (_ : int) =
+              post_to_parent path ~page_id:leaf_id ~left_rect ~right_rect ~right_id
+            in
+            loop (splits + 1))
+  in
+  loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Integrity & stats                                                   *)

@@ -20,6 +20,8 @@ type t = {
   vtt : Vtt.t;
   mutable ptt : Ptt.t option; (* None until the engine wires storage up *)
   mutable end_of_log : unit -> int64; (* for lsn_at_zero bookkeeping *)
+  mutable flushed_lsn : unit -> int64; (* durable log horizon (flush-time gate) *)
+  mutable force_log : unit -> unit; (* flush the log tail (stamping gate) *)
   mutable unknown_tids : int; (* integrity counter: should stay 0 *)
   mutable metrics : Imdb_obs.Metrics.t;
   mutable tracer : Imdb_obs.Tracer.t;
@@ -27,6 +29,7 @@ type t = {
 
 let create ?(metrics = Imdb_obs.Metrics.null) () =
   { vtt = Vtt.create ~metrics (); ptt = None; end_of_log = (fun () -> 0L);
+    flushed_lsn = (fun () -> 0L); force_log = (fun () -> ());
     unknown_tids = 0; metrics; tracer = Imdb_obs.Tracer.null }
 
 let set_metrics t m =
@@ -37,6 +40,8 @@ let set_tracer t tr = t.tracer <- tr
 
 let set_ptt t ptt = t.ptt <- Some ptt
 let set_end_of_log t f = t.end_of_log <- f
+let set_flushed_lsn t f = t.flushed_lsn <- f
+let set_force_log t f = t.force_log <- f
 let vtt t = t.vtt
 let ptt_exn t =
   match t.ptt with Some p -> p | None -> invalid_arg "Lazy_stamper: PTT not attached"
@@ -64,10 +69,61 @@ let resolve t tid : Imdb_version.Vpage.resolution =
               t.unknown_tids <- t.unknown_tids + 1;
               Imdb_version.Vpage.Unknown))
 
-(* VTT-only resolution for the buffer pool's pre-flush hook. *)
+(* Resolution for normal-access stamping ([stamp_page] / the per-record
+   trigger).  Identical to [resolve] except that a commit whose commit
+   record is still in the volatile log tail first forces the log.  A
+   stamp is unlogged and does not advance the page LSN, so
+   WAL-before-data alone would not push the commit record out before the
+   stamped image could reach disk; a crash then loses the commit, the
+   transaction becomes a loser, and recovery's guarded undo (which
+   matches the *unstamped* TID) would skip the stamped version — a
+   phantom committed version.  Forcing the log first restores the
+   invariant that any stamp that can reach disk names a durably
+   committed transaction.  The force is rare: it fires only when an
+   access stamps a commit younger than the last flush (e.g. inside an
+   open group-commit window).  The PTT fallback needs no gate — a PTT
+   entry consulted here is covered by a durable commit record (losers'
+   entries are removed during recovery, before any access-path
+   stamping). *)
+let resolve_for_stamping t tid : Imdb_version.Vpage.resolution =
+  match Vtt.resolve t.vtt tid with
+  | Some (`Committed ts) ->
+      if not (Vtt.commit_durable t.vtt tid ~flushed_lsn:(t.flushed_lsn ()))
+      then t.force_log ();
+      Imdb_version.Vpage.Committed ts
+  | Some `Active | Some `Aborted -> Imdb_version.Vpage.Active
+  | None -> (
+      match t.ptt with
+      | None ->
+          t.unknown_tids <- t.unknown_tids + 1;
+          Imdb_version.Vpage.Unknown
+      | Some ptt -> (
+          match Ptt.lookup ptt tid with
+          | Some ts ->
+              Vtt.cache_from_ptt t.vtt tid ts;
+              Imdb_version.Vpage.Committed ts
+          | None ->
+              t.unknown_tids <- t.unknown_tids + 1;
+              Imdb_version.Vpage.Unknown))
+
+(* VTT-only resolution for the buffer pool's pre-flush hook.
+
+   Beyond skipping VTT misses, this also skips commits whose commit
+   record is not yet durable.  A stamp is unlogged and does not advance
+   the page LSN, so WAL-before-data would not force the commit record
+   out before the stamped page image hits disk; were the page written
+   stamped and the tail then lost in a crash, the transaction would be a
+   loser yet its version would carry a committed timestamp — recovery's
+   guarded undo (which looks for the unstamped TID) would skip it,
+   leaving a phantom committed version.  Deferring the stamp is always
+   safe: a later access or a later flush (once the commit record is
+   durable) completes it. *)
 let resolve_volatile_only t tid : Imdb_version.Vpage.resolution =
   match Vtt.resolve t.vtt tid with
-  | Some (`Committed ts) -> Imdb_version.Vpage.Committed ts
+  | Some (`Committed ts)
+    when Vtt.commit_durable t.vtt tid ~flushed_lsn:(t.flushed_lsn ()) ->
+      Imdb_version.Vpage.Committed ts
+  | Some (`Committed _) -> Imdb_version.Vpage.Active (* commit not durable yet *)
   | Some `Active | Some `Aborted -> Imdb_version.Vpage.Active
   | None -> Imdb_version.Vpage.Active (* safe: stamp later, via the PTT *)
 
@@ -78,8 +134,8 @@ let on_stamp t tid =
 (* Stamp every committed version in [page].  Returns the number stamped;
    the caller marks the page dirty (unlogged) when non-zero. *)
 let stamp_page t page =
-  Imdb_version.Vpage.stamp_committed ~metrics:t.metrics page ~resolve:(resolve t)
-    ~on_stamp:(on_stamp t)
+  Imdb_version.Vpage.stamp_committed ~metrics:t.metrics page
+    ~resolve:(resolve_for_stamping t) ~on_stamp:(on_stamp t)
 
 (* The pre-flush variant: volatile resolution only. *)
 let stamp_page_volatile t page =

@@ -20,13 +20,33 @@ val set_tracer : t -> Imdb_obs.Tracer.t -> unit
 
 val set_ptt : t -> Ptt.t -> unit
 val set_end_of_log : t -> (unit -> int64) -> unit
+
+val set_flushed_lsn : t -> (unit -> int64) -> unit
+(** Durable log horizon.  Flush-time stamping only stamps commits whose
+    commit record is at or below it: stamps are unlogged and do not move
+    the page LSN, so stamping a not-yet-durable commit would let a crash
+    lose the commit record while the stamped page survives — a phantom
+    committed version that guarded undo cannot remove. *)
+
+val set_force_log : t -> (unit -> unit) -> unit
+(** Flush the log tail.  Normal-access stamping calls this before
+    stamping a commit above the durable horizon (see
+    {!resolve_for_stamping}); the engine wires it to [Wal.flush]. *)
+
 val vtt : t -> Vtt.t
 
 val resolve : t -> Imdb_clock.Tid.t -> Imdb_version.Vpage.resolution
 (** VTT, then PTT (caching the hit in the VTT with undefined refcount). *)
 
 val resolve_volatile_only : t -> Imdb_clock.Tid.t -> Imdb_version.Vpage.resolution
-(** VTT only — for the pre-flush hook. *)
+(** VTT only, durably-committed only — for the pre-flush hook. *)
+
+val resolve_for_stamping : t -> Imdb_clock.Tid.t -> Imdb_version.Vpage.resolution
+(** Like {!resolve}, but forces the log before answering [Committed] for
+    a commit whose commit record is not yet durable — the access-path
+    stamping gate.  Stamping an unforced commit would let a crash keep
+    the stamped page while losing the commit record, leaving a phantom
+    committed version that recovery's guarded undo cannot remove. *)
 
 val on_stamp : t -> Imdb_clock.Tid.t -> unit
 (** Reference-count bookkeeping for each version stamped. *)

@@ -34,6 +34,7 @@ type entry = {
   mutable status : status;
   mutable refcount : int;
   mutable lsn_at_zero : int64;
+  mutable commit_end : int64; (* end-of-log when the commit record was written *)
   mutable persistent : bool; (* has a PTT entry (immortal-table txn) *)
 }
 
@@ -49,7 +50,8 @@ let begin_txn t tid =
   if Tid.Table.mem t.entries tid then
     invalid_arg (Printf.sprintf "Vtt.begin_txn: duplicate %s" (Tid.to_string tid));
   Tid.Table.replace t.entries tid
-    { tid; status = Active; refcount = 0; lsn_at_zero = no_lsn; persistent = false }
+    { tid; status = Active; refcount = 0; lsn_at_zero = no_lsn;
+      commit_end = no_lsn; persistent = false }
 
 (* Stage II: one more version carries this TID. *)
 let incr_ref t tid =
@@ -70,6 +72,7 @@ let commit t tid ~ts ~persistent ~end_of_log =
   | Some e ->
       e.status <- Committed ts;
       e.persistent <- persistent;
+      e.commit_end <- end_of_log;
       if e.refcount = 0 then e.lsn_at_zero <- end_of_log
   | None -> invalid_arg (Printf.sprintf "Vtt.commit: unknown %s" (Tid.to_string tid))
 
@@ -93,9 +96,12 @@ let note_stamped t tid ~end_of_log =
    never fires from it ("we set the RefCount for the entry to undefined so
    that we don't garbage collect its PTT entry"). *)
 let cache_from_ptt t tid ts =
+  (* A PTT entry is only consulted after its VTT entry was GC'd, which
+     requires the commit to be durably past the redo-scan start point —
+     so a cached mapping is trivially durable ([commit_end = 0]). *)
   Tid.Table.replace t.entries tid
     { tid; status = Committed ts; refcount = undefined; lsn_at_zero = no_lsn;
-      persistent = true }
+      commit_end = 0L; persistent = true }
 
 let resolve t tid =
   match find t tid with
@@ -105,6 +111,17 @@ let resolve t tid =
   | Some { status = Active; _ } -> Some `Active
   | Some { status = Aborted; _ } -> Some `Aborted
   | None -> None
+
+(* Is [tid]'s commit record durable, given the log is flushed through
+   [flushed_lsn]?  An on-disk stamp asserts the commit survives any
+   crash, so unlogged flush-time stamping must never outrun the commit
+   record: a stamp does not move the page LSN, hence WAL-before-data
+   alone will not force the commit record out before the stamped page. *)
+let commit_durable t tid ~flushed_lsn =
+  match find t tid with
+  | Some { status = Committed _; commit_end; _ } ->
+      commit_end <> no_lsn && Int64.compare commit_end flushed_lsn <= 0
+  | _ -> false
 
 (* Transactions whose PTT entry is now garbage: refcount drained and the
    stamping provably on disk (redo-scan start point beyond lsn_at_zero). *)

@@ -15,6 +15,7 @@ type entry = {
   mutable status : status;
   mutable refcount : int;  (** [undefined] for entries faulted from the PTT *)
   mutable lsn_at_zero : int64;  (** end-of-log when refcount drained *)
+  mutable commit_end : int64;  (** end-of-log when the commit record was written *)
   mutable persistent : bool;  (** has a PTT entry (wrote an immortal table) *)
 }
 
@@ -55,6 +56,13 @@ val resolve :
   t ->
   Imdb_clock.Tid.t ->
   [ `Committed of Imdb_clock.Timestamp.t | `Active | `Aborted ] option
+
+val commit_durable : t -> Imdb_clock.Tid.t -> flushed_lsn:int64 -> bool
+(** Is [tid]'s commit record durable given the log is flushed through
+    [flushed_lsn]?  Flush-time stamping must not outrun the commit
+    record: stamps are unlogged and do not move the page LSN, so
+    WAL-before-data alone would let a stamped page reach disk carrying a
+    commit timestamp that a crash then loses. *)
 
 val gc_candidates : t -> redo_scan_start:int64 -> (Imdb_clock.Tid.t * bool) list
 (** Transactions whose PTT entry is now garbage: refcount drained and

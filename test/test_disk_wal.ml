@@ -67,16 +67,100 @@ let test_failure_injection () =
   | exception Disk.Io_failure _ -> ()
   | () -> Alcotest.fail "expected injected failure");
   Alcotest.(check bool) "failed write not persisted" false (d.Disk.page_exists 2);
-  (* torn write: first half reaches the platter *)
+  (* torn write: only the first half reaches the platter *)
   let plan2 = Disk.never_fail () in
   plan2.Disk.writes_until_failure <- 0;
   plan2.Disk.tear_on_failure <- true;
   let d2 = Disk.failing ~plan:plan2 (Disk.in_memory ~page_size:512 ()) in
+  Bytes.set p 400 'z' (* marker in the half that must be lost *);
   (match d2.Disk.write_page 0 p with
   | exception Disk.Io_failure _ -> ()
   | () -> Alcotest.fail "expected torn-write failure");
   Alcotest.(check bool) "torn page exists" true (d2.Disk.page_exists 0);
   Alcotest.(check bool) "torn page differs" false (Bytes.equal p (d2.Disk.read_page 0))
+
+(* --- targeted failure triggers (torture-harness crash points) -------------- *)
+
+let typed_page ty ~page_id ~page_size =
+  let b = Bytes.make page_size '\000' in
+  P.format b ~page_id ~page_type:ty ();
+  P.seal b;
+  b
+
+(* The countdown only counts writes matching the armed target, so a crash
+   can be aimed at "the Nth history-page write" without counting
+   unrelated traffic. *)
+let test_trigger_writes_of_type () =
+  let plan = Disk.never_fail () in
+  let d = Disk.failing ~plan (Disk.in_memory ~page_size:512 ()) in
+  let data n = typed_page P.P_data ~page_id:n ~page_size:512 in
+  let hist n = typed_page P.P_history ~page_id:n ~page_size:512 in
+  Disk.arm plan ~target:(Disk.Writes_of_type [ P.P_history ]) ~after:1 ();
+  d.Disk.write_page 1 (data 1);
+  d.Disk.write_page 2 (data 2);
+  (* untyped raw bytes never match a typed target *)
+  d.Disk.write_page 3 (page_of_string "raw" ~page_size:512);
+  d.Disk.write_page 4 (hist 4);
+  (* first history write consumed the countdown but did not fire *)
+  d.Disk.write_page 5 (data 5);
+  (match d.Disk.write_page 6 (hist 6) with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "second history write should fail");
+  Alcotest.(check int) "fired once" 1 plan.Disk.fired;
+  (* once fired the device is dead for every write, typed or not... *)
+  (match d.Disk.write_page 7 (data 7) with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "dead device must reject unrelated writes");
+  (* ...until the plan is lifted *)
+  Disk.lift plan;
+  d.Disk.write_page 7 (data 7);
+  Alcotest.(check bool) "write succeeds after lift" true (d.Disk.page_exists 7);
+  Alcotest.(check int) "fired count preserved across lift" 1 plan.Disk.fired
+
+let test_trigger_writes_to_page () =
+  let plan = Disk.never_fail () in
+  let d = Disk.failing ~plan (Disk.in_memory ~page_size:512 ()) in
+  let p = page_of_string "x" ~page_size:512 in
+  Disk.arm plan ~target:(Disk.Writes_to_page 0) ~after:0 ();
+  d.Disk.write_page 1 p;
+  d.Disk.write_page 2 p;
+  Alcotest.(check int) "other pages never count" 0 plan.Disk.fired;
+  (match d.Disk.write_page 0 p with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "meta-page write should fail");
+  Alcotest.(check bool) "failed write not persisted" false (d.Disk.page_exists 0)
+
+let test_trigger_targeted_tear () =
+  let plan = Disk.never_fail () in
+  let d = Disk.failing ~plan (Disk.in_memory ~page_size:512 ()) in
+  let p = Bytes.make 512 '\000' in
+  Bytes.set p 100 'a';
+  Bytes.set p 400 'z';
+  Disk.arm plan ~tear:true ~target:(Disk.Writes_to_page 5) ~after:0 ();
+  d.Disk.write_page 7 p;
+  (match d.Disk.write_page 5 p with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "targeted write should tear");
+  let torn = d.Disk.read_page 5 in
+  Alcotest.(check bool) "first half persisted" true (Bytes.get torn 100 = 'a');
+  Alcotest.(check bool) "second half lost" true (Bytes.get torn 400 = '\000')
+
+let test_trigger_predicate () =
+  let plan = Disk.never_fail () in
+  let d = Disk.failing ~plan (Disk.in_memory ~page_size:512 ()) in
+  let p = page_of_string "x" ~page_size:512 in
+  (* a raising predicate counts as "no match", never fires *)
+  Disk.arm plan ~target:(Disk.Writes_matching (fun _ _ -> failwith "boom")) ~after:0 ();
+  d.Disk.write_page 1 p;
+  d.Disk.write_page 2 p;
+  Alcotest.(check int) "raising predicate never fires" 0 plan.Disk.fired;
+  Disk.arm plan ~target:(Disk.Writes_matching (fun id _ -> id mod 2 = 1)) ~after:1 ();
+  d.Disk.write_page 2 p;
+  d.Disk.write_page 3 p;
+  d.Disk.write_page 4 p;
+  (match d.Disk.write_page 5 p with
+  | exception Disk.Io_failure _ -> ()
+  | () -> Alcotest.fail "second odd-page write should fail")
 
 (* --- WAL -------------------------------------------------------------------- *)
 
@@ -319,6 +403,10 @@ let suite =
     Alcotest.test_case "file disk" `Quick test_file_disk;
     Alcotest.test_case "file disk persistence" `Quick test_file_disk_persistence;
     Alcotest.test_case "failure injection" `Quick test_failure_injection;
+    Alcotest.test_case "trigger: writes of type" `Quick test_trigger_writes_of_type;
+    Alcotest.test_case "trigger: writes to page" `Quick test_trigger_writes_to_page;
+    Alcotest.test_case "trigger: targeted tear" `Quick test_trigger_targeted_tear;
+    Alcotest.test_case "trigger: predicate" `Quick test_trigger_predicate;
     Alcotest.test_case "wal append/read" `Quick test_wal_append_read;
     Alcotest.test_case "wal crash drops tail" `Quick test_wal_crash_drops_tail;
     Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail_truncated;

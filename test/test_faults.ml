@@ -7,6 +7,7 @@ module E = Imdb_core.Engine
 module S = Imdb_core.Schema
 module Disk = Imdb_storage.Disk
 module Wal = Imdb_wal.Wal
+module Ts = Imdb_clock.Timestamp
 
 let kv_schema = Helpers.kv_schema
 let row = Helpers.row
@@ -22,8 +23,7 @@ let run_with_injection ~tear ~fail_after workload =
   (* small pool + frequent checkpoints: plenty of page writes to target *)
   let config = { E.default_config with E.pool_capacity = 8; E.auto_checkpoint_every = 20 } in
   let db = Db.open_devices ~config ~clock ~disk ~log_device () in
-  plan.Disk.writes_until_failure <- fail_after;
-  plan.Disk.tear_on_failure <- tear;
+  Disk.arm plan ~tear ~after:fail_after ();
   let crashed =
     try
       workload db clock;
@@ -31,8 +31,7 @@ let run_with_injection ~tear ~fail_after workload =
     with Disk.Io_failure _ -> true
   in
   (* lift the injection and recover over the same devices *)
-  plan.Disk.writes_until_failure <- -1;
-  plan.Disk.tear_on_failure <- false;
+  Disk.lift plan;
   Imdb_wal.Wal.crash_volatile (Db.engine db).E.wal;
   Imdb_buffer.Buffer_pool.drop_all (Db.engine db).E.pool;
   let db = Db.open_devices ~config ~clock ~disk ~log_device () in
@@ -110,13 +109,11 @@ let test_torn_meta_page () =
   Imdb_clock.Clock.advance clock 20L;
   Db.with_txn db (fun txn -> Db.insert_row db txn ~table:"t" (row 1 "x"));
   (* force a checkpoint whose meta-page write tears *)
-  plan.Disk.writes_until_failure <- 0;
-  plan.Disk.tear_on_failure <- true;
+  Disk.arm plan ~tear:true ~target:(Disk.Writes_to_page 0) ~after:0 ();
   (match Db.checkpoint db with
   | () -> ()
   | exception Disk.Io_failure _ -> ());
-  plan.Disk.writes_until_failure <- -1;
-  plan.Disk.tear_on_failure <- false;
+  Disk.lift plan;
   Imdb_wal.Wal.crash_volatile (Db.engine db).E.wal;
   Imdb_buffer.Buffer_pool.drop_all (Db.engine db).E.pool;
   let db2 = Db.open_devices ~clock ~disk ~log_device () in
@@ -125,10 +122,132 @@ let test_torn_meta_page () =
         (Db.get_row db2 txn ~table:"t" ~key:(S.V_int 1) = Some (row 1 "x")));
   Db.close db2
 
+(* --- torn-page twin regressions --------------------------------------------
+
+   Run the same deterministic workload on a crash engine and an uncrashed
+   twin, tear a targeted page write on the crash engine (mid-group-commit
+   data flush, or mid-time-split history write), recover it, and require
+   (a) the checksum scrub detected and rebuilt the torn page and (b) every
+   AS OF answer over the durable prefix is identical to the twin's. *)
+
+module Pg = Imdb_storage.Page
+module M = Imdb_obs.Metrics
+
+let twin_config =
+  (* small pages + small pool: frequent evictions and time splits, so the
+     targeted write arrives within a few phase-2 transactions *)
+  { E.default_config with
+    E.page_size = 1024; pool_capacity = 8; group_commit_window = 4 }
+
+let twin_value u = Printf.sprintf "v%03d-%s" u (String.make 180 'x')
+
+(* Shared prefix: 60 upserts over 6 keys; returns the commit timestamps
+   (the AS OF probe points). *)
+let twin_phase1 db clock =
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  let stamps = ref [] in
+  for u = 1 to 60 do
+    Imdb_clock.Clock.advance clock 20L;
+    let txn = Db.begin_txn db in
+    Db.upsert_row db txn ~table:"t" (row (u mod 6) (twin_value u));
+    match Db.commit db txn with
+    | Some ts -> stamps := ts :: !stamps
+    | None -> Alcotest.fail "phase-1 commit returned no timestamp"
+  done;
+  List.rev !stamps
+
+let torn_twin_case ~page_types () =
+  (* the uncrashed twin: phase 1 only *)
+  let twin_clock = Imdb_clock.Clock.create_logical () in
+  let twin =
+    Db.open_devices ~config:twin_config ~clock:twin_clock
+      ~disk:(Disk.in_memory ~page_size:twin_config.E.page_size ())
+      ~log_device:(Wal.Device.in_memory ()) ()
+  in
+  let twin_stamps = twin_phase1 twin twin_clock in
+  (* the crash engine: phase 1, checkpoint (phase-1 commits durable),
+     then phase-2 churn with the torn write armed *)
+  let plan = Disk.never_fail () in
+  let inner = Disk.in_memory ~page_size:twin_config.E.page_size () in
+  let disk = Disk.failing ~plan inner in
+  (* Tear only a write whose second half differs from what is already on
+     the platter: the torn image (new first half + stale second half)
+     then provably fails its checksum, so the recovery scrub must detect
+     it — no lucky harmless tears. *)
+  let target =
+    Disk.Writes_matching
+      (fun id b ->
+        List.mem (Pg.page_type b) page_types
+        &&
+        let half = twin_config.E.page_size / 2 in
+        let stale =
+          try inner.Disk.read_page id
+          with Disk.Page_missing _ -> Bytes.make twin_config.E.page_size '\000'
+        in
+        not (Bytes.equal (Bytes.sub b half half) (Bytes.sub stale half half)))
+  in
+  let log_device = Wal.Device.in_memory () in
+  let clock = Imdb_clock.Clock.create_logical () in
+  let db = Db.open_devices ~config:twin_config ~clock ~disk ~log_device () in
+  let stamps = twin_phase1 db clock in
+  Alcotest.(check int) "twin ran the same prefix" (List.length twin_stamps)
+    (List.length stamps);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same commit timestamps" true (Ts.equal a b))
+    twin_stamps stamps;
+  Db.checkpoint db;
+  Disk.arm plan ~tear:true ~target ~after:0 ();
+  let crashed = ref false in
+  (try
+     for u = 61 to 400 do
+       Imdb_clock.Clock.advance clock 20L;
+       Db.with_txn db (fun txn ->
+           Db.upsert_row db txn ~table:"t" (row (u mod 6) (twin_value u)))
+     done
+   with Disk.Io_failure _ -> crashed := true);
+  Alcotest.(check bool) "targeted write tore" true !crashed;
+  Disk.lift plan;
+  Imdb_wal.Wal.crash_volatile (Db.engine db).E.wal;
+  Imdb_buffer.Buffer_pool.drop_all (Db.engine db).E.pool;
+  let db2 = Db.open_devices ~config:twin_config ~clock ~disk ~log_device () in
+  Alcotest.(check bool) "checksum scrub caught the torn page" true
+    (M.get (Db.metrics db2) M.recovery_torn_pages >= 1);
+  (* every phase-1 AS OF state must match the twin exactly *)
+  List.iter
+    (fun ts ->
+      let scan d = Db.as_of d ts (fun txn -> Db.scan_rows_as_of d txn ~table:"t" ~ts) in
+      if scan db2 <> scan twin then
+        Alcotest.failf "AS OF %s diverges from the uncrashed twin" (Ts.to_string ts))
+    stamps;
+  (* per-key history over the prefix window must match too *)
+  let upto ts hist =
+    List.filter (fun (t, _) -> Ts.compare t ts <= 0) hist
+  in
+  let last = List.nth stamps (List.length stamps - 1) in
+  for k = 0 to 5 do
+    let hist d =
+      Db.exec d (fun txn -> Db.history_rows d txn ~table:"t" ~key:(S.V_int k))
+    in
+    if upto last (hist db2) <> upto last (hist twin) then
+      Alcotest.failf "history of key %d diverges from the uncrashed twin" k
+  done;
+  Db.close db2;
+  Db.close twin
+
+let test_torn_twin_group_commit () = torn_twin_case ~page_types:[ Pg.P_data ] ()
+
+let test_torn_twin_time_split () =
+  torn_twin_case ~page_types:[ Pg.P_history; Pg.P_history_compressed ] ()
+
 let suite =
   [
     Alcotest.test_case "injection sweep" `Slow test_injection_sweep;
     Alcotest.test_case "work continues after recovery" `Quick
       test_work_continues_after_recovery;
     Alcotest.test_case "torn meta page" `Quick test_torn_meta_page;
+    Alcotest.test_case "torn twin: mid group commit" `Quick
+      test_torn_twin_group_commit;
+    Alcotest.test_case "torn twin: mid time split" `Quick
+      test_torn_twin_time_split;
   ]

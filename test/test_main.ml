@@ -32,4 +32,5 @@ let () =
       ("parscan", Test_parscan.suite);
       ("compress", Test_compress.suite);
       ("tracer", Test_tracer.suite);
+      ("torture", Test_torture.suite);
     ]

@@ -1,0 +1,168 @@
+(* The torture harness, capped for CI: small seeded runs through every
+   crash kind with full oracle verification, determinism of the whole
+   report, and — crucially — the detector self-tests: a sabotaged oracle
+   MUST make the run fail, or the harness is vacuous. *)
+
+module H = Imdb_torture.Harness
+module M = Imdb_torture.Model
+module Ts = Imdb_clock.Timestamp
+
+(* A small profile that still crashes a lot: ~500 commits, 12 scheduled
+   crash points, full (uncapped) verification. *)
+let small ?(seed = 42) ?(ops = 1200) ?(crashes = 12) ?sabotage () =
+  { H.default with H.seed; ops; crashes; sabotage }
+
+let report_of = function
+  | H.Passed r -> r
+  | H.Failed f -> Alcotest.failf "torture run failed: %a" H.pp_failure f
+
+let test_small_run_passes () =
+  let r = report_of (H.run (small ())) in
+  Alcotest.(check int) "all ops executed" 1200 r.H.r_ops;
+  Alcotest.(check bool) "committed work" true (r.H.r_commits > 100);
+  Alcotest.(check bool) "crashes fired" true (r.H.r_crashes >= 8);
+  Alcotest.(check bool) "recovered every crash" true (r.H.r_recoveries >= r.H.r_crashes);
+  Alcotest.(check bool) "verified AS OF states" true (r.H.r_asof_checks > 500);
+  Alcotest.(check bool) "verified boundaries" true (r.H.r_boundary_checks > 100);
+  Alcotest.(check bool) "verified histories" true (r.H.r_history_checks > 0);
+  Alcotest.(check bool) "time splits happened" true (r.H.r_time_splits > 0)
+
+let test_determinism () =
+  let a = report_of (H.run (small ~seed:7 ~ops:600 ~crashes:6 ())) in
+  let b = report_of (H.run (small ~seed:7 ~ops:600 ~crashes:6 ())) in
+  Alcotest.(check bool) "identical reports" true (a = b);
+  let c = report_of (H.run (small ~seed:8 ~ops:600 ~crashes:6 ())) in
+  Alcotest.(check bool) "different seed, different history" true (a.H.r_commits <> c.H.r_commits || a.H.r_crashes <> c.H.r_crashes || a.H.r_lost_commits <> c.H.r_lost_commits || a.H.r_asof_checks <> c.H.r_asof_checks)
+
+let test_crash_kind_coverage () =
+  (* enough crash points that every kind appears in the schedule, and the
+     run fires at least one of each of the targeted kinds *)
+  let cfg = small ~seed:3 ~ops:2500 ~crashes:15 () in
+  let sched = H.schedule_of cfg in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (H.crash_kind_name k ^ " scheduled")
+        true
+        (List.exists (fun cp -> cp.H.cp_kind = k) sched))
+    H.all_crash_kinds;
+  let r = report_of (H.run cfg) in
+  List.iter
+    (fun (k, n) ->
+      Alcotest.(check bool) (k ^ " fired") true (n > 0))
+    r.H.r_crash_kinds;
+  Alcotest.(check bool) "some crashes tore the failing write" true (r.H.r_torn > 0);
+  Alcotest.(check bool) "double recovery exercised" true (r.H.r_double_recoveries > 0)
+
+let expect_failure what cfg =
+  match H.run cfg with
+  | H.Passed _ -> Alcotest.failf "%s: sabotaged run passed — the oracle is not looking" what
+  | H.Failed f ->
+      Alcotest.(check bool) (what ^ ": failure names the seed") true (f.H.f_seed = cfg.H.seed);
+      f
+
+let test_sabotage_skew_stamp_caught () =
+  (* record every 7th commit one timestamp early in the oracle: exactly
+     what an engine stamping bug would look like.  Must be detected. *)
+  let f =
+    expect_failure "skew-stamp"
+      (small ~seed:11 ~ops:600 ~crashes:4 ~sabotage:(H.Skew_stamp 7) ())
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "diagnosis points at an AS OF state" true
+    (contains f.H.f_msg "AS OF")
+
+let test_sabotage_drop_write_caught () =
+  let f =
+    expect_failure "drop-write"
+      (small ~seed:12 ~ops:600 ~crashes:4 ~sabotage:(H.Drop_write 9) ())
+  in
+  Alcotest.(check bool) "failure carries a trace" true (f.H.f_trace <> [])
+
+let test_minimize_shrinks () =
+  let cfg = small ~seed:13 ~ops:900 ~crashes:8 ~sabotage:(H.Drop_write 11) () in
+  let f = expect_failure "minimize input" cfg in
+  let cfg', f' = H.minimize cfg f in
+  Alcotest.(check bool) "still failing" true (f'.H.f_msg <> "");
+  Alcotest.(check bool) "op budget shrank or held" true (cfg'.H.ops <= cfg.H.ops);
+  let kept = match cfg'.H.schedule with Some s -> List.length s | None -> -1 in
+  Alcotest.(check bool) "schedule made explicit" true (kept >= 0);
+  Alcotest.(check bool) "schedule no longer than derived" true
+    (kept <= List.length (H.schedule_of cfg))
+
+let test_replay_from_seed () =
+  (* a failing seed replays to the same failing op and message *)
+  let cfg = small ~seed:21 ~ops:500 ~crashes:4 ~sabotage:(H.Skew_stamp 5) () in
+  let f1 = expect_failure "replay a" cfg in
+  let f2 = expect_failure "replay b" cfg in
+  Alcotest.(check int) "same failing op" f1.H.f_op f2.H.f_op;
+  Alcotest.(check string) "same diagnosis" f1.H.f_msg f2.H.f_msg
+
+(* --- the oracle itself ---------------------------------------------------- *)
+
+let ts n = Ts.make ~ttime:(Int64.of_int (1000 + (20 * n))) ~sn:0
+
+let test_model_basics () =
+  let m = M.create ~tables:[ "t" ] in
+  M.record m ~ts:(ts 1) ~tag:1 [ { M.w_table = "t"; w_key = "a"; w_value = Some "1" } ];
+  M.record m ~ts:(ts 2) ~tag:2
+    [
+      { M.w_table = "t"; w_key = "b"; w_value = Some "2" };
+      { M.w_table = "t"; w_key = "a"; w_value = Some "1b" };
+    ];
+  M.record m ~ts:(ts 3) ~tag:3 [ { M.w_table = "t"; w_key = "a"; w_value = None } ];
+  Alcotest.(check int) "commit count" 3 (M.commit_count m);
+  Alcotest.(check (list (pair string string))) "current" [ ("b", "2") ] (M.current_state m ~table:"t");
+  Alcotest.(check (list (pair string string))) "as of 1" [ ("a", "1") ] (M.state_at m ~table:"t" (ts 1));
+  Alcotest.(check (list (pair string string))) "as of 2"
+    [ ("a", "1b"); ("b", "2") ]
+    (M.state_at m ~table:"t" (ts 2));
+  Alcotest.(check bool) "mem after delete" false (M.mem m ~table:"t" ~key:"a");
+  let h = M.histories m ~table:"t" in
+  Alcotest.(check int) "a has 3 versions" 3 (List.length (Hashtbl.find h "a"));
+  (match Hashtbl.find h "a" with
+  | (t3, None) :: (t2, Some "1b") :: (t1, Some "1") :: [] ->
+      Alcotest.(check bool) "newest first" true
+        (Ts.compare t3 t2 > 0 && Ts.compare t2 t1 > 0)
+  | _ -> Alcotest.fail "unexpected history shape");
+  (* truncation drops a suffix and rebuilds the current state *)
+  let lost = M.truncate_after m (ts 2) in
+  Alcotest.(check int) "one commit lost" 1 lost;
+  Alcotest.(check (list (pair string string))) "current after truncate"
+    [ ("a", "1b"); ("b", "2") ]
+    (M.current_state m ~table:"t")
+
+let test_model_iter_states_matches_state_at () =
+  let m = M.create ~tables:[ "t" ] in
+  let rng = Imdb_util.Rng.create 99 in
+  for i = 1 to 200 do
+    let key = Printf.sprintf "k%d" (Imdb_util.Rng.int rng 12) in
+    let w =
+      if Imdb_util.Rng.int rng 4 = 0 && M.mem m ~table:"t" ~key then
+        { M.w_table = "t"; w_key = key; w_value = None }
+      else { M.w_table = "t"; w_key = key; w_value = Some (string_of_int i) }
+    in
+    M.record m ~ts:(ts i) ~tag:i [ w ]
+  done;
+  M.iter_states m ~table:"t" ~f:(fun ~ts ~tag:_ ~state ->
+      Alcotest.(check (list (pair string string)))
+        ("sweep agrees with state_at at " ^ Ts.to_string ts)
+        (M.state_at m ~table:"t" ts)
+        state)
+
+let suite =
+  [
+    Alcotest.test_case "model: record/state/history/truncate" `Quick test_model_basics;
+    Alcotest.test_case "model: iter_states = state_at" `Quick test_model_iter_states_matches_state_at;
+    Alcotest.test_case "small torture run passes" `Slow test_small_run_passes;
+    Alcotest.test_case "runs are deterministic by seed" `Slow test_determinism;
+    Alcotest.test_case "every crash kind fires" `Slow test_crash_kind_coverage;
+    Alcotest.test_case "sabotage: skewed stamp is caught" `Slow test_sabotage_skew_stamp_caught;
+    Alcotest.test_case "sabotage: dropped write is caught" `Slow test_sabotage_drop_write_caught;
+    Alcotest.test_case "minimize shrinks a failing run" `Slow test_minimize_shrinks;
+    Alcotest.test_case "failures replay identically from the seed" `Slow test_replay_from_seed;
+  ]
