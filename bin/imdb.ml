@@ -5,6 +5,7 @@
      imdb tables DIR                          list tables
      imdb history DIR TABLE KEY               show a record's version history
      imdb workload DIR [-n N] [--objects K]   load a moving-objects stream
+     imdb load DIR [-n N] [--no-buffer]       bulk-load rows via buffered ingestion
      imdb stats DIR [--json] [--traces]       storage statistics / metrics JSON
      imdb trace DIR [--chrome] [-o FILE]      trace a workload, export spans
      imdb checkpoint DIR                      force a checkpoint (and PTT GC)
@@ -148,10 +149,87 @@ let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Load a moving-objects workload.")
     Term.(const run $ dir_arg $ total $ objects)
 
-(* --- stats ------------------------------------------------------------------ *)
-
 module M = Imdb_obs.Metrics
 module J = Imdb_obs.Json
+
+(* --- load ------------------------------------------------------------------- *)
+
+(* Bulk load through the write-optimized ingestion path: N seeded rows in
+   batched transactions.  The default goes through the buffered message
+   path (one O(1) append per row, batch flushes); --no-buffer forces the
+   per-row descent path for comparison. *)
+let load_cmd =
+  let total =
+    Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Rows to load.")
+  in
+  let table =
+    Arg.(value & opt string "Loaded" & info [ "table" ] ~docv:"TABLE"
+           ~doc:"Target table (created as an immortal table if absent).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Key-stream seed.")
+  in
+  let batch =
+    Arg.(value & opt int 500 & info [ "batch" ] ~docv:"B" ~doc:"Rows per transaction.")
+  in
+  let no_buffer =
+    Arg.(value & flag
+         & info [ "no-buffer" ]
+             ~doc:"Disable buffered ingestion: every row takes the per-row \
+                   descent path.")
+  in
+  let run dir total table seed batch no_buffer =
+    let config = { E.default_config with E.ingest_buffering = not no_buffer } in
+    with_db ~config dir (fun db ->
+        let schema =
+          S.make
+            [
+              { S.col_name = "id"; col_type = S.T_int };
+              { S.col_name = "payload"; col_type = S.T_string };
+            ]
+        in
+        (match
+           Db.list_tables db
+           |> List.find_opt (fun ti -> ti.Imdb_core.Catalog.ti_name = table)
+         with
+        | Some _ -> ()
+        | None -> Db.create_table db ~name:table ~mode:Db.Immortal ~schema);
+        let rng = Imdb_util.Rng.create seed in
+        let batch = max 1 batch in
+        let before = M.snapshot (Db.metrics db) in
+        let t0 = Unix.gettimeofday () in
+        let i = ref 0 in
+        while !i < total do
+          Db.exec db (fun txn ->
+              for _ = 1 to min batch (total - !i) do
+                (* a seeded bulk stream: mostly ascending keys (the shape
+                   ingest buffering batches best), with one row in ten
+                   revisiting a seeded earlier key so version chains grow *)
+                let key =
+                  if !i > 0 && Imdb_util.Rng.int rng 10 = 0 then
+                    Imdb_util.Rng.int rng !i
+                  else !i
+                in
+                Db.upsert_row db txn ~table
+                  [ S.V_int key; S.V_string (Printf.sprintf "r%d.%d" seed !i) ];
+                incr i
+              done)
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let diff = M.diff ~before ~after:(M.snapshot (Db.metrics db)) in
+        let d name = Option.value (List.assoc_opt name diff) ~default:0 in
+        Fmt.pr "loaded %d rows into %s in %.2fs (%.0f rows/s)@." total table elapsed
+          (float_of_int total /. elapsed);
+        Fmt.pr "ingest: appends=%d flushes=%d flush-page-visits=%d time-splits=%d@."
+          (d M.ingest_appends) (d M.ingest_flushes) (d M.ingest_flush_pages)
+          (d M.time_splits))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Bulk-load seeded rows through the write-optimized ingestion path.")
+    Term.(const run $ dir_arg $ total $ table $ seed $ batch $ no_buffer)
+
+(* --- stats ------------------------------------------------------------------ *)
 
 (* Walk every immortal table's current pages, feeding the
    page.utilization_pct histogram of the engine's registry on the way, and
@@ -413,14 +491,19 @@ let torture_cmd =
            ~doc:"Print every workload action while running — replay a \
                  failing seed from a CI report to watch it unfold.")
   in
-  let run seeds ops crashes replay =
+  let bulk_arg =
+    Arg.(value & flag & info [ "bulk" ]
+           ~doc:"Mix bulk-insert transactions (16-48 upserts each) into the \
+                 workload, stressing the buffered-ingestion flush path.")
+  in
+  let run seeds ops crashes replay bulk =
     let seeds = if seeds = [] then [ 0 ] else seeds in
     let failed = ref false in
     List.iter
       (fun seed ->
         let cfg =
           { H.default with
-            H.seed; ops; crashes;
+            H.seed; ops; crashes; bulk;
             log = (if replay then Some (fun s -> Fmt.pr "  %s@." s) else None) }
         in
         Fmt.pr "torture: %s@." (H.describe_config cfg);
@@ -444,7 +527,7 @@ let torture_cmd =
        ~doc:"Run the adversarial crash/workload torture harness against a \
              linearized AS OF oracle.  Exits non-zero on any oracle \
              disagreement, printing the seed that reproduces it.")
-    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg)
+    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg $ bulk_arg)
 
 (* IMDB_LOG=debug|info enables engine/recovery diagnostics on stderr. *)
 let setup_logs () =
@@ -471,5 +554,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ sql_cmd; tables_cmd; history_cmd; workload_cmd; stats_cmd; trace_cmd;
-            checkpoint_cmd; backup_cmd; vacuum_cmd; torture_cmd ]))
+          [ sql_cmd; tables_cmd; history_cmd; workload_cmd; load_cmd; stats_cmd;
+            trace_cmd; checkpoint_cmd; backup_cmd; vacuum_cmd; torture_cmd ]))

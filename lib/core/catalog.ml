@@ -32,6 +32,7 @@ type table_info = {
   ti_schema : Schema.t;
   mutable ti_root : int; (* key router root (versioned) / B-tree root (conventional) *)
   mutable ti_tsb_root : int; (* 0 = no TSB index *)
+  mutable ti_buf_root : int; (* ingest message-buffer page; 0 = none allocated *)
 }
 
 let encode_info ti =
@@ -41,6 +42,7 @@ let encode_info ti =
   Imdb_util.Codec.Writer.u8 w (mode_tag ti.ti_mode);
   Imdb_util.Codec.Writer.u32 w ti.ti_root;
   Imdb_util.Codec.Writer.u32 w ti.ti_tsb_root;
+  Imdb_util.Codec.Writer.u32 w ti.ti_buf_root;
   Imdb_util.Codec.Writer.bytes w (Schema.encode ti.ti_schema);
   Imdb_util.Codec.Writer.contents w
 
@@ -51,12 +53,20 @@ let decode_info b =
   let ti_mode = mode_of_tag (Imdb_util.Codec.Reader.u8 r) in
   let ti_root = Imdb_util.Codec.Reader.u32 r in
   let ti_tsb_root = Imdb_util.Codec.Reader.u32 r in
+  let ti_buf_root = Imdb_util.Codec.Reader.u32 r in
   let ti_schema = Schema.decode_from r in
-  { ti_id; ti_name; ti_mode; ti_schema; ti_root; ti_tsb_root }
+  { ti_id; ti_name; ti_mode; ti_schema; ti_root; ti_tsb_root; ti_buf_root }
 
 (* DDL writes are transactional B-tree updates (undoable); the caller
    commits them like any other update. *)
 let store tree ti = Imdb_btree.Btree.insert tree ~key:ti.ti_name ~value:(encode_info ti)
+
+(* Buffer-page allocation is a structure modification, not a user-visible
+   DDL change: re-store the descriptor redo-only so it survives even if
+   the allocating transaction later aborts (the page stays allocated, like
+   any other structure-modification page). *)
+let store_redo_only tree ti =
+  Imdb_btree.Btree.insert tree ~undoable:false ~key:ti.ti_name ~value:(encode_info ti)
 
 let load tree name = Option.map decode_info (Imdb_btree.Btree.find tree ~key:name)
 let remove tree name = Imdb_btree.Btree.delete tree ~key:name

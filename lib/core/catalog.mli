@@ -19,6 +19,7 @@ type table_info = {
   mutable ti_root : int;
       (** key-router root (versioned) / B-tree root (conventional) *)
   mutable ti_tsb_root : int;  (** 0 = no TSB index *)
+  mutable ti_buf_root : int;  (** ingest message-buffer page; 0 = none *)
 }
 
 val encode_info : table_info -> bytes
@@ -26,6 +27,10 @@ val decode_info : bytes -> table_info
 
 val store : Imdb_btree.Btree.t -> table_info -> unit
 (** Transactional (undoable) catalog write. *)
+
+val store_redo_only : Imdb_btree.Btree.t -> table_info -> unit
+(** Redo-only catalog write, for structure modifications (ingest buffer
+    page allocation) that must survive a transaction abort. *)
 
 val load : Imdb_btree.Btree.t -> string -> table_info option
 val remove : Imdb_btree.Btree.t -> string -> bool

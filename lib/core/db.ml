@@ -90,12 +90,16 @@ let vacuum t =
       (* snapshot tables too: a transaction that wrote both a snapshot and
          an immortal table resolves its snapshot-side versions through the
          same (about to be deleted) mapping *)
-      if Table.is_versioned ti then
+      if Table.is_versioned ti then begin
+        (* buffered messages must land first: their versions need the
+           VTT/PTT mappings this vacuum is about to delete *)
+        Table.flush_ingest eng ti;
         List.iter
           (fun (_, _, pid) ->
             Imdb_buffer.Buffer_pool.with_page eng.E.pool pid (fun fr ->
                 E.stamp_page eng fr))
-          (Table.router_ranges eng ti))
+          (Table.router_ranges eng ti)
+      end)
     (E.list_tables eng);
   Imdb_buffer.Buffer_pool.flush_all eng.E.pool;
   ignore (E.checkpoint eng);

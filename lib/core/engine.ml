@@ -43,6 +43,17 @@ type config = {
          following their root *)
   slow_op_threshold_us : int;
       (* spans at least this long are retained in the slow-op ring *)
+  ingest_buffering : bool;
+      (* buffer immortal-table writes as messages and flush them in
+         batches; false = the per-row descent path, bit-for-bit identical
+         to pre-buffering behavior *)
+  ingest_buffer_rows : int;
+      (* messages accumulated before a fill-triggered flush (the page
+         itself caps the buffer regardless) *)
+  ingest_split_hint : bool;
+      (* let batch-arrival occupancy trigger early key splits at flush
+         time; changes page layout (never results), so off by default to
+         keep buffered==unbuffered structures identical *)
 }
 
 let default_config =
@@ -59,6 +70,9 @@ let default_config =
     history_compression = true;
     trace_sampling = 0;
     slow_op_threshold_us = 10_000;
+    ingest_buffering = true;
+    ingest_buffer_rows = 64;
+    ingest_split_hint = false;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -115,6 +129,10 @@ type t = {
          compressed page is immutable from the moment its time split
          writes it. *)
   hist_decoded_order : int Queue.t; (* FIFO bound for [hist_decoded] *)
+  ingest_bufs : (int, Ingest.buf) Hashtbl.t;
+      (* table id -> volatile mirror of the table's message-buffer page;
+         populated lazily on first buffered write, rebuilt at attach *)
+  mutable ingest_seq : int; (* last message sequence number issued *)
 }
 
 let vtt t = Imdb_tstamp.Lazy_stamper.vtt t.stamper
@@ -126,6 +144,25 @@ let catalog_exn t =
   match t.catalog_tree with
   | Some c -> c
   | None -> failwith "Engine: catalog not initialized"
+
+(* ------------------------------------------------------------------ *)
+(* Ingest buffering state                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Buffered ingestion applies to immortal tables under lazy stamping
+   (the deferred flush leans on lazy timestamps: versions are applied
+   unstamped and resolve exactly like direct writes).  Eager mode and
+   non-immortal tables take the classic per-row descent. *)
+let ingest_enabled t ti =
+  t.config.ingest_buffering
+  && t.config.timestamping = Lazy_stamping
+  && ti.Catalog.ti_mode = Catalog.Immortal
+
+let ingest_buf t ti = Hashtbl.find_opt t.ingest_bufs ti.Catalog.ti_id
+
+let next_ingest_seq t =
+  t.ingest_seq <- t.ingest_seq + 1;
+  t.ingest_seq
 
 (* ------------------------------------------------------------------ *)
 (* Logging core                                                        *)
@@ -159,6 +196,18 @@ let exec_op t fr ~undoable op =
     else Imdb_wal.Wal.append t.wal (LR.Redo_only { page_id; op })
   in
   LR.redo_op (BP.bytes fr) op;
+  BP.mark_dirty_logged t.pool fr ~lsn
+
+(* Log a redo-only [op] for a change the caller has ALREADY applied to
+   the frame.  Batched flush application needs this order: each insert
+   must hit the page before the next can be planned, so the whole run is
+   applied first and logged as one record.  The WAL rule still holds —
+   the frame's dirty LSN gates its flush behind the log append, and
+   replay applies [op] to the pre-batch image. *)
+let log_applied t fr op =
+  let lsn =
+    Imdb_wal.Wal.append t.wal (LR.Redo_only { page_id = BP.page_id fr; op })
+  in
   BP.mark_dirty_logged t.pool fr ~lsn
 
 let with_txn t txn f =
@@ -530,11 +579,18 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.trace_drops;
   Mx.ensure_counter metrics Mx.trace_slow_ops;
   Mx.ensure_counter metrics Mx.recovery_torn_pages;
+  Mx.ensure_counter metrics Mx.ingest_appends;
+  Mx.ensure_counter metrics Mx.ingest_flushes;
+  Mx.ensure_counter metrics Mx.ingest_flush_messages;
+  Mx.ensure_counter metrics Mx.ingest_flush_pages;
+  Mx.ensure_counter metrics Mx.ingest_deferred_splits;
+  Mx.ensure_counter metrics Mx.ingest_hint_key_splits;
   Mx.set_gauge metrics Mx.recovery_redo_lsn 0;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Mx.ensure_histogram metrics Mx.h_scan_fanout;
   Mx.ensure_histogram metrics Mx.h_compress_decode_ns;
   Mx.ensure_histogram metrics Mx.h_ptt_gc_batch;
+  Mx.ensure_histogram metrics Mx.h_ingest_flush_run;
   (* The tracer: null when sampling is off, so every instrumentation
      site costs a single branch on the shared disabled instance. *)
   let tracer =
@@ -596,6 +652,8 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       scan_pool = None;
       hist_decoded = Hashtbl.create 64;
       hist_decoded_order = Queue.create ();
+      ingest_bufs = Hashtbl.create 8;
+      ingest_seq = 0;
     }
   in
   (* Flush-time lazy stamping: volatile-only resolution, no logging. *)
@@ -605,7 +663,7 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
           if config.timestamping = Lazy_stamping then
             ignore (Imdb_tstamp.Lazy_stamper.stamp_page_volatile stamper page)
       | P.P_free | P.P_meta | P.P_history | P.P_history_compressed | P.P_index
-      | P.P_tsb_index | P.P_heap -> ());
+      | P.P_tsb_index | P.P_heap | P.P_msg_buffer -> ());
   t
 
 (* Fresh database: format page 0, create the catalog and PTT trees, and
@@ -654,7 +712,23 @@ let attach_system t =
   t.catalog_tree <- Some catalog;
   t.ptt <- Some ptt;
   Imdb_tstamp.Lazy_stamper.set_ptt t.stamper ptt;
-  List.iter (register_table t) (Catalog.load_all catalog)
+  List.iter (register_table t) (Catalog.load_all catalog);
+  (* Rebuild the volatile ingest-buffer mirrors from their pages (redo has
+     already reconstructed the page images).  Runs before loser rollback,
+     which may need to remove a loser's messages through the mirror. *)
+  Hashtbl.reset t.ingest_bufs;
+  t.ingest_seq <- 0;
+  List.iter
+    (fun ti ->
+      if ti.Catalog.ti_buf_root <> 0 then begin
+        let buf =
+          BP.with_page t.pool ti.Catalog.ti_buf_root (fun fr ->
+              Ingest.of_page ~table_id:ti.Catalog.ti_id (BP.bytes fr))
+        in
+        Hashtbl.replace t.ingest_bufs ti.Catalog.ti_id buf;
+        t.ingest_seq <- max t.ingest_seq (Ingest.max_seq buf)
+      end)
+    (list_tables t)
 
 (* The worker-domain pool, spawned on first use so engines that never run
    a parallel scan never pay for domains.  [None] when scan_parallelism

@@ -45,6 +45,18 @@ type config = {
   slow_op_threshold_us : int;
       (** spans at least this long (µs) are promoted to the tracer's
           retained slow-op ring and counted in [trace.slow_ops] *)
+  ingest_buffering : bool;
+      (** buffer immortal-table writes as messages in a per-table
+          [P_msg_buffer] page, flushed downward in batches (fill-,
+          descent- or read-triggered).  Readers always see buffered ==
+          unbuffered results; [false] keeps the per-row descent path,
+          bit-for-bit identical to pre-buffering behavior. *)
+  ingest_buffer_rows : int;
+      (** messages accumulated before a fill-triggered flush (the buffer
+          page's own capacity caps this regardless) *)
+  ingest_split_hint : bool;
+      (** let batch-arrival occupancy trigger early key splits at flush
+          time; changes page layout (never results), so off by default *)
 }
 
 val default_config : config
@@ -104,11 +116,23 @@ type t = {
       (** memoized decoded images of compressed history pages (serial
           path, coordinator domain only; immutable so never stale) *)
   hist_decoded_order : int Queue.t;  (** FIFO bound for [hist_decoded] *)
+  ingest_bufs : (int, Ingest.buf) Hashtbl.t;
+      (** table id -> volatile mirror of its message-buffer page *)
+  mutable ingest_seq : int;  (** last message sequence number issued *)
 }
 
 val vtt : t -> Imdb_tstamp.Vtt.t
 val ptt_exn : t -> Imdb_tstamp.Ptt.t
 val catalog_exn : t -> Imdb_btree.Btree.t
+
+(** {1 Ingest buffering} *)
+
+val ingest_enabled : t -> Catalog.table_info -> bool
+(** Buffered ingestion applies to immortal tables under lazy stamping
+    with [config.ingest_buffering] on. *)
+
+val ingest_buf : t -> Catalog.table_info -> Ingest.buf option
+val next_ingest_seq : t -> int
 
 (** {1 Logging} *)
 
@@ -119,6 +143,12 @@ val exec_op :
   t -> Imdb_buffer.Buffer_pool.frame -> undoable:bool -> Imdb_wal.Log_record.page_op -> unit
 (** Log [op] (undoable in the current transaction or redo-only), apply it
     to the frame, mark it dirty. *)
+
+val log_applied : t -> Imdb_buffer.Buffer_pool.frame -> Imdb_wal.Log_record.page_op -> unit
+(** Log [op] redo-only for a change the caller already applied to the
+    frame, and mark the frame dirty at the record's LSN.  Used by batched
+    buffer-flush application, where each insert must land on the page
+    before the next can be planned. *)
 
 val with_txn : t -> txn -> (unit -> 'a) -> 'a
 (** Set the logging context for undoable ops inside [f]. *)

@@ -150,7 +150,7 @@ let op_rebuilds = function
   | LR.Op_format _ | LR.Op_image _ -> true
   | LR.Op_insert _ | LR.Op_delete _ | LR.Op_replace _ | LR.Op_patch _ | LR.Op_header _
   | LR.Op_kv_insert _ | LR.Op_kv_replace _ | LR.Op_kv_delete _ | LR.Op_version_insert _
-    ->
+  | LR.Op_msg_append _ | LR.Op_version_batch _ ->
       false
 
 (* Returns (redo_start, LSN of the last record applied) — the range the

@@ -62,6 +62,10 @@ let page_id_value pid =
 
 let page_id_of_value v = Imdb_util.Codec.get_u32 v 0
 
+let in_range key ~low ~high =
+  String.compare key low >= 0
+  && match high with None -> true | Some h -> String.compare key h < 0
+
 (* The data page responsible for [key] (hot path: one router descent). *)
 let locate_page eng ti ~key =
   let rt = router eng ti in
@@ -118,6 +122,7 @@ let create eng ~name ~mode ~schema =
           ti_schema = schema;
           ti_root = Imdb_btree.Btree.root tree;
           ti_tsb_root = 0;
+          ti_buf_root = 0;
         }
     | Catalog.Immortal | Catalog.Snapshot_table ->
         let rt =
@@ -140,6 +145,7 @@ let create eng ~name ~mode ~schema =
           ti_schema = schema;
           ti_root = Imdb_btree.Btree.root rt;
           ti_tsb_root = tsb_root;
+          ti_buf_root = 0;
         }
   in
   Catalog.store (E.catalog_exn eng) ti;
@@ -160,6 +166,7 @@ let drop eng name =
           E.note_write eng txn ~table_id:Meta.catalog_table_id ~key:name ~immortal:false
       | None -> ());
       E.unregister_table eng ti;
+      Hashtbl.remove eng.E.ingest_bufs ti.Catalog.ti_id;
       true
 
 (* --- page splitting ------------------------------------------------------ *)
@@ -167,8 +174,14 @@ let drop eng name =
 (* Split the full data page [pid] of [ti] to make room.  Immortal tables
    time-split (and key-split when current utilization stays above T);
    snapshot tables garbage-collect dead versions, falling back to a key
-   split when everything is still needed. *)
-let split_data_page eng ti ~pid ~low ~high =
+   split when everything is still needed.
+
+   [split_at] is the deferred split time a buffer flush carries: the
+   clock reading recorded when the overflowing message arrived, advanced
+   past it — exactly the time an unbuffered descent would have chosen at
+   that write.  [incoming] (bytes still destined for this page in the
+   in-flight flush run) feeds the batch-occupancy key-split hint. *)
+let split_data_page ?split_at ?(incoming = 0) eng ti ~pid ~low ~high =
   let threshold = eng.E.config.E.key_split_threshold in
   let key_split_page fr =
     Imdb_obs.Tracer.with_span eng.E.tracer "split.key"
@@ -200,13 +213,21 @@ let split_data_page eng ti ~pid ~low ~high =
           Imdb_obs.Tracer.with_span eng.E.tracer "split.time"
             ~attrs:[ ("table", ti.Catalog.ti_name); ("page", string_of_int pid) ]
           @@ fun sp ->
-          (* split at now, strictly after every issued commit timestamp *)
-          let s = Ts.succ (Imdb_clock.Clock.last_issued eng.E.clock) in
+          (* split at now, strictly after every issued commit timestamp
+             (or at the flush's deferred clock reading) *)
+          let old_split = P.split_time page in
+          let s =
+            match split_at with
+            | Some s ->
+                (* an intervening (unbuffered) split can postdate the
+                   deferred reading; chain split times never go backwards *)
+                if Ts.compare s old_split <= 0 then Ts.succ old_split else s
+            | None -> Ts.succ (Imdb_clock.Clock.last_issued eng.E.clock)
+          in
           Imdb_clock.Clock.observe eng.E.clock s;
           let hist_pid =
             E.alloc_page eng ~ptype:P.P_history ~level:0 ~table_id:ti.Catalog.ti_id
           in
-          let old_split = P.split_time page in
           let images =
             V.time_split ~metrics:eng.E.metrics ~page ~split_time:s
               ~history_page_id:hist_pid ()
@@ -254,7 +275,18 @@ let split_data_page eng ti ~pid ~low ~high =
                   }
                 ~child:hist_pid
           | None -> ());
-          if P.utilization (BP.bytes fr) > threshold then key_split_page fr
+          (match
+             Imdb_tsb.Tsb.should_key_split
+               ~utilization:(P.utilization (BP.bytes fr))
+               ~threshold ~incoming_bytes:incoming
+               ~capacity:(eng.E.config.E.page_size - P.header_size)
+           with
+          | `Utilization -> key_split_page fr
+          | `Batch_hint when List.length (V.keys (BP.bytes fr)) >= 2 ->
+              Imdb_obs.Metrics.incr eng.E.metrics
+                Imdb_obs.Metrics.ingest_hint_key_splits;
+              key_split_page fr
+          | `Batch_hint | `No -> ())
       | Catalog.Snapshot_table ->
           let snapshots = E.active_snapshots eng in
           let img, dropped = V.gc_versions ~page ~snapshots in
@@ -286,6 +318,253 @@ let validate_si_write eng txn page ~key =
 
 type write_kind = W_insert | W_update | W_upsert | W_delete
 
+(* --- buffered ingestion --------------------------------------------------- *)
+
+(* Write-optimized message path: instead of descending the router per
+   row, a write appends one message to the table's buffer page (a WAL-
+   logged O(1) operation) and a flush later applies a whole run of
+   messages to each data page in a single visit — one descent, one
+   stamping pass and one logged after-image per page instead of one per
+   row.  Messages are applied in arrival order with the same primitives
+   the per-row path uses, so buffered and unbuffered executions build
+   identical structures and return identical results. *)
+
+(* The table's message buffer, creating the buffer page (and persisting
+   its id in the catalog, redo-only like other structure modifications)
+   on first use. *)
+let ingest_buf_for eng ti =
+  match E.ingest_buf eng ti with
+  | Some buf -> buf
+  | None ->
+      let pid =
+        if ti.Catalog.ti_buf_root <> 0 then ti.Catalog.ti_buf_root
+        else begin
+          let pid =
+            E.alloc_page eng ~ptype:P.P_msg_buffer ~level:0
+              ~table_id:ti.Catalog.ti_id
+          in
+          ti.Catalog.ti_buf_root <- pid;
+          Catalog.store_redo_only (E.catalog_exn eng) ti;
+          pid
+        end
+      in
+      let buf = Ingest.create ~table_id:ti.Catalog.ti_id ~page_id:pid in
+      Hashtbl.replace eng.E.ingest_bufs ti.Catalog.ti_id buf;
+      buf
+
+(* Every message in [msgs] destined for the router range [low, high) —
+   one run, applied in one page visit.  Pages are independent, so pulling
+   a page's messages out of the global arrival order is safe as long as
+   the per-page order is preserved (partition keeps it): each page sees
+   exactly the version sequence a per-row execution would have built. *)
+let partition_run msgs ~low ~high =
+  List.partition (fun m -> in_range m.Ingest.m_key ~low ~high) msgs
+
+(* Apply a run of messages to data page [pid]: stamp once, index the
+   version-chain heads once, then plan and apply each message in arrival
+   order — byte-identical page mutations to the per-row path — and log
+   the whole run as one redo-only [Op_version_batch].  Application
+   precedes logging because each insert must be on the page before the
+   next can be planned; transactional undo hangs off the messages'
+   [Op_msg_append] records, never off the batch.  Returns the suffix
+   that did not fit. *)
+let apply_run eng ti ~pid run =
+  BP.with_page eng.E.pool pid (fun fr ->
+      let page = BP.bytes fr in
+      let index = Hashtbl.create 32 in
+      List.iter
+        (fun (key, slot) -> Hashtbl.replace index key slot)
+        (V.current_slots page);
+      let batch = ref [] in
+      let applied = ref 0 in
+      let rec apply = function
+        | [] -> []
+        | ({ Ingest.m_key = key; _ } as m) :: rest as pending -> (
+            match
+              V.plan_insert_with_pred page
+                ~pred:(Hashtbl.find_opt index key)
+                ~key ~payload:m.Ingest.m_payload ~tid:m.Ingest.m_tid
+                ~delete_stub:(m.Ingest.m_kind = Ingest.M_delete)
+            with
+            | None -> pending
+            | Some pi ->
+                V.apply_insert page pi;
+                batch :=
+                  (pi.V.pi_slot, pi.V.pi_body, pi.V.pi_pred_slot, pi.V.pi_pred_old_flags)
+                  :: !batch;
+                Hashtbl.replace index key pi.V.pi_slot;
+                incr applied;
+                apply rest)
+      in
+      let leftover = apply run in
+      if !applied > 0 then begin
+        (* with per-row revisits gone, flush visits are where trigger-four
+           stamping happens: one scan covers both the already-committed
+           older versions and this run's committed arrivals, keeping the
+           PTT collectible *)
+        E.stamp_page eng fr;
+        E.log_applied eng fr
+          (LR.Op_version_batch
+             { inserts = List.rev !batch; table_id = ti.Catalog.ti_id });
+        let m = eng.E.metrics in
+        Imdb_obs.Metrics.incr m Imdb_obs.Metrics.ingest_flush_pages;
+        Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_ingest_flush_run !applied
+      end;
+      leftover)
+
+(* Drain-time message application: route each run to its page, splitting
+   full pages at the deferred clock the overflowing message recorded —
+   the time an unbuffered descent would have chosen.  The budget mirrors
+   the per-row path's bounded split retries. *)
+let apply_messages eng ti msgs =
+  let rec go budget msgs =
+    match msgs with
+    | [] -> ()
+    | { Ingest.m_key = key; _ } :: _ ->
+        if budget = 0 then
+          raise
+            (Page_overflow
+               (Printf.sprintf "table %s: cannot make room (flush)"
+                  ti.Catalog.ti_name));
+        let pid, low, high = locate eng ti ~key in
+        let run, rest = partition_run msgs ~low ~high in
+        let leftover = apply_run eng ti ~pid run in
+        (match leftover with
+        | [] -> go 4 rest
+        | m :: _ ->
+            let incoming =
+              if eng.E.config.E.ingest_split_hint then
+                List.fold_left
+                  (fun acc m ->
+                    acc
+                    + V.version_size ~key:m.Ingest.m_key
+                        ~payload:m.Ingest.m_payload)
+                  0 leftover
+              else 0
+            in
+            Imdb_obs.Metrics.incr eng.E.metrics
+              Imdb_obs.Metrics.ingest_deferred_splits;
+            split_data_page eng ti ~pid ~low ~high
+              ~split_at:(Ts.succ m.Ingest.m_clock) ~incoming;
+            let progressed = List.length leftover < List.length run in
+            go (if progressed then 4 else budget - 1) (leftover @ rest))
+  in
+  go 4 msgs
+
+(* Drain the table's buffer: apply every message downward, then truncate
+   the buffer page with a redo-only reformat (recovery replays the same
+   sequence).  Readers call this before descending, so buffered state is
+   never visible — a buffered engine answers every query exactly like an
+   unbuffered one. *)
+let flush_ingest eng ti =
+  match E.ingest_buf eng ti with
+  | None -> ()
+  | Some buf ->
+      if not (buf.Ingest.b_flushing || Ingest.is_empty buf) then begin
+        buf.Ingest.b_flushing <- true;
+        Fun.protect ~finally:(fun () -> buf.Ingest.b_flushing <- false)
+        @@ fun () ->
+        Imdb_obs.Tracer.with_span eng.E.tracer "ingest.flush"
+          ~attrs:[ ("table", ti.Catalog.ti_name) ]
+        @@ fun sp ->
+        let msgs = Ingest.drain buf in
+        let n = List.length msgs in
+        apply_messages eng ti msgs;
+        BP.with_page eng.E.pool buf.Ingest.b_page (fun fr ->
+            E.exec_op eng fr ~undoable:false
+              (LR.Op_format
+                 {
+                   page_type = P.P_msg_buffer;
+                   table_id = ti.Catalog.ti_id;
+                   level = 0;
+                 }));
+        let m = eng.E.metrics in
+        Imdb_obs.Metrics.incr m Imdb_obs.Metrics.ingest_flushes;
+        Imdb_obs.Metrics.incr ~by:n m Imdb_obs.Metrics.ingest_flush_messages;
+        Imdb_obs.Tracer.add_attr sp "messages" (string_of_int n)
+      end
+
+(* Read-only presence probe for the buffered existence checks — the
+   buffer's newest-message map answers for buffered keys; this answers
+   for everything already on pages. *)
+let probe_exists eng ti ~key =
+  let pid = locate_page eng ti ~key in
+  BP.with_page eng.E.pool pid (fun fr ->
+      let page = BP.bytes fr in
+      match V.find_current page ~key with
+      | None -> false
+      | Some slot -> R.in_page_flags page slot land R.f_delete_stub = 0)
+
+(* The buffered write: one message append in place of a page descent.
+   Existence semantics (INSERT/UPDATE/DELETE) are decided from the
+   newest buffered message for the key, falling back to the pages; the
+   append itself is an undoable WAL record, so aborts remove the message
+   (and, after a crash mid-flush, any applied version) and a committed
+   buffer survives crashes. *)
+let write_buffered eng txn ti ~key ~payload ~kind =
+  let buf = ingest_buf_for eng ti in
+  (match kind with
+  | W_upsert -> ()
+  | W_insert | W_update | W_delete -> (
+      let exists =
+        match Ingest.newest buf ~key with
+        | Some m -> m.Ingest.m_kind <> Ingest.M_delete
+        | None -> probe_exists eng ti ~key
+      in
+      match kind with
+      | W_insert when exists -> raise (Duplicate_key key)
+      | (W_update | W_delete) when not exists -> raise (No_such_key key)
+      | _ -> ()));
+  let msg =
+    {
+      Ingest.m_seq = E.next_ingest_seq eng;
+      m_tid = txn.E.tx_tid;
+      m_kind =
+        (match kind with
+        | W_insert -> Ingest.M_insert
+        | W_update -> Ingest.M_update
+        | W_upsert -> Ingest.M_upsert
+        | W_delete -> Ingest.M_delete);
+      m_key = key;
+      m_payload = (if kind = W_delete then "" else payload);
+      m_clock = Imdb_clock.Clock.last_issued eng.E.clock;
+    }
+  in
+  let body = Ingest.encode_msg msg in
+  let rec append attempts =
+    let appended =
+      BP.with_page eng.E.pool buf.Ingest.b_page (fun fr ->
+          let page = BP.bytes fr in
+          (* the buffer page is append-only between wholesale truncations,
+             so always grow a fresh slot: no dead-slot scan per append
+             (rollbacks leave tombstones, reclaimed at the next reformat) *)
+          if P.free_space page < Bytes.length body + 4 then false
+          else begin
+            let slot = P.slot_count page in
+            E.with_txn eng txn (fun () ->
+                E.exec_op eng fr ~undoable:true
+                  (LR.Op_msg_append { slot; body; table_id = ti.Catalog.ti_id }));
+            true
+          end)
+    in
+    if not appended then begin
+      if attempts = 0 then
+        raise
+          (Page_overflow
+             (Printf.sprintf "table %s: message larger than the buffer page"
+                ti.Catalog.ti_name));
+      flush_ingest eng ti;
+      append (attempts - 1)
+    end
+  in
+  append 1;
+  Ingest.add buf msg;
+  Imdb_tstamp.Vtt.incr_ref (E.vtt eng) txn.E.tx_tid;
+  E.note_write eng txn ~table_id:ti.Catalog.ti_id ~key ~immortal:true;
+  Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.ingest_appends;
+  if Ingest.count buf >= eng.E.config.E.ingest_buffer_rows then
+    flush_ingest eng ti
+
 (* Insert a new version of [key] (a delete stub for [W_delete]).  SQL
    semantics: INSERT requires absence, UPDATE/DELETE require presence,
    upsert accepts both. *)
@@ -295,6 +574,14 @@ let write_version eng txn ti ~key ~payload ~kind =
     ~attrs:[ ("table", ti.Catalog.ti_name) ]
   @@ fun _ ->
   E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.X;
+  if
+    E.ingest_enabled eng ti
+    && match txn.E.tx_isolation with E.Serializable -> true | _ -> false
+  then write_buffered eng txn ti ~key ~payload ~kind
+  else begin
+  (* buffered state must land before a per-row descent relies on page
+     contents (existence checks, SI first-committer-wins validation) *)
+  flush_ingest eng ti;
   let immortal = ti.Catalog.ti_mode = Catalog.Immortal in
   let rec attempt budget =
     if budget = 0 then
@@ -307,19 +594,19 @@ let write_version eng txn ti ~key ~payload ~kind =
              non-timestamped version timestamps the existing versions of
              that record *)
           E.stamp_record eng fr ~key;
-          match
-            V.plan_insert page ~key ~payload ~tid:txn.E.tx_tid
-              ~delete_stub:(kind = W_delete)
-          with
-          | None -> true
-          | Some pi ->
-              (* SI validation and existence checks ride on the plan's
-                 predecessor lookup instead of re-scanning the page *)
-              (match txn.E.tx_isolation with
-              | E.Snapshot_isolation when pi.V.pi_pred_slot <> R.no_vp ->
-                  validate_si_write eng txn page ~key
-              | E.Snapshot_isolation
-                when Ts.compare (P.split_time page) txn.E.tx_snapshot > 0 ->
+          (* one predecessor probe serves the SI validation, the
+             existence check and the insert plan.  Checks come before the
+             plan so a doomed write (duplicate insert, update of a
+             missing key) mutates nothing — in particular it must not
+             split a full page it was never going to write, which would
+             make the structure diverge from a buffered execution (whose
+             probe-based existence checks never make room either) *)
+          let pred = V.find_current page ~key in
+          (match txn.E.tx_isolation with
+          | E.Snapshot_isolation when pred <> None ->
+              validate_si_write eng txn page ~key
+          | E.Snapshot_isolation
+            when Ts.compare (P.split_time page) txn.E.tx_snapshot > 0 ->
                   (* no current version here, but the page time-split
                      after our snapshot: a competing deletion may have
                      moved the key's whole chain (ending in a stub) to
@@ -356,15 +643,22 @@ let write_version eng txn ti ~key ~payload ~kind =
                           then probe next
                   in
                   probe (P.history_pointer page)
-              | _ -> ());
-              let exists =
-                pi.V.pi_pred_slot <> R.no_vp
-                && pi.V.pi_pred_old_flags land R.f_delete_stub = 0
-              in
-              (match kind with
-              | W_insert when exists -> raise (Duplicate_key key)
-              | (W_update | W_delete) when not exists -> raise (No_such_key key)
-              | _ -> ());
+          | _ -> ());
+          let exists =
+            match pred with
+            | Some slot -> R.in_page_flags page slot land R.f_delete_stub = 0
+            | None -> false
+          in
+          (match kind with
+          | W_insert when exists -> raise (Duplicate_key key)
+          | (W_update | W_delete) when not exists -> raise (No_such_key key)
+          | _ -> ());
+          match
+            V.plan_insert_with_pred page ~pred ~key ~payload ~tid:txn.E.tx_tid
+              ~delete_stub:(kind = W_delete)
+          with
+          | None -> true
+          | Some pi ->
               E.with_txn eng txn (fun () ->
                   E.exec_op eng fr ~undoable:true
                     (LR.Op_version_insert
@@ -387,6 +681,7 @@ let write_version eng txn ti ~key ~payload ~kind =
     end
   in
   attempt 4
+  end
 
 (* --- conventional writes --------------------------------------------------- *)
 
@@ -580,6 +875,7 @@ let read_current eng txn ti ~key =
 
 let read eng txn ti ~key =
   E.check_running txn;
+  flush_ingest eng ti;
   match ti.Catalog.ti_mode with
   | Catalog.Conventional ->
       E.lock_record eng txn ~table_id:ti.Catalog.ti_id ~key Imdb_lock.Lock_manager.S;
@@ -594,10 +890,6 @@ let read eng txn ti ~key =
           read_versioned_at eng txn ti ~key ~t)
 
 (* --- scans ------------------------------------------------------------------ *)
-
-let in_range key ~low ~high =
-  String.compare key low >= 0
-  && match high with None -> true | Some h -> String.compare key h < 0
 
 (* Intersect the router ranges with a requested key window
    [lo, hi) — the page set a range scan must visit, with the effective
@@ -904,6 +1196,7 @@ let scan_as_of eng ?lo ?hi txn ti ~t f =
   E.check_running txn;
   if ti.Catalog.ti_mode <> Catalog.Immortal then
     raise (Not_versioned (ti.Catalog.ti_name ^ ": AS OF needs an IMMORTAL table"));
+  flush_ingest eng ti;
   scan_versioned_at eng ?lo ?hi ti ~t f
 
 (* Isolation-aware scan: what SELECT sees.  Serializable transactions
@@ -911,6 +1204,7 @@ let scan_as_of eng ?lo ?hi txn ti ~t f =
    snapshot (own writes visible); AS OF transactions scan history. *)
 let scan eng ?lo ?hi txn ti f =
   E.check_running txn;
+  flush_ingest eng ti;
   match (ti.Catalog.ti_mode, txn.E.tx_isolation) with
   | Catalog.Conventional, _ | _, E.Serializable -> scan_current eng ?lo ?hi txn ti f
   | _, E.Snapshot_isolation ->
@@ -1043,6 +1337,7 @@ let history eng txn ti ~key =
   E.check_running txn;
   if ti.Catalog.ti_mode <> Catalog.Immortal then
     raise (Not_versioned (ti.Catalog.ti_name ^ ": history needs an IMMORTAL table"));
+  flush_ingest eng ti;
   match eng.E.histcache with
   | Some hc -> (
       match E.scan_pool eng with

@@ -112,9 +112,25 @@ val history :
 (** {1 Maintenance} *)
 
 val split_data_page :
-  Engine.t -> Catalog.table_info -> pid:int -> low:string -> high:string option -> unit
+  ?split_at:Imdb_clock.Timestamp.t ->
+  ?incoming:int ->
+  Engine.t ->
+  Catalog.table_info ->
+  pid:int ->
+  low:string ->
+  high:string option ->
+  unit
 (** Make room in a full data page: time split + optional key split
-    (immortal) or version GC + fallback key split (snapshot). *)
+    (immortal) or version GC + fallback key split (snapshot).
+    [split_at] is a buffer flush's deferred split time; [incoming] feeds
+    the batch-occupancy key-split hint (both default to the classic
+    per-row behavior). *)
+
+val flush_ingest : Engine.t -> Catalog.table_info -> unit
+(** Drain the table's ingest buffer (no-op when empty or absent): apply
+    every buffered message downward and truncate the buffer page.  Reads
+    do this implicitly; {!Db.vacuum} and checkpointing call it so
+    maintenance sees fully-applied state. *)
 
 val eager_stamp_writes : Engine.t -> Engine.txn -> ts:Imdb_clock.Timestamp.t -> unit
 (** Eager-mode commit support: revisit, stamp and {e log} every version

@@ -169,8 +169,66 @@ let undo_op eng txn ~op =
                              new_b = Bytes.make 1 (Char.chr new_flags);
                            }))
               | Some _ | None -> () (* already undone *)))
+  | LR.Op_msg_append { body; table_id; _ } -> (
+      match E.table_by_id eng table_id with
+      | None -> ()
+      | Some ti ->
+          let msg = Ingest.decode_msg body in
+          (* Guard 1: the message is still buffered — drop it from the
+             mirror and the buffer page, so no later flush can apply a
+             loser's write.  Guard 2: a flush already applied it — remove
+             our (necessarily unstamped) version from the data page, the
+             Op_version_insert undo relocated through the router.  After a
+             crash mid-flush both states can coexist (applied but not yet
+             truncated); both guards fire and [decr_ref_rollback]
+             saturates, so re-undoing stays idempotent. *)
+          (match E.ingest_buf eng ti with
+          | Some buf when Ingest.remove_seq buf ~seq:msg.Ingest.m_seq ->
+              BP.with_page eng.E.pool buf.Ingest.b_page (fun fr ->
+                  let page = BP.bytes fr in
+                  let victim = ref None in
+                  P.iter_live page (fun slot ->
+                      if !victim = None then
+                        let m = Ingest.decode_msg (P.read_cell page slot) in
+                        if m.Ingest.m_seq = msg.Ingest.m_seq then victim := Some slot);
+                  match !victim with
+                  | Some slot ->
+                      let cell = P.read_cell page slot in
+                      E.exec_op eng fr ~undoable:false
+                        (LR.Op_delete { slot; body = cell });
+                      Imdb_tstamp.Vtt.decr_ref_rollback (E.vtt eng) txn.E.tx_tid
+                  | None -> ())
+          | Some _ | None -> ());
+          let key = msg.Ingest.m_key in
+          let pid, _, _ = Table.locate eng ti ~key in
+          BP.with_page eng.E.pool pid (fun fr ->
+              let page = BP.bytes fr in
+              match V.find_current page ~key with
+              | Some slot
+                when R.in_page_ttime page slot = Tid.Unstamped txn.E.tx_tid -> (
+                  let vp = R.in_page_vp page slot in
+                  let vp_local =
+                    vp <> R.no_vp
+                    && R.in_page_flags page slot land R.f_vp_in_history = 0
+                  in
+                  let cell = P.read_cell page slot in
+                  E.exec_op eng fr ~undoable:false (LR.Op_delete { slot; body = cell });
+                  Imdb_tstamp.Vtt.decr_ref_rollback (E.vtt eng) txn.E.tx_tid;
+                  if vp_local then
+                    let old_flags = R.in_page_flags page vp in
+                    let new_flags = old_flags land lnot R.f_non_current in
+                    if new_flags <> old_flags then
+                      E.exec_op eng fr ~undoable:false
+                        (LR.Op_patch
+                           {
+                             slot = vp;
+                             at = 0;
+                             old_b = Bytes.make 1 (Char.chr old_flags);
+                             new_b = Bytes.make 1 (Char.chr new_flags);
+                           }))
+              | Some _ | None -> () (* never flushed, or already undone *)))
   | LR.Op_insert _ | LR.Op_delete _ | LR.Op_replace _ | LR.Op_patch _
-  | LR.Op_header _ | LR.Op_format _ | LR.Op_image _ ->
+  | LR.Op_header _ | LR.Op_format _ | LR.Op_image _ | LR.Op_version_batch _ ->
       failwith "Txnmgr.undo_op: physical op in an undoable record"
 
 (* Walk the transaction's log chain newest-first, undoing every update. *)

@@ -242,8 +242,12 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
    enabled; see Tracer).
 
    v6 adds recovery.torn_pages (pages whose checksum failed after a crash
-   and were rebuilt wholesale from the log). *)
-let schema_version = 6
+   and were rebuilt wholesale from the log).
+
+   v7: write-optimized ingestion — the ingest.* counters (appends,
+   flushes, flushed messages / page visits / deferred splits) and the
+   ingest.flush_run histogram (messages applied per data-page visit). *)
+let schema_version = 7
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -355,6 +359,12 @@ let trace_spans = "trace.spans"
 let trace_drops = "trace.dropped"
 let trace_slow_ops = "trace.slow_ops"
 let recovery_redo_lsn = "recovery.redo_lsn"
+let ingest_appends = "ingest.appends"
+let ingest_flushes = "ingest.flushes"
+let ingest_flush_messages = "ingest.flush_messages"
+let ingest_flush_pages = "ingest.flush_pages"
+let ingest_deferred_splits = "ingest.deferred_splits"
+let ingest_hint_key_splits = "ingest.hint_key_splits"
 
 let h_log_record_bytes = "log.record_bytes"
 let h_log_flush_bytes = "log.flush_bytes"
@@ -367,4 +377,5 @@ let h_ptt_gc_batch = "ptt.gc_batch"
 let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"
 let h_page_utilization_pct = "page.utilization_pct"
+let h_ingest_flush_run = "ingest.flush_run"
 let span_hist name = "span." ^ name ^ "_us"

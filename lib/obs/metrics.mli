@@ -107,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 6,
+    { "schema_version": 7,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -191,6 +191,25 @@ val recovery_redo_lsn : string
     a live progress indicator while recovery runs, the final redo
     position afterwards. *)
 
+val ingest_appends : string
+(** Writes that became buffered messages instead of page descents. *)
+
+val ingest_flushes : string
+(** Buffer drains (fill-, descent- or read-triggered). *)
+
+val ingest_flush_messages : string
+(** Messages applied to data pages by flushes. *)
+
+val ingest_flush_pages : string
+(** Data-page visits made by flushes (one visit applies a whole run). *)
+
+val ingest_deferred_splits : string
+(** Time splits performed during a flush at a message's recorded clock. *)
+
+val ingest_hint_key_splits : string
+(** Key splits taken early because batch-arrival occupancy predicted
+    overflow ([ingest_split_hint]). *)
+
 (** Histogram names. *)
 
 val h_log_record_bytes : string
@@ -206,6 +225,7 @@ val h_ptt_gc_batch : string
 val h_split_current_live : string
 val h_split_history_live : string
 val h_page_utilization_pct : string
+val h_ingest_flush_run : string
 
 val span_hist : string -> string
 (** [span_hist name] is the duration histogram ["span." ^ name ^ "_us"]

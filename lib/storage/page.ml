@@ -53,6 +53,7 @@ type page_type =
   | P_tsb_index (* TSB-tree index node *)
   | P_heap (* unversioned auxiliary storage (split-store baseline) *)
   | P_history_compressed (* delta-compressed historical page (Vcompress) *)
+  | P_msg_buffer (* buffered ingest messages awaiting a downward flush *)
 
 let int_of_page_type = function
   | P_free -> 0
@@ -63,6 +64,7 @@ let int_of_page_type = function
   | P_tsb_index -> 5
   | P_heap -> 6
   | P_history_compressed -> 7
+  | P_msg_buffer -> 8
 
 let page_type_of_int = function
   | 0 -> P_free
@@ -73,6 +75,7 @@ let page_type_of_int = function
   | 5 -> P_tsb_index
   | 6 -> P_heap
   | 7 -> P_history_compressed
+  | 8 -> P_msg_buffer
   | n -> invalid_arg (Printf.sprintf "Page.page_type_of_int: %d" n)
 
 let pp_page_type ppf t =
@@ -85,7 +88,8 @@ let pp_page_type ppf t =
     | P_index -> "index"
     | P_tsb_index -> "tsb-index"
     | P_heap -> "heap"
-    | P_history_compressed -> "history-z")
+    | P_history_compressed -> "history-z"
+    | P_msg_buffer -> "msg-buffer")
 
 (* --- header accessors -------------------------------------------------- *)
 

@@ -37,6 +37,10 @@ type page_type =
       (** delta-compressed historical page; same 56-byte header (so
           header-only chain walks work untouched), cells replaced by a
           {!Vcompress} blob, slot count 0 (so stamping sweeps no-op) *)
+  | P_msg_buffer
+      (** per-table ingest buffer: each cell is one encoded write message
+          (arrival-ordered by sequence number) awaiting a batch flush into
+          the table's current data pages *)
 
 val int_of_page_type : page_type -> int
 val page_type_of_int : int -> page_type

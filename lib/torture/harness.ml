@@ -27,6 +27,7 @@ type crash_kind =
   | Crash_history_write
   | Crash_meta_write
   | Crash_recovery
+  | Crash_buffer_write
 
 let crash_kind_name = function
   | Crash_wal_tail -> "wal-tail"
@@ -34,9 +35,17 @@ let crash_kind_name = function
   | Crash_history_write -> "history-write"
   | Crash_meta_write -> "meta-write"
   | Crash_recovery -> "recovery"
+  | Crash_buffer_write -> "buffer-write"
 
 let all_crash_kinds =
-  [ Crash_wal_tail; Crash_data_write; Crash_history_write; Crash_meta_write; Crash_recovery ]
+  [
+    Crash_wal_tail;
+    Crash_data_write;
+    Crash_history_write;
+    Crash_meta_write;
+    Crash_recovery;
+    Crash_buffer_write;
+  ]
 
 let kind_index k =
   let rec go i = function
@@ -61,6 +70,7 @@ type config = {
   history_compression : bool;
   verify_every : int;
   verify_limit : int;
+  bulk : bool;
   sabotage : sabotage option;
   schedule : crash_point list option;
   log : (string -> unit) option;
@@ -80,6 +90,7 @@ let default =
     history_compression = true;
     verify_every = 0;
     verify_limit = 0;
+    bulk = false;
     sabotage = None;
     schedule = None;
     log = None;
@@ -435,6 +446,56 @@ let run cfg =
     end
   in
 
+  (* A bulk-insert transaction: 16–48 upserts on distinct keys in one
+     transaction.  Deliberately shaped like `imdb load` batches — fills
+     the ingest buffer fast enough to force mid-transaction flushes, so
+     crashes land on half-flushed buffers. *)
+  let bulk_step () =
+    let budget = cfg.ops - !ops_done in
+    if budget > 0 then begin
+      let size = min (16 + Rng.int rng 33) budget in
+      tick ();
+      let txn = Db.begin_txn !db in
+      inflight := Some (txn, []);
+      let writes = ref [] in
+      let seen = Hashtbl.create 16 in
+      let donec = ref 0 in
+      let attempts = ref 0 in
+      while !donec < size && !attempts < size * 4 do
+        incr attempts;
+        let table = List.nth table_names (Rng.int rng cfg.tables) in
+        let key = key_name (Rng.int rng cfg.keys_per_table) in
+        if not (Hashtbl.mem seen (table, key)) then begin
+          Hashtbl.replace seen (table, key) ();
+          let value = gen_value () in
+          Db.upsert !db txn ~table ~key ~payload:value;
+          writes := { Model.w_table = table; w_key = key; w_value = Some value } :: !writes;
+          inflight := Some (txn, List.rev !writes);
+          incr donec;
+          incr ops_done
+        end
+      done;
+      if !writes = [] then begin
+        Db.abort !db txn;
+        inflight := None
+      end
+      else begin
+        match Db.commit !db txn with
+        | Some ts ->
+            inflight := None;
+            record_commit ~ts (List.rev !writes);
+            watch :=
+              (ts, txn, List.rev !writes)
+              :: List.filter (fun (_, t, _) -> not t.E.tx_durable) !watch;
+            act "op %d: bulk commit ts=%s (%d upserts)" !ops_done (Ts.to_string ts)
+              (List.length !writes)
+        | None ->
+            fail "op %d: bulk commit of a writing transaction returned no timestamp"
+              !ops_done
+      end
+    end
+  in
+
   let spot_check () =
     let n = Model.commit_count model in
     if n > 0 then begin
@@ -632,6 +693,13 @@ let run cfg =
         armed := Some (cp, !commits);
         act "crash point armed: meta-write%s (mid-checkpoint)"
           (if cp.cp_torn then " (torn)" else "")
+    | Crash_buffer_write ->
+        Disk.arm plan ~tear:cp.cp_torn
+          ~target:(Disk.Writes_of_type [ Page.P_msg_buffer ])
+          ~after:0 ();
+        armed := Some (cp, !commits);
+        act "crash point armed: buffer-write%s (ingest buffer page)"
+          (if cp.cp_torn then " (torn)" else "")
   in
 
   let on_io_failure () =
@@ -714,6 +782,7 @@ let run cfg =
             | exception Db.Vacuum_blocked _ -> ()
           end
           else if dice < 9 then spot_check ()
+          else if cfg.bulk && dice < 16 then bulk_step ()
           else txn_step ()
         with Disk.Io_failure _ -> on_io_failure ());
        if
@@ -785,10 +854,10 @@ let describe_config cfg =
   let sched = schedule_of cfg in
   Printf.sprintf
     "seed=%d ops=%d crashes=%d tables=%dx%d page=%dB pool=%d window=%d ckpt-every=%d \
-     compression=%b verify-every=%d verify-limit=%d schedule=[%s]"
+     compression=%b verify-every=%d verify-limit=%d bulk=%b schedule=[%s]"
     cfg.seed cfg.ops cfg.crashes cfg.tables cfg.keys_per_table cfg.page_size
     cfg.pool_capacity cfg.group_commit_window cfg.auto_checkpoint_every
-    cfg.history_compression cfg.verify_every cfg.verify_limit
+    cfg.history_compression cfg.verify_every cfg.verify_limit cfg.bulk
     (String.concat "; "
        (List.map
           (fun cp ->

@@ -28,6 +28,10 @@ type crash_kind =
   | Crash_recovery
       (** crash, then fail one of recovery's own writes, then recover
           again: redo/undo idempotence across a double crash *)
+  | Crash_buffer_write
+      (** the next ingest-buffer-page write fails: the buffered write
+          path loses its volatile buffer mirror with messages (possibly
+          half-flushed) in flight *)
 
 val crash_kind_name : crash_kind -> string
 val all_crash_kinds : crash_kind list
@@ -62,6 +66,9 @@ type config = {
   verify_limit : int;
       (** cap on AS OF times checked per table per verification, newest
           checked densely, older ones by stride (0 = every one) *)
+  bulk : bool;
+      (** mix in bulk-insert transactions (~1 in 12): 16–48 upserts in
+          one transaction, stressing the buffered-ingestion flush path *)
   sabotage : sabotage option;
   schedule : crash_point list option;  (** [None]: derived from [seed] *)
   log : (string -> unit) option;  (** replay mode: every action printed *)

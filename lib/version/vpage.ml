@@ -182,8 +182,12 @@ type planned_insert = {
   pi_pred_old_flags : int;
 }
 
-let plan_insert page ~key ~payload ~tid ~delete_stub =
-  let pred = find_current page ~key in
+(* Batch variant for the ingest flush: the caller maintains a key ->
+   current-slot index across a whole run of inserts into one page, so the
+   O(slots) [find_current] probe runs once per page visit instead of once
+   per message.  Produces byte-identical plans to [plan_insert] given the
+   predecessor [find_current] would have found. *)
+let plan_insert_with_pred page ~pred ~key ~payload ~tid ~delete_stub =
   let vp, pred_flags =
     match pred with
     | Some slot -> (slot, R.in_page_flags page slot)
@@ -203,6 +207,10 @@ let plan_insert page ~key ~payload ~tid ~delete_stub =
         pi_pred_slot = vp;
         pi_pred_old_flags = pred_flags;
       }
+
+let plan_insert page ~key ~payload ~tid ~delete_stub =
+  plan_insert_with_pred page ~pred:(find_current page ~key) ~key ~payload ~tid
+    ~delete_stub
 
 (* Apply a planned insert: identical to Log_record's redo of
    Op_version_insert, shared here so normal execution and recovery replay

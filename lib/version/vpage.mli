@@ -63,6 +63,18 @@ val plan_insert :
   planned_insert option
 (** [None] when the page is full (the caller splits first). *)
 
+val plan_insert_with_pred :
+  bytes ->
+  pred:int option ->
+  key:string ->
+  payload:string ->
+  tid:Imdb_clock.Tid.t ->
+  delete_stub:bool ->
+  planned_insert option
+(** Batch variant for the ingest flush: [pred] is the chain head
+    [find_current] would return, maintained by the caller across a run so
+    the per-message page scan disappears.  Byte-identical plans. *)
+
 val apply_insert : bytes -> planned_insert -> unit
 
 (** {1 Timestamp propagation} *)

@@ -57,6 +57,23 @@ type page_op =
          both the new version and the flag patch on its predecessor.
          undo: remove the newest version of the record's key and restore
          the predecessor to currency, wherever splits have taken them. *)
+  | Op_msg_append of { slot : int; body : bytes; table_id : int }
+      (* Ingest-buffer message append (buffered write path): the cell is
+         an encoded write message in table [table_id]'s buffer page.
+         undo: remove the message from the buffer if still there, and
+         remove the version it produced from the data page if a flush
+         already applied it (at most one of the two exists per guard). *)
+  | Op_version_batch of {
+      inserts : (int * bytes * int * int) list;
+          (* (slot, body, pred_slot, pred_old_flags) per version, in
+             application order *)
+      table_id : int;
+    }
+      (* A buffer flush's whole run of version-chain inserts against one
+         data page, logged as a single physiological record.  Redo-only:
+         transactional undo hangs off each version's [Op_msg_append]
+         (whose second guard removes flushed versions), so the batch
+         itself is a structure migration, like a time split. *)
 
 type body =
   | Begin of { tid : Imdb_clock.Tid.t }
@@ -105,6 +122,14 @@ let redo_op page op =
       P.insert_at_slot page slot body;
       if pred_slot <> R.no_vp then
         R.set_in_page_flags page pred_slot (pred_old_flags lor R.f_non_current)
+  | Op_msg_append { slot; body; _ } -> P.insert_at_slot page slot body
+  | Op_version_batch { inserts; _ } ->
+      List.iter
+        (fun (slot, body, pred_slot, pred_old_flags) ->
+          P.insert_at_slot page slot body;
+          if pred_slot <> R.no_vp then
+            R.set_in_page_flags page pred_slot (pred_old_flags lor R.f_non_current))
+        inserts
 
 (* The inverse operation, for rollback CLRs.  Raises on redo-only ops,
    which must never reach the undo path. *)
@@ -116,8 +141,10 @@ let invert_op = function
   | Op_patch { slot; at; old_b; new_b } ->
       Op_patch { slot; at; old_b = new_b; new_b = old_b }
   | Op_header { at; old_b; new_b } -> Op_header { at; old_b = new_b; new_b = old_b }
-  | Op_format _ | Op_image _ -> invalid_arg "Log_record.invert_op: redo-only op"
-  | Op_kv_insert _ | Op_kv_replace _ | Op_kv_delete _ | Op_version_insert _ ->
+  | Op_format _ | Op_image _ | Op_version_batch _ ->
+      invalid_arg "Log_record.invert_op: redo-only op"
+  | Op_kv_insert _ | Op_kv_replace _ | Op_kv_delete _ | Op_version_insert _
+  | Op_msg_append _ ->
       invalid_arg "Log_record.invert_op: logical-undo op (engine rollback owns it)"
 
 (* --- serialization ------------------------------------------------------ *)
@@ -134,6 +161,8 @@ let op_tag = function
   | Op_kv_replace _ -> 8
   | Op_kv_delete _ -> 9
   | Op_version_insert _ -> 10
+  | Op_msg_append _ -> 11
+  | Op_version_batch _ -> 12
 
 let write_op w op =
   let module W = Codec.Writer in
@@ -174,6 +203,20 @@ let write_op w op =
       W.lbytes w body;
       W.u16 w pred_slot;
       W.u8 w pred_old_flags;
+      W.u32 w table_id
+  | Op_msg_append { slot; body; table_id } ->
+      W.u16 w slot;
+      W.lbytes w body;
+      W.u32 w table_id
+  | Op_version_batch { inserts; table_id } ->
+      W.u16 w (List.length inserts);
+      List.iter
+        (fun (slot, body, pred_slot, pred_old_flags) ->
+          W.u16 w slot;
+          W.lbytes w body;
+          W.u16 w pred_slot;
+          W.u8 w pred_old_flags)
+        inserts;
       W.u32 w table_id
 
 let read_op r =
@@ -222,6 +265,21 @@ let read_op r =
       let pred_slot = R.u16 r in
       let pred_old_flags = R.u8 r in
       Op_version_insert { slot; body; pred_slot; pred_old_flags; table_id = R.u32 r }
+  | 11 ->
+      let slot = R.u16 r in
+      let body = R.lbytes r in
+      Op_msg_append { slot; body; table_id = R.u32 r }
+  | 12 ->
+      let n = R.u16 r in
+      let inserts =
+        List.init n (fun _ ->
+            let slot = R.u16 r in
+            let body = R.lbytes r in
+            let pred_slot = R.u16 r in
+            let pred_old_flags = R.u8 r in
+            (slot, body, pred_slot, pred_old_flags))
+      in
+      Op_version_batch { inserts; table_id = R.u32 r }
   | n -> failwith (Printf.sprintf "Log_record: bad op tag %d" n)
 
 let body_tag = function
@@ -339,6 +397,11 @@ let pp_op ppf = function
   | Op_kv_delete { slot; body; _ } -> Fmt.pf ppf "kv-delete slot=%d %dB" slot (Bytes.length body)
   | Op_version_insert { slot; pred_slot; body; _ } ->
       Fmt.pf ppf "version-insert slot=%d pred=%d %dB" slot pred_slot (Bytes.length body)
+  | Op_msg_append { slot; body; _ } ->
+      Fmt.pf ppf "msg-append slot=%d %dB" slot (Bytes.length body)
+  | Op_version_batch { inserts; _ } ->
+      Fmt.pf ppf "version-batch n=%d %dB" (List.length inserts)
+        (List.fold_left (fun a (_, b, _, _) -> a + Bytes.length b) 0 inserts)
 
 let pp ppf = function
   | Begin { tid } -> Fmt.pf ppf "BEGIN %a" Imdb_clock.Tid.pp tid

