@@ -496,14 +496,21 @@ let torture_cmd =
            ~doc:"Mix bulk-insert transactions (16-48 upserts each) into the \
                  workload, stressing the buffered-ingestion flush path.")
   in
-  let run seeds ops crashes replay bulk =
+  let sessions_arg =
+    Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Run N concurrent sessions on separate domains (partitioned \
+                 keys, commits merged into the oracle in timestamp order, \
+                 plug pulled mid-group-commit).  Default 1: the classic \
+                 deterministic serial loop.")
+  in
+  let run seeds ops crashes replay bulk sessions =
     let seeds = if seeds = [] then [ 0 ] else seeds in
     let failed = ref false in
     List.iter
       (fun seed ->
         let cfg =
           { H.default with
-            H.seed; ops; crashes; bulk;
+            H.seed; ops; crashes; bulk; sessions;
             log = (if replay then Some (fun s -> Fmt.pr "  %s@." s) else None) }
         in
         Fmt.pr "torture: %s@." (H.describe_config cfg);
@@ -527,7 +534,7 @@ let torture_cmd =
        ~doc:"Run the adversarial crash/workload torture harness against a \
              linearized AS OF oracle.  Exits non-zero on any oracle \
              disagreement, printing the seed that reproduces it.")
-    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg $ bulk_arg)
+    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg $ bulk_arg $ sessions_arg)
 
 (* IMDB_LOG=debug|info enables engine/recovery diagnostics on stderr. *)
 let setup_logs () =

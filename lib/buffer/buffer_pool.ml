@@ -33,7 +33,18 @@
    array the B-tree builds over a page's unsorted cells so point searches
    binary-search instead of decoding every cell.  The directory is pure
    cache — volatile, never logged, never moving the page LSN (the same
-   discipline as lazy timestamping) — and any dirtying invalidates it. *)
+   discipline as lazy timestamping) — and any dirtying invalidates it.
+
+   Concurrency: one pool mutex guards the shared lookup/replacement state
+   (frame table, CLOCK ring, free list, pin counts, dirty transitions) —
+   held only for O(1)-ish bookkeeping, never across a caller's page work.
+   Frame *writeback* (pre-flush stamping, the WAL-before-data flush, the
+   checksum seal, the disk write) runs under a striped frame latch keyed
+   by page id, so flushers of different pages proceed in parallel while
+   two writers of the same frame serialize and the WAL rule holds per
+   frame.  Page *content* accessed through a pinned frame is synchronized
+   by the engine's session gate, exactly like before; [with_latch] is
+   available where content work must exclude a concurrent writeback. *)
 
 module M = Imdb_obs.Metrics
 
@@ -57,10 +68,14 @@ type frame = {
   mutable f_probes : int; (* linear searches since last invalidation *)
 }
 
+let latch_stripes = 16 (* power of two: page id maps by low bits *)
+
 type t = {
   disk : Imdb_storage.Disk.t;
   wal : Imdb_wal.Wal.t;
   capacity : int;
+  pool_mu : Mutex.t; (* frame table, ring, free list, pins, dirty bits *)
+  latches : Mutex.t array; (* striped frame latches for writeback *)
   frames : (int, frame) Hashtbl.t;
   ring : frame option array; (* capacity slots, swept by the hand *)
   mutable hand : int;
@@ -71,9 +86,25 @@ type t = {
 
 let create ?(capacity = 256) ?(metrics = M.null) ~disk ~wal () =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity too small";
-  { disk; wal; capacity; frames = Hashtbl.create (2 * capacity);
+  { disk; wal; capacity; pool_mu = Mutex.create ();
+    latches = Array.init latch_stripes (fun _ -> Mutex.create ());
+    frames = Hashtbl.create (2 * capacity);
     ring = Array.make capacity None; hand = 0;
     free = List.init capacity Fun.id; pre_flush = ignore; metrics }
+
+let locked t f =
+  Mutex.lock t.pool_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pool_mu) f
+
+let latch_of t page_id = t.latches.(page_id land (latch_stripes - 1))
+
+(* Run [f] holding the frame's stripe latch — excludes a concurrent
+   writeback of any frame on the same stripe.  Never taken while waiting
+   on [pool_mu] (lock order: pool mutex, then stripe latch, then WAL). *)
+let with_latch t fr f =
+  let mu = latch_of t fr.f_page_id in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let set_metrics t m = t.metrics <- m
 
@@ -114,14 +145,17 @@ let detach t f =
   t.free <- f.f_slot :: t.free;
   Hashtbl.remove t.frames f.f_page_id
 
-(* Write [f] out: pre-flush hook, WAL rule, checksum seal. *)
+(* Write [f] out: pre-flush hook, WAL rule, checksum seal — all under the
+   frame's stripe latch so the image that hits disk is the image the WAL
+   rule was checked against.  Caller holds [pool_mu]. *)
 let write_frame t f =
-  t.pre_flush f.f_bytes;
-  let page_lsn = Imdb_storage.Page.lsn f.f_bytes in
-  Imdb_wal.Wal.flush ~lsn:page_lsn t.wal;
-  Imdb_storage.Page.seal f.f_bytes;
-  t.disk.Imdb_storage.Disk.write_page f.f_page_id f.f_bytes;
-  f.f_dirty <- false
+  with_latch t f (fun () ->
+      t.pre_flush f.f_bytes;
+      let page_lsn = Imdb_storage.Page.lsn f.f_bytes in
+      Imdb_wal.Wal.flush ~lsn:page_lsn t.wal;
+      Imdb_storage.Page.seal f.f_bytes;
+      t.disk.Imdb_storage.Disk.write_page f.f_page_id f.f_bytes;
+      f.f_dirty <- false)
 
 (* CLOCK sweep: clear reference bits until an unreferenced unpinned frame
    comes under the hand.  Two revolutions suffice — the first clears every
@@ -152,115 +186,142 @@ let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t don
 
 (* Pin an existing page, reading (and verifying) it from disk on a miss. *)
 let pin t page_id =
-  match Hashtbl.find_opt t.frames page_id with
-  | Some f ->
-      M.incr t.metrics M.buf_hits;
-      f.f_pin <- f.f_pin + 1;
-      touch t f;
-      f
-  | None ->
-      M.incr t.metrics M.buf_misses;
-      make_room t;
-      let bytes = t.disk.Imdb_storage.Disk.read_page page_id in
-      if not (Imdb_storage.Page.verify bytes) then raise (Corrupt_page page_id);
-      let f =
-        { f_page_id = page_id; f_bytes = bytes; f_pin = 1; f_dirty = false;
-          f_rec_lsn = 0L; f_ref = true; f_slot = -1; f_keydir = None; f_probes = 0 }
-      in
-      attach t f;
-      f
+  locked t (fun () ->
+      match Hashtbl.find_opt t.frames page_id with
+      | Some f ->
+          M.incr t.metrics M.buf_hits;
+          f.f_pin <- f.f_pin + 1;
+          touch t f;
+          f
+      | None ->
+          M.incr t.metrics M.buf_misses;
+          make_room t;
+          let bytes = t.disk.Imdb_storage.Disk.read_page page_id in
+          if not (Imdb_storage.Page.verify bytes) then
+            raise (Corrupt_page page_id);
+          let f =
+            { f_page_id = page_id; f_bytes = bytes; f_pin = 1; f_dirty = false;
+              f_rec_lsn = 0L; f_ref = true; f_slot = -1; f_keydir = None;
+              f_probes = 0 }
+          in
+          attach t f;
+          f)
 
 (* Pin a frame for a brand-new page: no disk read, caller formats it. *)
 let pin_new t page_id =
-  if Hashtbl.mem t.frames page_id then
-    invalid_arg (Printf.sprintf "Buffer_pool.pin_new: page %d already cached" page_id);
-  make_room t;
-  (* zero-filled: redo gating reads the LSN field of never-written pages *)
-  let f =
-    { f_page_id = page_id; f_bytes = Bytes.make (page_size t) '\000'; f_pin = 1;
-      f_dirty = false; f_rec_lsn = 0L; f_ref = true; f_slot = -1; f_keydir = None;
-      f_probes = 0 }
-  in
-  attach t f;
-  f
+  locked t (fun () ->
+      if Hashtbl.mem t.frames page_id then
+        invalid_arg
+          (Printf.sprintf "Buffer_pool.pin_new: page %d already cached" page_id);
+      make_room t;
+      (* zero-filled: redo gating reads the LSN field of never-written pages *)
+      let f =
+        { f_page_id = page_id; f_bytes = Bytes.make (page_size t) '\000';
+          f_pin = 1; f_dirty = false; f_rec_lsn = 0L; f_ref = true; f_slot = -1;
+          f_keydir = None; f_probes = 0 }
+      in
+      attach t f;
+      f)
 
-let unpin _t f =
-  if f.f_pin <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
-  f.f_pin <- f.f_pin - 1
+let unpin t f =
+  locked t (fun () ->
+      if f.f_pin <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
+      f.f_pin <- f.f_pin - 1)
 
 let bytes f = f.f_bytes
 let page_id f = f.f_page_id
 
 (* Record a logged modification: sets the page LSN and, on a clean->dirty
    transition, the recLSN. *)
-let mark_dirty_logged _t f ~lsn =
-  if not f.f_dirty then begin
-    f.f_dirty <- true;
-    f.f_rec_lsn <- lsn
-  end;
-  invalidate_keydir f;
-  Imdb_storage.Page.set_lsn f.f_bytes lsn
+let mark_dirty_logged t f ~lsn =
+  locked t (fun () ->
+      if not f.f_dirty then begin
+        f.f_dirty <- true;
+        f.f_rec_lsn <- lsn
+      end;
+      invalidate_keydir f;
+      Imdb_storage.Page.set_lsn f.f_bytes lsn)
 
 (* Record an *unlogged* modification (timestamp propagation).  recLSN is
    the current end of log so the dirty-page table pins the redo-scan
    start point behind this page until it reaches disk. *)
 let mark_dirty_unlogged t f =
-  if not f.f_dirty then begin
-    f.f_dirty <- true;
-    f.f_rec_lsn <- Imdb_wal.Wal.next_lsn t.wal
-  end;
-  invalidate_keydir f
+  locked t (fun () ->
+      if not f.f_dirty then begin
+        f.f_dirty <- true;
+        f.f_rec_lsn <- Imdb_wal.Wal.next_lsn t.wal
+      end;
+      invalidate_keydir f)
 
 let with_page t page_id f =
   let fr = pin t page_id in
   Fun.protect ~finally:(fun () -> unpin t fr) (fun () -> f fr)
 
 let flush_page t page_id =
-  match Hashtbl.find_opt t.frames page_id with
-  | Some f when f.f_dirty -> write_frame t f
-  | _ -> ()
+  locked t (fun () ->
+      match Hashtbl.find_opt t.frames page_id with
+      | Some f when f.f_dirty -> write_frame t f
+      | _ -> ())
 
 let flush_all t =
-  let dirty = Hashtbl.fold (fun _ f acc -> if f.f_dirty then f :: acc else acc) t.frames [] in
-  List.iter (fun f -> write_frame t f) dirty
+  locked t (fun () ->
+      let dirty =
+        Hashtbl.fold
+          (fun _ f acc -> if f.f_dirty then f :: acc else acc)
+          t.frames []
+      in
+      List.iter (fun f -> write_frame t f) dirty)
 
 (* Flush pages that have been dirty since before [rec_lsn_limit] — the
    checkpoint-time sweep that moves the redo-scan start point forward (and
    with it, the PTT garbage-collection horizon).  Pinned pages are written
    in place, like a real background writer under a latch. *)
 let flush_older_than t ~rec_lsn_limit =
-  let victims =
-    Hashtbl.fold
-      (fun _ f acc ->
-        if f.f_dirty && Int64.compare f.f_rec_lsn rec_lsn_limit <= 0 then f :: acc
-        else acc)
-      t.frames []
-  in
-  List.iter (fun f -> write_frame t f) victims;
-  List.length victims
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun _ f acc ->
+            if f.f_dirty && Int64.compare f.f_rec_lsn rec_lsn_limit <= 0 then
+              f :: acc
+            else acc)
+          t.frames []
+      in
+      List.iter (fun f -> write_frame t f) victims;
+      List.length victims)
 
 (* (page_id, recLSN) for every dirty page — the DPT stored in checkpoints. *)
 let dirty_page_table t =
-  Hashtbl.fold (fun id f acc -> if f.f_dirty then (id, f.f_rec_lsn) :: acc else acc) t.frames []
-  |> List.sort compare
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun id f acc -> if f.f_dirty then (id, f.f_rec_lsn) :: acc else acc)
+        t.frames []
+      |> List.sort compare)
 
-let cached_page_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.frames [] |> List.sort compare
-let is_cached t page_id = Hashtbl.mem t.frames page_id
+let cached_page_ids t =
+  locked t (fun () ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.frames [] |> List.sort compare)
+
+let is_cached t page_id = locked t (fun () -> Hashtbl.mem t.frames page_id)
 
 (* Crash simulation: discard every frame without writing. *)
 let drop_all t =
-  Hashtbl.reset t.frames;
-  Array.fill t.ring 0 t.capacity None;
-  t.free <- List.init t.capacity Fun.id;
-  t.hand <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.frames;
+      Array.fill t.ring 0 t.capacity None;
+      t.free <- List.init t.capacity Fun.id;
+      t.hand <- 0)
 
 (* Drop a single (unpinned) frame without writing — used when a page is
    freed, so its stale image can never reach disk. *)
 let invalidate t page_id =
-  match Hashtbl.find_opt t.frames page_id with
-  | None -> ()
-  | Some f ->
-      if f.f_pin > 0 then invalid_arg "Buffer_pool.invalidate: page is pinned";
-      detach t f
+  locked t (fun () ->
+      match Hashtbl.find_opt t.frames page_id with
+      | None -> ()
+      | Some f ->
+          if f.f_pin > 0 then
+            invalid_arg "Buffer_pool.invalidate: page is pinned";
+          detach t f)
 
-let pinned_count t = Hashtbl.fold (fun _ f acc -> if f.f_pin > 0 then acc + 1 else acc) t.frames 0
+let pinned_count t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ f acc -> if f.f_pin > 0 then acc + 1 else acc) t.frames 0)

@@ -1,7 +1,13 @@
 (* The public face of the engine — what a downstream application links
    against.  Wraps engine + transaction plumbing with a typed row API on
    top of table schemas, plus database lifecycle (open with recovery,
-   close, crash simulation for tests). *)
+   close, crash simulation for tests).
+
+   Every operation below runs under the engine's session gate
+   ([Engine.exclusively]), so one [Db.t] may be driven from any number of
+   domains — one session each, see [Session].  Single-session callers pay
+   two uncontended mutex operations per call and observe behavior (and
+   metrics) identical to the pre-concurrency engine. *)
 
 module Ts = Imdb_clock.Timestamp
 module E = Engine
@@ -11,6 +17,8 @@ type t = {
   disk : Imdb_storage.Disk.t;
   log_device : Imdb_wal.Wal.Device.t;
 }
+
+let ex t f = E.exclusively t.eng f
 
 type txn = E.txn
 type isolation = E.isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -56,8 +64,8 @@ let open_dir ?(config = E.default_config) ?clock dir =
   let log_device = Imdb_wal.Wal.Device.file ~path:(Filename.concat dir "wal.imdb") in
   open_devices ~config ?clock ~disk ~log_device ()
 
-let close t = E.close t.eng
-let checkpoint t = ignore (E.checkpoint t.eng)
+let close t = ex t (fun () -> E.close t.eng)
+let checkpoint t = ex t (fun () -> ignore (E.checkpoint t.eng))
 let engine t = t.eng
 
 (* The devices this database was opened over.  Crash harnesses need them
@@ -82,6 +90,7 @@ exception Vacuum_blocked of string
    stamping to disk, checkpoint, and drop every PTT entry.  Requires a
    quiet system (no active transactions). *)
 let vacuum t =
+  ex t @@ fun () ->
   let eng = t.eng in
   if Imdb_clock.Tid.Table.length eng.E.active > 0 then
     raise (Vacuum_blocked "active transactions");
@@ -118,8 +127,9 @@ let vacuum t =
    same devices, running recovery.  (In-memory devices survive because the
    OCaml values are shared; file devices reopen from the OS.) *)
 let crash_and_reopen ?config ?clock t =
-  Imdb_wal.Wal.crash_volatile t.eng.E.wal;
-  Imdb_buffer.Buffer_pool.drop_all t.eng.E.pool;
+  ex t (fun () ->
+      Imdb_wal.Wal.crash_volatile t.eng.E.wal;
+      Imdb_buffer.Buffer_pool.drop_all t.eng.E.pool);
   let config = Option.value config ~default:t.eng.E.config in
   open_devices ~config ?clock ~disk:t.disk ~log_device:t.log_device ()
 
@@ -127,9 +137,11 @@ let crash_and_reopen ?config ?clock t =
 (* Transactions                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let begin_txn ?(isolation = Serializable) t = Txnmgr.begin_txn t.eng ~isolation
-let commit t txn = Txnmgr.commit t.eng txn
-let abort t txn = Txnmgr.abort t.eng txn
+let begin_txn ?(isolation = Serializable) t =
+  ex t (fun () -> Txnmgr.begin_txn t.eng ~isolation)
+
+let commit t txn = ex t (fun () -> Txnmgr.commit t.eng txn)
+let abort t txn = ex t (fun () -> Txnmgr.abort t.eng txn)
 
 (* Run [f] in a transaction: commit on success, abort on any exception. *)
 let with_txn ?isolation t f =
@@ -148,21 +160,26 @@ let with_txn ?isolation t f =
 
 let create_table t ~name ~mode ~schema =
   with_txn t (fun txn ->
-      E.with_txn t.eng txn (fun () -> ignore (Table.create t.eng ~name ~mode ~schema)))
+      ex t (fun () ->
+          E.with_txn t.eng txn (fun () ->
+              ignore (Table.create t.eng ~name ~mode ~schema))))
 
 let drop_table t name =
-  with_txn t (fun txn -> E.with_txn t.eng txn (fun () -> Table.drop t.eng name))
+  with_txn t (fun txn ->
+      ex t (fun () -> E.with_txn t.eng txn (fun () -> Table.drop t.eng name)))
 
 (* ALTER TABLE name ENABLE SNAPSHOT (paper §4.1), autocommitted.  On any
    failure the transaction rolls the catalog back; the in-memory table
    cache is restored to the original descriptor as well. *)
 let enable_snapshot t ~table =
-  match E.table_by_name t.eng table with
+  match ex t (fun () -> E.table_by_name t.eng table) with
   | None -> raise (No_such_table table)
   | Some original -> (
       try
         with_txn t (fun txn ->
-            E.with_txn t.eng txn (fun () -> Table.enable_snapshot t.eng original))
+            ex t (fun () ->
+                E.with_txn t.eng txn (fun () ->
+                    Table.enable_snapshot t.eng original)))
       with e ->
         E.register_table t.eng original;
         raise e)
@@ -172,30 +189,42 @@ let table_info t name =
   | Some ti -> ti
   | None -> raise (No_such_table name)
 
-let list_tables t = E.list_tables t.eng
+let list_tables t = ex t (fun () -> E.list_tables t.eng)
 
 (* ------------------------------------------------------------------ *)
 (* Raw key/payload operations                                           *)
 (* ------------------------------------------------------------------ *)
 
-let insert t txn ~table ~key ~payload = Table.insert t.eng txn (table_info t table) ~key ~payload
-let update t txn ~table ~key ~payload = Table.update t.eng txn (table_info t table) ~key ~payload
-let upsert t txn ~table ~key ~payload = Table.upsert t.eng txn (table_info t table) ~key ~payload
-let delete t txn ~table ~key = Table.delete t.eng txn (table_info t table) ~key
-let get t txn ~table ~key = Table.read t.eng txn (table_info t table) ~key
+let insert t txn ~table ~key ~payload =
+  ex t (fun () -> Table.insert t.eng txn (table_info t table) ~key ~payload)
 
-let scan ?lo ?hi t txn ~table f = Table.scan t.eng ?lo ?hi txn (table_info t table) f
+let update t txn ~table ~key ~payload =
+  ex t (fun () -> Table.update t.eng txn (table_info t table) ~key ~payload)
+
+let upsert t txn ~table ~key ~payload =
+  ex t (fun () -> Table.upsert t.eng txn (table_info t table) ~key ~payload)
+
+let delete t txn ~table ~key =
+  ex t (fun () -> Table.delete t.eng txn (table_info t table) ~key)
+
+let get t txn ~table ~key =
+  ex t (fun () -> Table.read t.eng txn (table_info t table) ~key)
+
+let scan ?lo ?hi t txn ~table f =
+  ex t (fun () -> Table.scan t.eng ?lo ?hi txn (table_info t table) f)
 
 let scan_as_of ?lo ?hi t txn ~table ~ts f =
-  Table.scan_as_of t.eng ?lo ?hi txn (table_info t table) ~t:ts f
+  ex t (fun () -> Table.scan_as_of t.eng ?lo ?hi txn (table_info t table) ~t:ts f)
 
-let history t txn ~table ~key = Table.history t.eng txn (table_info t table) ~key
+let history t txn ~table ~key =
+  ex t (fun () -> Table.history t.eng txn (table_info t table) ~key)
 
 (* ------------------------------------------------------------------ *)
 (* Typed row operations                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let insert_row t txn ~table row =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let schema = ti.Catalog.ti_schema in
   Table.insert t.eng txn ti
@@ -203,6 +232,7 @@ let insert_row t txn ~table row =
     ~payload:(Schema.payload_of_row schema row)
 
 let update_row t txn ~table row =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let schema = ti.Catalog.ti_schema in
   Table.update t.eng txn ti
@@ -210,6 +240,7 @@ let update_row t txn ~table row =
     ~payload:(Schema.payload_of_row schema row)
 
 let upsert_row t txn ~table row =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let schema = ti.Catalog.ti_schema in
   Table.upsert t.eng txn ti
@@ -217,10 +248,12 @@ let upsert_row t txn ~table row =
     ~payload:(Schema.payload_of_row schema row)
 
 let delete_row t txn ~table ~key =
+  ex t @@ fun () ->
   let ti = table_info t table in
   Table.delete t.eng txn ti ~key:(Schema.encode_key key)
 
 let get_row t txn ~table ~key =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let ekey = Schema.encode_key key in
   Option.map
@@ -228,6 +261,7 @@ let get_row t txn ~table ~key =
     (Table.read t.eng txn ti ~key:ekey)
 
 let scan_rows ?lo ?hi t txn ~table =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let out = ref [] in
   Table.scan t.eng ?lo ?hi txn ti (fun key payload ->
@@ -242,6 +276,7 @@ let scan_rows_range ?low ?high t txn ~table =
   scan_rows ?lo ?hi t txn ~table
 
 let scan_rows_as_of t txn ~table ~ts =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let out = ref [] in
   Table.scan_as_of t.eng txn ti ~t:ts (fun key payload ->
@@ -249,6 +284,7 @@ let scan_rows_as_of t txn ~table ~ts =
   List.rev !out
 
 let history_rows t txn ~table ~key =
+  ex t @@ fun () ->
   let ti = table_info t table in
   let ekey = Schema.encode_key key in
   List.map
@@ -267,3 +303,47 @@ let exec ?isolation t f = with_txn ?isolation t f
 
 (* AS OF convenience: run a read-only function at a past time. *)
 let as_of t ts f = with_txn ~isolation:(As_of ts) t f
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: one per thread-of-control                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The multi-core topology: open one [Db.t], hand each domain its own
+   session, drive transactions through it.  Sessions are cheap handles —
+   the engine's session gate does the synchronization — but they make
+   ownership explicit (a txn begun on a session is that session's to
+   finish) and give each thread-of-control an id for observability.
+
+   Concurrency behavior is governed by the engine config: with
+   [lock_wait_timeout_ms = 0] conflicting sessions fail fast (as the
+   single-session engine always has); with a timeout they park until the
+   holder releases, with deadlock detection and timeout-victim abort. *)
+module Session = struct
+  type db = t
+
+  type t = { db : db; handle : E.session }
+
+  let id s = s.handle.E.s_id
+  let db s = s.db
+
+  let begin_txn ?isolation s = begin_txn ?isolation s.db
+  let commit s txn = commit s.db txn
+  let abort s txn = abort s.db txn
+  let with_txn ?isolation s f = with_txn ?isolation s.db f
+
+  let insert s txn ~table ~key ~payload = insert s.db txn ~table ~key ~payload
+  let update s txn ~table ~key ~payload = update s.db txn ~table ~key ~payload
+  let upsert s txn ~table ~key ~payload = upsert s.db txn ~table ~key ~payload
+  let delete s txn ~table ~key = delete s.db txn ~table ~key
+  let get s txn ~table ~key = get s.db txn ~table ~key
+  let scan ?lo ?hi s txn ~table f = scan ?lo ?hi s.db txn ~table f
+
+  let scan_as_of ?lo ?hi s txn ~table ~ts f =
+    scan_as_of ?lo ?hi s.db txn ~table ~ts f
+
+  let history s txn ~table ~key = history s.db txn ~table ~key
+  let exec ?isolation s f = exec ?isolation s.db f
+  let as_of s ts f = as_of s.db ts f
+end
+
+let session t = { Session.db = t; handle = E.session t.eng }

@@ -13,7 +13,15 @@
     first-committer-wins; [As_of] transactions are read-only views of a
     past state.  Commit timestamps are assigned {e at commit}, agree with
     serialization order, and become the version coordinates that [as_of]
-    and [history] queries address. *)
+    and [history] queries address.
+
+    A [Db.t] may be driven from several domains at once: every operation
+    runs under the engine's session gate, which is released while a
+    session parks on a lock conflict and across the commit-record fsync
+    (where concurrent committers batch one device sync).  Give each
+    domain its own {!Session}; set
+    [config.lock_wait_timeout_ms > 0] so conflicting sessions wait
+    instead of failing fast. *)
 
 type t
 (** An open database handle. *)
@@ -210,3 +218,47 @@ val scan_as_of :
 val history :
   t -> txn -> table:string -> key:string ->
   (Imdb_clock.Timestamp.t * string option) list
+
+(** {1 Sessions}
+
+    The multi-core topology: open one database, hand each domain its own
+    session, drive transactions through it.  Sessions are cheap handles —
+    the engine's session gate does the synchronization — but they make
+    ownership explicit (a txn begun on a session is that session's to
+    finish) and give each thread-of-control an id for observability. *)
+
+module Session : sig
+  type db := t
+  type t
+
+  val id : t -> int
+  val db : t -> db
+
+  val begin_txn : ?isolation:isolation -> t -> txn
+  val commit : t -> txn -> Imdb_clock.Timestamp.t option
+  val abort : t -> txn -> unit
+  val with_txn : ?isolation:isolation -> t -> (txn -> 'a) -> 'a
+  val exec : ?isolation:isolation -> t -> (txn -> 'a) -> 'a
+  val as_of : t -> Imdb_clock.Timestamp.t -> (txn -> 'a) -> 'a
+
+  val insert : t -> txn -> table:string -> key:string -> payload:string -> unit
+  val update : t -> txn -> table:string -> key:string -> payload:string -> unit
+  val upsert : t -> txn -> table:string -> key:string -> payload:string -> unit
+  val delete : t -> txn -> table:string -> key:string -> unit
+  val get : t -> txn -> table:string -> key:string -> string option
+
+  val scan :
+    ?lo:string -> ?hi:string -> t -> txn -> table:string ->
+    (string -> string -> unit) -> unit
+
+  val scan_as_of :
+    ?lo:string -> ?hi:string -> t -> txn -> table:string ->
+    ts:Imdb_clock.Timestamp.t -> (string -> string -> unit) -> unit
+
+  val history :
+    t -> txn -> table:string -> key:string ->
+    (Imdb_clock.Timestamp.t * string option) list
+end
+
+val session : t -> Session.t
+(** A new session over this database.  Create one per domain. *)

@@ -54,6 +54,13 @@ type config = {
       (* let batch-arrival occupancy trigger early key splits at flush
          time; changes page layout (never results), so off by default to
          keep buffered==unbuffered structures identical *)
+  lock_wait_timeout_ms : int;
+      (* 0 = fail-fast lock acquisition (a conflict raises immediately
+         — the historical single-session behavior, where parking would
+         self-deadlock); > 0 = concurrent sessions block on conflicts up
+         to this many milliseconds, releasing the engine gate while
+         parked, with deadlock detection at edge insert and the waiter
+         as timeout victim *)
 }
 
 let default_config =
@@ -73,6 +80,7 @@ let default_config =
     ingest_buffering = true;
     ingest_buffer_rows = 64;
     ingest_split_hint = false;
+    lock_wait_timeout_ms = 0;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -101,6 +109,15 @@ type t = {
   disk : Imdb_storage.Disk.t;
   wal : Imdb_wal.Wal.t;
   pool : BP.t;
+  gate_mu : Mutex.t;
+      (* the session gate: every public operation runs exclusively under
+         it, so the engine's single-threaded interior (clock, VTT,
+         catalog cache, cur_txn) is safe with sessions on many domains.
+         Reentrant per domain; released while a session parks on a lock
+         wait and across the commit-record fsync, which is where
+         concurrent sessions actually overlap. *)
+  gate_owner : int Atomic.t; (* domain id + 1 of the holder; 0 = none *)
+  mutable gate_depth : int; (* reentrancy depth, owner-only access *)
   clock : Imdb_clock.Clock.t;
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
@@ -144,6 +161,58 @@ let catalog_exn t =
   match t.catalog_tree with
   | Some c -> c
   | None -> failwith "Engine: catalog not initialized"
+
+(* ------------------------------------------------------------------ *)
+(* The session gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gate_enter t =
+  let me = (Domain.self () :> int) + 1 in
+  if Atomic.get t.gate_owner = me then t.gate_depth <- t.gate_depth + 1
+  else begin
+    Mutex.lock t.gate_mu;
+    Atomic.set t.gate_owner me;
+    t.gate_depth <- 1
+  end
+
+let gate_exit t =
+  t.gate_depth <- t.gate_depth - 1;
+  if t.gate_depth = 0 then begin
+    Atomic.set t.gate_owner 0;
+    Mutex.unlock t.gate_mu
+  end
+
+(* Run [f] holding the session gate.  Reentrant, so public operations
+   compose freely; a single session pays two uncontended mutex ops. *)
+let exclusively t f =
+  gate_enter t;
+  Fun.protect ~finally:(fun () -> gate_exit t) f
+
+(* Fully release the gate (returning the saved depth) and retake it —
+   for the two places a session must get out of every other session's
+   way: parking on a lock conflict, and the commit-record fsync. *)
+let gate_release_all t =
+  let d = t.gate_depth in
+  t.gate_depth <- 0;
+  Atomic.set t.gate_owner 0;
+  Mutex.unlock t.gate_mu;
+  d
+
+let gate_reacquire t depth =
+  Mutex.lock t.gate_mu;
+  Atomic.set t.gate_owner ((Domain.self () :> int) + 1);
+  t.gate_depth <- depth
+
+(* Run [f] (a blocking or long operation) with the gate released, then
+   retake it at the same depth — exception-safe in both directions.  A
+   caller that never held the gate (engine-level use outside [Db]) just
+   runs [f]. *)
+let without_gate t f =
+  if Atomic.get t.gate_owner = (Domain.self () :> int) + 1 then begin
+    let depth = gate_release_all t in
+    Fun.protect ~finally:(fun () -> gate_reacquire t depth) f
+  end
+  else f ()
 
 (* ------------------------------------------------------------------ *)
 (* Ingest buffering state                                              *)
@@ -301,6 +370,17 @@ let tsb_io t table_id : Imdb_tsb.Tsb.io =
 (* Transactions: registry and snapshots                                *)
 (* ------------------------------------------------------------------ *)
 
+(* A session: a lightweight handle for one thread-of-control (typically
+   one domain) talking to a shared engine.  Sessions carry no mutable
+   engine state of their own — every public operation synchronizes on the
+   session gate — so any number may run on any domains; the id feeds
+   observability.  Opening one [Db.t] and handing each domain its own
+   session is the supported multi-core topology. *)
+type session = { s_engine : t; s_id : int }
+
+let session_seq = Atomic.make 1
+let session t = { s_engine = t; s_id = Atomic.fetch_and_add session_seq 1 }
+
 let fresh_tid t =
   let tid = t.next_tid in
   t.next_tid <- Tid.next tid;
@@ -381,22 +461,36 @@ let note_write t txn ~table_id ~key ~immortal =
 (* Locking helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Take one lock for [tid].  With [lock_wait_timeout_ms = 0] this is the
+   historical fail-fast protocol (a conflict raises immediately).  With a
+   timeout configured, the session parks until the conflicting holders
+   release — crucially with the engine gate released, so the holder can
+   make progress and release — and a deadlock or a passed deadline
+   selects this requester as the victim. *)
+let lock_resource t tid res mode =
+  let open Imdb_lock.Lock_manager in
+  let timeout_ms = t.config.lock_wait_timeout_ms in
+  try
+    if timeout_ms <= 0 then acquire_exn t.locks tid res mode
+    else
+      without_gate t (fun () ->
+          acquire_wait ~timeout_us:(timeout_ms * 1000) t.locks tid res mode)
+  with
+  | Deadlock tid -> raise (Deadlock_abort tid)
+  | Lock_timeout { tid; _ } -> raise (Deadlock_abort tid)
+
 let lock_record t txn ~table_id ~key mode =
   match txn.tx_isolation with
-  | Serializable -> (
+  | Serializable ->
       let open Imdb_lock.Lock_manager in
       let intent = match mode with X -> IX | _ -> IS in
-      try
-        acquire_exn t.locks txn.tx_tid (Table table_id) intent;
-        acquire_exn t.locks txn.tx_tid (Record (table_id, key)) mode
-      with Deadlock tid -> raise (Deadlock_abort tid))
-  | Snapshot_isolation when mode = Imdb_lock.Lock_manager.X -> (
+      lock_resource t txn.tx_tid (Table table_id) intent;
+      lock_resource t txn.tx_tid (Record (table_id, key)) mode
+  | Snapshot_isolation when mode = Imdb_lock.Lock_manager.X ->
       (* SI writers take write locks so that concurrent writers are
          detected immediately (first-committer-wins is enforced by
          timestamp validation; the lock merely serializes the attempt) *)
-      let open Imdb_lock.Lock_manager in
-      try acquire_exn t.locks txn.tx_tid (Record (table_id, key)) X
-      with Deadlock tid -> raise (Deadlock_abort tid))
+      lock_resource t txn.tx_tid (Record (table_id, key)) Imdb_lock.Lock_manager.X
   | Snapshot_isolation | As_of _ -> () (* versioned reads never lock *)
 
 (* ------------------------------------------------------------------ *)
@@ -585,7 +679,12 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.ingest_flush_pages;
   Mx.ensure_counter metrics Mx.ingest_deferred_splits;
   Mx.ensure_counter metrics Mx.ingest_hint_key_splits;
+  Mx.ensure_counter metrics Mx.lock_acquires;
+  Mx.ensure_counter metrics Mx.lock_conflicts;
+  Mx.ensure_counter metrics Mx.lock_deadlocks;
+  Mx.ensure_counter metrics Mx.lock_timeouts;
   Mx.set_gauge metrics Mx.recovery_redo_lsn 0;
+  Mx.ensure_histogram metrics Mx.h_lock_wait_us;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
   Mx.ensure_histogram metrics Mx.h_scan_fanout;
   Mx.ensure_histogram metrics Mx.h_compress_decode_ns;
@@ -632,8 +731,15 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       disk;
       wal;
       pool;
+      gate_mu = Mutex.create ();
+      gate_owner = Atomic.make 0;
+      gate_depth = 0;
       clock;
-      locks = Imdb_lock.Lock_manager.create ();
+      locks =
+        (let lm = Imdb_lock.Lock_manager.create () in
+         Imdb_lock.Lock_manager.set_metrics lm metrics;
+         Imdb_lock.Lock_manager.set_tracer lm tracer;
+         lm);
       stamper;
       metrics;
       tracer;

@@ -57,6 +57,14 @@ type config = {
   ingest_split_hint : bool;
       (** let batch-arrival occupancy trigger early key splits at flush
           time; changes page layout (never results), so off by default *)
+  lock_wait_timeout_ms : int;
+      (** [0] (the default) keeps the historical fail-fast lock protocol:
+          a conflict raises immediately — correct for one session, where
+          parking would self-deadlock.  [> 0] lets concurrent sessions
+          block on conflicts up to this many milliseconds (releasing the
+          session gate while parked), with wait-for-graph deadlock
+          detection at edge insert and the waiter as timeout victim;
+          deadlock and timeout both surface as {!Deadlock_abort}. *)
 }
 
 val default_config : config
@@ -89,6 +97,10 @@ type t = {
   disk : Imdb_storage.Disk.t;
   wal : Imdb_wal.Wal.t;
   pool : Imdb_buffer.Buffer_pool.t;
+  gate_mu : Mutex.t;
+      (** the session gate — see {!exclusively}; treat as private *)
+  gate_owner : int Atomic.t;  (** domain id + 1 of the holder; 0 = none *)
+  mutable gate_depth : int;  (** reentrancy depth; owner-only access *)
   clock : Imdb_clock.Clock.t;
   locks : Imdb_lock.Lock_manager.t;
   stamper : Imdb_tstamp.Lazy_stamper.t;
@@ -124,6 +136,33 @@ type t = {
 val vtt : t -> Imdb_tstamp.Vtt.t
 val ptt_exn : t -> Imdb_tstamp.Ptt.t
 val catalog_exn : t -> Imdb_btree.Btree.t
+
+(** {1 The session gate}
+
+    One engine, many sessions, any domains: every public operation runs
+    exclusively under the gate, which keeps the engine's single-threaded
+    interior (clock, VTT/stamper, catalog cache, [cur_txn]) safe without
+    per-structure locks.  The gate is {e reentrant} per domain and is
+    released at exactly the two points where concurrent sessions benefit
+    from overlap: while a session parks on a lock conflict (so the holder
+    can run and release) and across the commit-record fsync (so
+    committers batch one device sync). *)
+
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the session gate (reentrant). *)
+
+val without_gate : t -> (unit -> 'a) -> 'a
+(** Run [f] with the gate fully released (restoring the entry depth
+    after), for blocking or device-bound sections.  A no-op wrapper when
+    the calling domain does not hold the gate. *)
+
+type session = { s_engine : t; s_id : int }
+(** A lightweight handle for one thread-of-control (typically one
+    domain).  Sessions hold no mutable engine state — the gate does the
+    synchronization — so any number may run concurrently; the id feeds
+    observability.  See {!Db.Session} for the user-facing API. *)
+
+val session : t -> session
 
 (** {1 Ingest buffering} *)
 
@@ -178,6 +217,13 @@ val oldest_active_snapshot : t -> Imdb_clock.Timestamp.t
 
 val note_write : t -> txn -> table_id:int -> key:string -> immortal:bool -> unit
 (** Record a write in the transaction (dedup'd); raises on AS OF txns. *)
+
+val lock_resource :
+  t -> Imdb_clock.Tid.t -> Imdb_lock.Lock_manager.resource -> Imdb_lock.Lock_manager.mode -> unit
+(** Take one lock, honoring [config.lock_wait_timeout_ms]: fail-fast at 0
+    (the historical protocol), else a blocking wait with the session gate
+    released while parked.  Deadlock and timeout raise {!Deadlock_abort}
+    naming the victim (the requester). *)
 
 val lock_record : t -> txn -> table_id:int -> key:string -> Imdb_lock.Lock_manager.mode -> unit
 (** Isolation-aware locking: 2PL takes intent + record locks; snapshot

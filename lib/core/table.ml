@@ -918,10 +918,10 @@ let scan_current eng ?(lo = "") ?hi txn ti f =
   E.check_running txn;
   let table_lock () =
     match txn.E.tx_isolation with
-    | E.Serializable -> (
-        let open Imdb_lock.Lock_manager in
-        try acquire_exn eng.E.locks txn.E.tx_tid (Table ti.Catalog.ti_id) S
-        with Deadlock tid -> raise (E.Deadlock_abort tid))
+    | E.Serializable ->
+        E.lock_resource eng txn.E.tx_tid
+          (Imdb_lock.Lock_manager.Table ti.Catalog.ti_id)
+          Imdb_lock.Lock_manager.S
     | E.Snapshot_isolation | E.As_of _ -> ()
   in
   match ti.Catalog.ti_mode with

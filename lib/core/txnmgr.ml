@@ -70,12 +70,27 @@ let commit eng txn =
        unacknowledged and recovery rolls it back. *)
     Imdb_wal.Wal.register_commit eng.E.wal ~lsn:commit_lsn ~on_durable:(fun () ->
         txn.E.tx_durable <- true);
-    let window = eng.E.config.E.group_commit_window in
-    if window <= 1 || Imdb_wal.Wal.pending_commits eng.E.wal >= window then
-      Imdb_wal.Wal.flush eng.E.wal;
+    (* The VTT commit — the visibility switch — happens here, in the same
+       gate section that issued the timestamp, so concurrent sessions can
+       never observe a timestamp-ordered commit before an earlier one.
+       Durability may lag visibility by one flush: exactly the contract a
+       group-commit window already established.  (The flush itself does
+       not append, so [end_of_log] is the same either side of it.) *)
     Imdb_tstamp.Vtt.commit (E.vtt eng) txn.E.tx_tid ~ts ~persistent:!persistent
       ~end_of_log:(Imdb_wal.Wal.next_lsn eng.E.wal);
     Imdb_tstamp.Vtt.drop_if_drained_snapshot (E.vtt eng) txn.E.tx_tid;
+    let window = eng.E.config.E.group_commit_window in
+    if window <= 1 || Imdb_wal.Wal.pending_commits eng.E.wal >= window then
+      (* the fsync is where committing sessions overlap: the gate is
+         released around it, so concurrent commits batch on the WAL's
+         flush mutex and share one device sync (this transaction's locks
+         stay held — 2PL conflicts are still excluded).  Flushing through
+         our own commit record — not the whole buffered tail — lets a
+         committer whose record a concurrent leader's sync already
+         covered return without paying a second sync for records newer
+         than its own; serially the commit record is the end of the
+         buffered tail, so the two are the same flush. *)
+      E.without_gate eng (fun () -> Imdb_wal.Wal.flush ~lsn:commit_lsn eng.E.wal);
     ignore (Imdb_wal.Wal.append eng.E.wal (LR.End { tid = txn.E.tx_tid }));
     release eng txn;
     let m = eng.E.metrics in

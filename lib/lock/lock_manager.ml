@@ -6,11 +6,30 @@
    of the versioning machinery.
 
    Resources are hierarchical: table locks in intention modes, record
-   locks in S/X.  The engine is single-threaded with logically interleaved
-   transactions, so a conflicting request never blocks a thread — it
-   either fails fast ([`Would_block]) or is declared a deadlock when the
-   wait-for graph (maintained from failed requests) contains a cycle.
-   Callers abort the victim and retry. *)
+   locks in S/X.  The lock table is sharded by resource hash; each shard
+   carries its own mutex and condition variable, so sessions on different
+   OCaml domains contending for different resources never serialize on
+   one lock.  Two acquisition disciplines share the same grant logic:
+
+   - fail fast ([acquire] / [acquire_exn]): a conflicting request never
+     parks — it returns [Would_block] (recording its wait-for edge) or
+     raises, exactly the protocol the single-session engine has always
+     used for logically interleaved transactions;
+
+   - blocking ([acquire_wait]): the requester parks on the shard's
+     condition variable until a release makes the grant possible, a
+     wait-for cycle is detected at edge insert (raising [Deadlock]), or
+     the deadline passes (raising [Lock_timeout] — timeout-based victim
+     selection, the waiter is the victim).  A lazily-spawned global
+     ticker thread bounds the time between deadline checks, since the
+     stdlib condition variable has no timed wait.
+
+   The wait-for graph and the per-transaction held-resource index are
+   global (cross-shard) hash-set-backed structures under their own
+   mutexes, always taken strictly inside a shard mutex — never the other
+   way around — so the lock order is acyclic by construction. *)
+
+module M = Imdb_obs.Metrics
 
 type resource = Table of int | Record of int * string (* table_id, key *)
 
@@ -43,52 +62,174 @@ let lub a b =
 
 type entry = { holders : (Imdb_clock.Tid.t, mode) Hashtbl.t }
 
-type t = {
-  table : (resource, entry) Hashtbl.t;
-  held : (Imdb_clock.Tid.t, resource list ref) Hashtbl.t;
-  (* wait-for edges recorded on blocked requests, for deadlock detection *)
-  waits : (Imdb_clock.Tid.t, Imdb_clock.Tid.t list) Hashtbl.t;
+type shard = {
+  sh_mu : Mutex.t;
+  sh_cond : Condition.t; (* released locks broadcast here *)
+  sh_table : (resource, entry) Hashtbl.t;
 }
 
-let create () = { table = Hashtbl.create 256; held = Hashtbl.create 64; waits = Hashtbl.create 16 }
+let shard_count = 16 (* power of two: shard index is a mask of the hash *)
+
+type t = {
+  shards : shard array;
+  held_mu : Mutex.t;
+  held : (Imdb_clock.Tid.t, (resource, unit) Hashtbl.t) Hashtbl.t;
+      (* per-transaction held-resource sets (strict 2PL release index) *)
+  waits_mu : Mutex.t;
+  waits : (Imdb_clock.Tid.t, (Imdb_clock.Tid.t, unit) Hashtbl.t) Hashtbl.t;
+      (* wait-for edges recorded on blocked requests, for deadlock
+         detection *)
+  mutable registered : bool; (* shard condvars known to the ticker *)
+  mutable metrics : M.t;
+  mutable tracer : Imdb_obs.Tracer.t;
+}
+
+let create () =
+  {
+    shards =
+      Array.init shard_count (fun _ ->
+          {
+            sh_mu = Mutex.create ();
+            sh_cond = Condition.create ();
+            sh_table = Hashtbl.create 64;
+          });
+    held_mu = Mutex.create ();
+    held = Hashtbl.create 64;
+    waits_mu = Mutex.create ();
+    waits = Hashtbl.create 16;
+    registered = false;
+    metrics = M.null;
+    tracer = Imdb_obs.Tracer.null;
+  }
+
+let set_metrics t m = t.metrics <- m
+let set_tracer t tr = t.tracer <- tr
+let shard_of t res = t.shards.(Hashtbl.hash res land (shard_count - 1))
 
 type outcome = Granted | Would_block of Imdb_clock.Tid.t list
 
 exception Deadlock of Imdb_clock.Tid.t
+exception Conflict of { tid : Imdb_clock.Tid.t; blockers : Imdb_clock.Tid.t list }
+exception Lock_timeout of { tid : Imdb_clock.Tid.t; res : resource }
 
-let entry_of t res =
-  match Hashtbl.find_opt t.table res with
+(* --- the wake-up ticker --------------------------------------------- *)
+
+(* [Condition] has no timed wait, so a parked waiter cannot by itself
+   notice a passed deadline.  One process-wide ticker thread broadcasts
+   every registered shard condvar while any waiter is parked anywhere;
+   woken waiters re-check their grant and their deadline.  Spawned on the
+   first blocking wait in the process — engines that never block never
+   pay for the thread. *)
+let ticker_mu = Mutex.create ()
+let ticker_conds : Condition.t list ref = ref []
+let ticker_running = ref false
+let waiters_total = Atomic.make 0
+
+(* The ticker must EXIT the moment no one is parked: a domain cannot
+   terminate while a thread it spawned is still running, so a
+   forever-looping ticker created from a worker domain (whichever domain
+   parks first) would make that domain unjoinable.  The liveness
+   handshake: a parker increments [waiters_total] {e before} ensuring a
+   ticker exists, and the ticker re-checks the count under [ticker_mu]
+   before retiring — a racing parker either finds it still running or
+   finds [ticker_running] already false and spawns a fresh one. *)
+let rec ticker_loop () =
+  Thread.delay 0.002;
+  Mutex.lock ticker_mu;
+  let conds = !ticker_conds in
+  let live = Atomic.get waiters_total > 0 in
+  if not live then ticker_running := false;
+  Mutex.unlock ticker_mu;
+  if live then begin
+    List.iter Condition.broadcast conds;
+    ticker_loop ()
+  end
+
+let ensure_ticker () =
+  Mutex.lock ticker_mu;
+  if not !ticker_running then begin
+    ticker_running := true;
+    ignore (Thread.create ticker_loop ())
+  end;
+  Mutex.unlock ticker_mu
+
+let register_with_ticker t =
+  if not t.registered then begin
+    Mutex.lock ticker_mu;
+    if not t.registered then begin
+      Array.iter (fun sh -> ticker_conds := sh.sh_cond :: !ticker_conds) t.shards;
+      t.registered <- true
+    end;
+    Mutex.unlock ticker_mu
+  end
+
+(* --- held / waits indexes (hash-set backed) -------------------------- *)
+
+(* Both indexes are innermost in the lock order: they are taken while a
+   shard mutex is held, and never hold anything else themselves. *)
+
+let note_held t tid res =
+  Mutex.lock t.held_mu;
+  (match Hashtbl.find_opt t.held tid with
+  | Some set -> Hashtbl.replace set res ()
+  | None ->
+      let set = Hashtbl.create 8 in
+      Hashtbl.replace set res ();
+      Hashtbl.add t.held tid set);
+  Mutex.unlock t.held_mu
+
+let clear_waits t tid =
+  Mutex.lock t.waits_mu;
+  Hashtbl.remove t.waits tid;
+  Mutex.unlock t.waits_mu
+
+(* Extend the wait-for graph with edges tid->blockers unless doing so
+   closes a cycle reachable from [tid]; returns [true] on a cycle (and
+   leaves the graph unchanged).  Hash-set-backed BFS: visited set and
+   successor sets are hashtables, so the check stays near-linear however
+   many locks are held. *)
+let note_wait_or_cycle t tid blockers =
+  Mutex.lock t.waits_mu;
+  let seen : (Imdb_clock.Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let frontier = ref blockers in
+  let cycle = ref false in
+  while (not !cycle) && !frontier <> [] do
+    match !frontier with
+    | [] -> ()
+    | x :: rest ->
+        frontier := rest;
+        if Imdb_clock.Tid.equal x tid then cycle := true
+        else if not (Hashtbl.mem seen x) then begin
+          Hashtbl.add seen x ();
+          match Hashtbl.find_opt t.waits x with
+          | Some succ -> Hashtbl.iter (fun y () -> frontier := y :: !frontier) succ
+          | None -> ()
+        end
+  done;
+  if not !cycle then begin
+    let set = Hashtbl.create 4 in
+    List.iter (fun b -> Hashtbl.replace set b ()) blockers;
+    Hashtbl.replace t.waits tid set
+  end;
+  Mutex.unlock t.waits_mu;
+  !cycle
+
+(* --- grant logic (callers hold the shard mutex) ---------------------- *)
+
+let entry_of sh res =
+  match Hashtbl.find_opt sh.sh_table res with
   | Some e -> e
   | None ->
       let e = { holders = Hashtbl.create 4 } in
-      Hashtbl.add t.table res e;
+      Hashtbl.add sh.sh_table res e;
       e
 
-let note_held t tid res =
-  match Hashtbl.find_opt t.held tid with
-  | Some l -> if not (List.mem res !l) then l := res :: !l
-  | None -> Hashtbl.add t.held tid (ref [ res ])
-
-(* Does the wait-for graph, extended with edges tid->blockers, contain a
-   cycle reachable from [tid]? *)
-let creates_cycle t tid blockers =
-  let rec reachable seen from =
-    if List.mem tid from then true
-    else
-      match from with
-      | [] -> false
-      | x :: rest ->
-          if List.mem x seen then reachable seen rest
-          else
-            let succ = match Hashtbl.find_opt t.waits x with Some l -> l | None -> [] in
-            reachable (x :: seen) (succ @ rest)
+(* The requested (upgrade-merged) mode and the incompatible holders. *)
+let probe sh tid res mode =
+  let e = entry_of sh res in
+  let requested =
+    match Hashtbl.find_opt e.holders tid with Some m -> lub m mode | None -> mode
   in
-  reachable [] blockers
-
-let acquire t tid res mode =
-  let e = entry_of t res in
-  let mine = Hashtbl.find_opt e.holders tid in
-  let requested = match mine with Some m -> lub m mode | None -> mode in
   let conflicts =
     Hashtbl.fold
       (fun other m acc ->
@@ -97,60 +238,160 @@ let acquire t tid res mode =
         else other :: acc)
       e.holders []
   in
-  match conflicts with
-  | [] ->
-      Hashtbl.replace e.holders tid requested;
-      note_held t tid res;
-      Hashtbl.remove t.waits tid;
-      Granted
-  | blockers ->
-      if creates_cycle t tid blockers then begin
-        Hashtbl.remove t.waits tid;
-        raise (Deadlock tid)
-      end;
-      Hashtbl.replace t.waits tid blockers;
-      Would_block blockers
+  (e, requested, conflicts)
+
+let grant t e tid res requested =
+  Hashtbl.replace e.holders tid requested;
+  note_held t tid res;
+  clear_waits t tid;
+  M.incr t.metrics M.lock_acquires
+
+(* --- fail-fast acquisition ------------------------------------------ *)
+
+let acquire t tid res mode =
+  let sh = shard_of t res in
+  Mutex.lock sh.sh_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.sh_mu)
+    (fun () ->
+      let e, requested, conflicts = probe sh tid res mode in
+      match conflicts with
+      | [] ->
+          grant t e tid res requested;
+          Granted
+      | blockers ->
+          M.incr t.metrics M.lock_conflicts;
+          if note_wait_or_cycle t tid blockers then begin
+            M.incr t.metrics M.lock_deadlocks;
+            raise (Deadlock tid)
+          end;
+          Would_block blockers)
 
 (* Acquire or raise: the engine's normal path, where a block is surfaced
-   to the caller as an exception (no real threads to park).  Because the
+   to the caller as an exception (no thread parks).  Because the
    requester does not actually wait, its wait-for edge is erased before
    raising — otherwise stale edges would accumulate into phantom
-   deadlocks.  True waiting callers use [acquire] and keep their edge. *)
-exception Conflict of { tid : Imdb_clock.Tid.t; blockers : Imdb_clock.Tid.t list }
-
+   deadlocks.  True waiting callers use [acquire] (keeping their edge) or
+   [acquire_wait]. *)
 let acquire_exn t tid res mode =
   match acquire t tid res mode with
   | Granted -> ()
   | Would_block blockers ->
-      Hashtbl.remove t.waits tid;
+      clear_waits t tid;
       raise (Conflict { tid; blockers })
 
-let holds t tid res =
-  match Hashtbl.find_opt t.table res with
-  | None -> None
-  | Some e -> Hashtbl.find_opt e.holders tid
+(* --- blocking acquisition ------------------------------------------- *)
 
-(* Strict 2PL: all locks released together at commit/abort. *)
+let acquire_wait ?(timeout_us = 100_000) t tid res mode =
+  let sh = shard_of t res in
+  Mutex.lock sh.sh_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.sh_mu)
+    (fun () ->
+      let e0, requested0, conflicts0 = probe sh tid res mode in
+      match conflicts0 with
+      | [] -> grant t e0 tid res requested0
+      | first_blockers ->
+          M.incr t.metrics M.lock_conflicts;
+          register_with_ticker t;
+          let started = Unix.gettimeofday () in
+          let deadline = started +. (float_of_int timeout_us /. 1e6) in
+          let finish_wait () =
+            M.observe t.metrics M.h_lock_wait_us
+              (int_of_float ((Unix.gettimeofday () -. started) *. 1e6))
+          in
+          Imdb_obs.Tracer.with_span t.tracer "lock.wait"
+            ~attrs:
+              [
+                ("res", Fmt.str "%a" pp_resource res);
+                ("mode", Fmt.str "%a" pp_mode mode);
+              ]
+          @@ fun _ ->
+          let rec loop blockers =
+            if note_wait_or_cycle t tid blockers then begin
+              M.incr t.metrics M.lock_deadlocks;
+              finish_wait ();
+              raise (Deadlock tid)
+            end;
+            if Unix.gettimeofday () >= deadline then begin
+              clear_waits t tid;
+              M.incr t.metrics M.lock_timeouts;
+              finish_wait ();
+              raise (Lock_timeout { tid; res })
+            end;
+            Atomic.incr waiters_total;
+            ensure_ticker ();
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr waiters_total)
+              (fun () -> Condition.wait sh.sh_cond sh.sh_mu);
+            let e, requested, conflicts = probe sh tid res mode in
+            match conflicts with
+            | [] ->
+                grant t e tid res requested;
+                finish_wait ()
+            | blockers -> loop blockers
+          in
+          loop first_blockers)
+
+(* --- queries and release --------------------------------------------- *)
+
+let holds t tid res =
+  let sh = shard_of t res in
+  Mutex.lock sh.sh_mu;
+  let r =
+    match Hashtbl.find_opt sh.sh_table res with
+    | None -> None
+    | Some e -> Hashtbl.find_opt e.holders tid
+  in
+  Mutex.unlock sh.sh_mu;
+  r
+
+(* Strict 2PL: all locks released together at commit/abort.  Each touched
+   shard is broadcast so parked waiters re-probe. *)
 let release_all t tid =
-  (match Hashtbl.find_opt t.held tid with
-  | None -> ()
-  | Some l ->
-      List.iter
-        (fun res ->
-          match Hashtbl.find_opt t.table res with
-          | None -> ()
-          | Some e ->
-              Hashtbl.remove e.holders tid;
-              if Hashtbl.length e.holders = 0 then Hashtbl.remove t.table res)
-        !l;
-      Hashtbl.remove t.held tid);
-  Hashtbl.remove t.waits tid
+  Mutex.lock t.held_mu;
+  let resources =
+    match Hashtbl.find_opt t.held tid with
+    | None -> []
+    | Some set ->
+        Hashtbl.remove t.held tid;
+        Hashtbl.fold (fun res () acc -> res :: acc) set []
+  in
+  Mutex.unlock t.held_mu;
+  List.iter
+    (fun res ->
+      let sh = shard_of t res in
+      Mutex.lock sh.sh_mu;
+      (match Hashtbl.find_opt sh.sh_table res with
+      | None -> ()
+      | Some e ->
+          Hashtbl.remove e.holders tid;
+          if Hashtbl.length e.holders = 0 then Hashtbl.remove sh.sh_table res);
+      Condition.broadcast sh.sh_cond;
+      Mutex.unlock sh.sh_mu)
+    resources;
+  clear_waits t tid
 
 let held_by t tid =
-  match Hashtbl.find_opt t.held tid with Some l -> !l | None -> []
+  Mutex.lock t.held_mu;
+  let r =
+    match Hashtbl.find_opt t.held tid with
+    | Some set -> Hashtbl.fold (fun res () acc -> res :: acc) set []
+    | None -> []
+  in
+  Mutex.unlock t.held_mu;
+  r
 
 let active_locks t =
-  Hashtbl.fold
-    (fun res e acc ->
-      Hashtbl.fold (fun tid m acc -> (res, tid, m) :: acc) e.holders acc)
-    t.table []
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sh_mu;
+      let acc =
+        Hashtbl.fold
+          (fun res e acc ->
+            Hashtbl.fold (fun tid m acc -> (res, tid, m) :: acc) e.holders acc)
+          sh.sh_table acc
+      in
+      Mutex.unlock sh.sh_mu;
+      acc)
+    [] t.shards

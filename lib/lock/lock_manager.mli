@@ -2,12 +2,16 @@
     with multigranularity intention locks and wait-for-graph deadlock
     detection.
 
-    The engine is single-threaded with logically interleaved
-    transactions, so a conflicting request never parks a thread: it
-    either fails fast ([Would_block] / [Conflict]) or is declared a
-    deadlock when the wait-for graph closes a cycle.  Snapshot-isolation
-    readers never call in at all — that is the point of the versioning
-    machinery. *)
+    The lock table is sharded by resource hash (per-shard mutex +
+    condition variable), so sessions on different domains contending for
+    different resources never serialize on one lock.  Two acquisition
+    disciplines share the grant logic: the fail-fast path ([acquire] /
+    [acquire_exn]) the single-session engine has always used — a
+    conflicting request never parks a thread — and real blocking waits
+    ([acquire_wait]) for concurrent sessions, with deadlock detection at
+    edge insert and timeout-based victim selection (the waiter is the
+    victim).  Snapshot-isolation readers never call in at all — that is
+    the point of the versioning machinery. *)
 
 type resource = Table of int | Record of int * string
 
@@ -20,9 +24,21 @@ val pp_mode : Format.formatter -> mode -> unit
 val compatible : mode -> mode -> bool
 (** The standard multigranularity compatibility matrix. *)
 
+val lub : mode -> mode -> mode
+(** Upgrade merge: the least upper bound of two modes, with S+IX
+    collapsed to X (no SIX mode). *)
+
 type t
 
 val create : unit -> t
+
+val set_metrics : t -> Imdb_obs.Metrics.t -> unit
+(** Point the manager at an engine's registry: grants, conflicts,
+    deadlocks, timeouts and the blocking-wait duration histogram. *)
+
+val set_tracer : t -> Imdb_obs.Tracer.t -> unit
+(** Blocking waits record a "lock.wait" span (res/mode attrs) spanning
+    park-to-grant (or to deadlock/timeout). *)
 
 type outcome = Granted | Would_block of Imdb_clock.Tid.t list
 
@@ -32,16 +48,29 @@ exception Deadlock of Imdb_clock.Tid.t
 
 exception Conflict of { tid : Imdb_clock.Tid.t; blockers : Imdb_clock.Tid.t list }
 
+exception Lock_timeout of { tid : Imdb_clock.Tid.t; res : resource }
+(** A blocking wait passed its deadline: the waiter is selected as the
+    victim and should abort. *)
+
 val acquire : t -> Imdb_clock.Tid.t -> resource -> mode -> outcome
-(** Acquire or upgrade; re-requests are idempotent.  @raise Deadlock *)
+(** Acquire or upgrade; re-requests are idempotent.  A block records the
+    requester's wait-for edge and returns.  @raise Deadlock *)
 
 val acquire_exn : t -> Imdb_clock.Tid.t -> resource -> mode -> unit
-(** Like [acquire] but a block raises [Conflict]. *)
+(** Like [acquire] but a block erases the edge and raises [Conflict]. *)
+
+val acquire_wait : ?timeout_us:int -> t -> Imdb_clock.Tid.t -> resource -> mode -> unit
+(** Acquire, parking on the shard's condition variable while blocked.
+    Releases of conflicting locks re-probe the grant; a process-wide
+    ticker thread (spawned on the first blocking wait) bounds the delay
+    until the deadline is noticed.  @raise Deadlock at edge insert,
+    @raise Lock_timeout at the deadline (default 100 ms). *)
 
 val holds : t -> Imdb_clock.Tid.t -> resource -> mode option
 
 val release_all : t -> Imdb_clock.Tid.t -> unit
-(** Strict 2PL: everything is released together at commit/abort. *)
+(** Strict 2PL: everything is released together at commit/abort; every
+    touched shard's waiters are woken. *)
 
 val held_by : t -> Imdb_clock.Tid.t -> resource list
 val active_locks : t -> (resource * Imdb_clock.Tid.t * mode) list

@@ -246,8 +246,12 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
 
    v7: write-optimized ingestion — the ingest.* counters (appends,
    flushes, flushed messages / page visits / deferred splits) and the
-   ingest.flush_run histogram (messages applied per data-page visit). *)
-let schema_version = 7
+   ingest.flush_run histogram (messages applied per data-page visit).
+
+   v8: multi-core transaction execution — the lock.* counters (acquires,
+   conflicts, deadlocks, timeouts) and the lock.wait_us histogram
+   (blocking-wait durations; empty on the fail-fast serial path). *)
+let schema_version = 8
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -365,6 +369,10 @@ let ingest_flush_messages = "ingest.flush_messages"
 let ingest_flush_pages = "ingest.flush_pages"
 let ingest_deferred_splits = "ingest.deferred_splits"
 let ingest_hint_key_splits = "ingest.hint_key_splits"
+let lock_acquires = "lock.acquires"
+let lock_conflicts = "lock.conflicts"
+let lock_deadlocks = "lock.deadlocks"
+let lock_timeouts = "lock.timeouts"
 
 let h_log_record_bytes = "log.record_bytes"
 let h_log_flush_bytes = "log.flush_bytes"
@@ -378,4 +386,5 @@ let h_split_current_live = "split.current_live"
 let h_split_history_live = "split.history_live"
 let h_page_utilization_pct = "page.utilization_pct"
 let h_ingest_flush_run = "ingest.flush_run"
+let h_lock_wait_us = "lock.wait_us"
 let span_hist name = "span." ^ name ^ "_us"

@@ -107,7 +107,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 7,
+    { "schema_version": 8,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -210,6 +210,18 @@ val ingest_hint_key_splits : string
 (** Key splits taken early because batch-arrival occupancy predicted
     overflow ([ingest_split_hint]). *)
 
+val lock_acquires : string
+(** Lock requests granted (fresh grants, upgrades and re-requests). *)
+
+val lock_conflicts : string
+(** Requests that found an incompatible holder (fail-fast or blocking). *)
+
+val lock_deadlocks : string
+(** Requests refused because granting the wait would close a cycle. *)
+
+val lock_timeouts : string
+(** Blocking waits abandoned at the deadline (the waiter is the victim). *)
+
 (** Histogram names. *)
 
 val h_log_record_bytes : string
@@ -226,6 +238,10 @@ val h_split_current_live : string
 val h_split_history_live : string
 val h_page_utilization_pct : string
 val h_ingest_flush_run : string
+
+val h_lock_wait_us : string
+(** Wall-clock microseconds a blocking lock wait parked before grant,
+    deadline or deadlock.  Never fed by the fail-fast path. *)
 
 val span_hist : string -> string
 (** [span_hist name] is the duration histogram ["span." ^ name ^ "_us"]

@@ -71,6 +71,7 @@ type config = {
   verify_every : int;
   verify_limit : int;
   bulk : bool;
+  sessions : int;
   sabotage : sabotage option;
   schedule : crash_point list option;
   log : (string -> unit) option;
@@ -91,6 +92,7 @@ let default =
     verify_every = 0;
     verify_limit = 0;
     bulk = false;
+    sessions = 1;
     sabotage = None;
     schedule = None;
     log = None;
@@ -185,6 +187,9 @@ let run cfg =
       group_commit_window = cfg.group_commit_window;
       auto_checkpoint_every = cfg.auto_checkpoint_every;
       history_compression = cfg.history_compression;
+      (* multi-session runs park on lock conflicts instead of failing
+         fast (table intent locks meet even on partitioned keys) *)
+      lock_wait_timeout_ms = (if cfg.sessions > 1 then 2_000 else 0);
     }
   in
   let table_names = List.init cfg.tables (Printf.sprintf "t%d") in
@@ -512,6 +517,21 @@ let run cfg =
   in
 
   (* ---- crashes ------------------------------------------------------ *)
+  (* Settle the fate of an unacknowledged commit after a crash: probe its
+     first write at its exact timestamp.  The write targets a key whose
+     prior state the oracle knows (values are unique per op), so presence
+     of the written value — or absence, for a delete of a key live before
+     the commit — proves the commit was recovered. *)
+  let survived_probe ts = function
+    | [] -> (false, "commit had no writes to probe")
+    | w :: _ ->
+        let got = get_at w.Model.w_table w.Model.w_key ts in
+        ( got = w.Model.w_value,
+          Printf.sprintf "probe %s/%s AS OF %s: want=%s got=%s" w.Model.w_table
+            w.Model.w_key (Ts.to_string ts)
+            (Option.fold ~none:"<absent>" ~some:short w.Model.w_value)
+            (Option.fold ~none:"<absent>" ~some:short got) )
+  in
   let point_rng cp =
     Rng.create ((cfg.seed * 1_000_003) lxor (cp.cp_commit * 7919) lxor kind_index cp.cp_kind)
   in
@@ -593,21 +613,7 @@ let run cfg =
     incr recoveries;
     if Wal.pending_commits (Db.engine !db).E.wal <> 0 then
       fail "crash: recovery left group-commit acknowledgments pending";
-    (* Settle the fate of the unacknowledged tail: probe each commit's
-       first write at its exact timestamp.  The write targets a key whose
-       prior state the oracle knows (values are unique per op), so
-       presence of the written value — or absence, for a delete of a key
-       live before the commit — proves the commit was recovered. *)
-    let survived_probe ts = function
-      | [] -> (false, "commit had no writes to probe")
-      | w :: _ ->
-          let got = get_at w.Model.w_table w.Model.w_key ts in
-          ( got = w.Model.w_value,
-            Printf.sprintf "probe %s/%s AS OF %s: want=%s got=%s" w.Model.w_table
-              w.Model.w_key (Ts.to_string ts)
-              (Option.fold ~none:"<absent>" ~some:short w.Model.w_value)
-              (Option.fold ~none:"<absent>" ~some:short got) )
-    in
+    (* Settle the fate of the unacknowledged tail, oldest first. *)
     let rec settle = function
       | [] -> ()
       | (ts, _txn, writes) :: rest ->
@@ -745,7 +751,8 @@ let run cfg =
         f_trace = trace_list ();
       }
   in
-  (try
+  (* ---- serial driver: the classic one-session loop ------------------ *)
+  let serial_main () =
      while !ops_done < cfg.ops do
        (match (!armed, !sched) with
        | None, cp :: rest when !commits >= cp.cp_commit ->
@@ -795,7 +802,247 @@ let run cfg =
        end
      done;
      Disk.lift plan;
-     verify_full ~label:"final" ();
+     verify_full ~label:"final" ()
+  in
+
+  (* ---- concurrent driver: [cfg.sessions] domains --------------------- *)
+  (* The multi-session mode alternates {e bursts} with serial
+     control work.  A burst hands each of N domains its own session and a
+     disjoint key partition (session [s] owns keys [k] with
+     [k mod N = s]); each runs a private, seed-derived stream of small
+     transactions with read-your-writes checks, collecting its commit
+     timestamps and writes.  After the join, the merged commits are fed
+     to the oracle sorted by timestamp — the engine issues timestamps,
+     switches visibility and appends the commit record in one gate
+     section, so timestamp order {e is} a serial order consistent with
+     what every session observed, and partitioned keys make each
+     session's writes valid against it by construction.  Between bursts
+     the main domain spot-checks, verifies, and pulls the plug
+     wal-tail-style while group-commit acknowledgments are pending; the
+     unacknowledged tail is settled by probing, exactly as in the serial
+     driver.  The interleaving (and so the report's counters) is not
+     deterministic — only the per-session workloads are — but every
+     verification failure is still a real engine or oracle bug. *)
+  let concurrent_main () =
+    let sessions = max 2 (min cfg.sessions (min 8 cfg.keys_per_table)) in
+    let burst = ref 0 in
+    let last_verified = ref 0 in
+    let crash_budget = ref cfg.crashes in
+    while !ops_done < cfg.ops do
+      incr burst;
+      tick ();
+      let budget = min (cfg.ops - !ops_done) (sessions * (12 + Rng.int rng 24)) in
+      let per_session = max 1 (budget / sessions) in
+      (* burst-start liveness views, one per session, read from the
+         oracle before any domain spawns: (table, key) -> current value *)
+      let views =
+        Array.init sessions (fun sid ->
+            let live = Hashtbl.create 32 in
+            List.iter
+              (fun table ->
+                for k = 0 to cfg.keys_per_table - 1 do
+                  if k mod sessions = sid then
+                    match Model.value_of model ~table ~key:(key_name k) with
+                    | Some v -> Hashtbl.replace live (table, key_name k) v
+                    | None -> ()
+                done)
+              table_names;
+            live)
+      in
+      let handle = !db in
+      let burst_seed = (cfg.seed * 0x9E3779B1) lxor (!burst * 0x85EBCA7) in
+      let worker sid =
+        let srng = Rng.create ((burst_seed lxor (sid * 0xC2B2AE3)) land 0x3FFFFFFF) in
+        let live = views.(sid) in
+        let s = Db.session handle in
+        let own_per_table = (cfg.keys_per_table - sid + sessions - 1) / sessions in
+        let own_key () = key_name (sid + (sessions * Rng.int srng own_per_table)) in
+        let committed = ref [] in
+        let s_aborts = ref 0 in
+        let s_ops = ref 0 in
+        while !s_ops < per_session do
+          let size = min (1 + Rng.int srng 4) (per_session - !s_ops) in
+          let txn = Db.Session.begin_txn s in
+          let overlay : (string * string, string option) Hashtbl.t = Hashtbl.create 8 in
+          let writes = ref [] in
+          let donec = ref 0 in
+          let attempts = ref 0 in
+          while !donec < size && !attempts < size * 4 do
+            incr attempts;
+            let table = List.nth table_names (Rng.int srng cfg.tables) in
+            let key = own_key () in
+            if not (Hashtbl.mem overlay (table, key)) then begin
+              let alive = Hashtbl.mem live (table, key) in
+              let value =
+                Printf.sprintf "s%d.%d.%d|%s" sid !burst !s_ops
+                  (String.make (Rng.int srng 48) 'y')
+              in
+              let w =
+                if alive then
+                  match Rng.int srng 100 with
+                  | d when d < 55 ->
+                      Db.Session.update s txn ~table ~key ~payload:value;
+                      { Model.w_table = table; w_key = key; w_value = Some value }
+                  | d when d < 80 ->
+                      Db.Session.delete s txn ~table ~key;
+                      { Model.w_table = table; w_key = key; w_value = None }
+                  | _ ->
+                      Db.Session.upsert s txn ~table ~key ~payload:value;
+                      { Model.w_table = table; w_key = key; w_value = Some value }
+                else if Rng.int srng 100 < 70 then begin
+                  Db.Session.insert s txn ~table ~key ~payload:value;
+                  { Model.w_table = table; w_key = key; w_value = Some value }
+                end
+                else begin
+                  Db.Session.upsert s txn ~table ~key ~payload:value;
+                  { Model.w_table = table; w_key = key; w_value = Some value }
+                end
+              in
+              Hashtbl.replace overlay (table, key) w.Model.w_value;
+              writes := w :: !writes;
+              incr donec;
+              incr s_ops;
+              if Rng.int srng 3 = 0 then begin
+                (* read-your-writes inside the partition: the overlay
+                   shadows the burst-start state; no other session can
+                   have touched these keys *)
+                let rk = own_key () in
+                let expect =
+                  match Hashtbl.find_opt overlay (table, rk) with
+                  | Some v -> v
+                  | None -> Hashtbl.find_opt live (table, rk)
+                in
+                let got = Db.Session.get s txn ~table ~key:rk in
+                if got <> expect then
+                  raise
+                    (Torture_failure
+                       (Printf.sprintf
+                          "session %d: read of %s/%s inside txn: expected %s got %s" sid
+                          table rk
+                          (Option.fold ~none:"-" ~some:short expect)
+                          (Option.fold ~none:"-" ~some:short got)))
+              end
+            end
+          done;
+          if !writes = [] then Db.Session.abort s txn
+          else if Rng.int srng 12 = 0 then begin
+            Db.Session.abort s txn;
+            incr s_aborts
+          end
+          else
+            match Db.Session.commit s txn with
+            | Some ts ->
+                committed := (ts, txn, List.rev !writes) :: !committed;
+                List.iter
+                  (fun w ->
+                    match w.Model.w_value with
+                    | Some v -> Hashtbl.replace live (w.Model.w_table, w.Model.w_key) v
+                    | None -> Hashtbl.remove live (w.Model.w_table, w.Model.w_key))
+                  (List.rev !writes)
+            | None ->
+                raise
+                  (Torture_failure
+                     (Printf.sprintf
+                        "session %d: commit of a writing transaction returned no \
+                         timestamp"
+                        sid))
+        done;
+        (List.rev !committed, !s_aborts, !s_ops)
+      in
+      let domains =
+        Array.init sessions (fun sid -> Domain.spawn (fun () -> worker sid))
+      in
+      let results = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains in
+      Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+      let results = Array.map (function Ok r -> r | Error _ -> assert false) results in
+      let all =
+        List.sort
+          (fun (a, _, _) (b, _, _) -> Ts.compare a b)
+          (List.concat_map (fun (c, _, _) -> c) (Array.to_list results))
+      in
+      Array.iter
+        (fun (_, a, o) ->
+          aborts := !aborts + a;
+          ops_done := !ops_done + o)
+        results;
+      let prev = ref Ts.zero in
+      List.iter
+        (fun (ts, _, writes) ->
+          if Ts.compare ts !prev <= 0 then
+            fail "burst %d: commit timestamps not strictly increasing (%s after %s)"
+              !burst (Ts.to_string ts) (Ts.to_string !prev);
+          prev := ts;
+          record_commit ~ts writes)
+        all;
+      watch :=
+        List.filter (fun (_, t, _) -> not t.E.tx_durable) all
+        @ List.filter (fun (_, t, _) -> not t.E.tx_durable) !watch;
+      act "burst %d: %d sessions committed %d txns (%d pending acks)" !burst sessions
+        (List.length all)
+        (Wal.pending_commits (Db.engine !db).E.wal);
+      (* between bursts: occasionally pull the plug mid-group-commit,
+         otherwise spot-check or verify on schedule *)
+      if !crash_budget > 0 && Rng.int rng 3 = 0 then begin
+        decr crash_budget;
+        incr crashes;
+        incr (List.assq Crash_wal_tail kind_fired);
+        let entries =
+          List.sort (fun (a, _, _) (b, _, _) -> Ts.compare a b) !watch
+        in
+        let durable, casualties =
+          List.partition (fun (_, t, _) -> t.E.tx_durable) entries
+        in
+        (match casualties with
+        | [] -> ()
+        | (min_cas, _, _) :: _ ->
+            List.iter
+              (fun (dts, _, _) ->
+                if Ts.compare dts min_cas > 0 then
+                  fail
+                    "crash: acknowledged commit %s is newer than unacknowledged commit \
+                     %s — acknowledgments are not a log prefix"
+                    (Ts.to_string dts) (Ts.to_string min_cas))
+              durable;
+            act "crash: %d unacknowledged commits in the balance (oldest %s)"
+              (List.length casualties) (Ts.to_string min_cas));
+        watch := [];
+        Wal.crash_volatile (Db.engine !db).E.wal;
+        Imdb_buffer.Buffer_pool.drop_all (Db.engine !db).E.pool;
+        db := reopen ();
+        incr recoveries;
+        if Wal.pending_commits (Db.engine !db).E.wal <> 0 then
+          fail "crash: recovery left group-commit acknowledgments pending";
+        let rec settle = function
+          | [] -> ()
+          | (ts, _txn, writes) :: rest ->
+              let survived, detail = survived_probe ts writes in
+              if survived then begin
+                act "crash: unacknowledged commit ts=%s survived the flush race (%s)"
+                  (Ts.to_string ts) detail;
+                settle rest
+              end
+              else begin
+                let lost = Model.truncate_after model (just_before ts) in
+                lost_commits := !lost_commits + lost;
+                act "crash: %d commits lost (oldest %s; %s)" lost (Ts.to_string ts)
+                  detail
+              end
+        in
+        settle casualties;
+        act "crash #%d (wal-tail, %d sessions): recovered; model has %d commits"
+          !crashes sessions (Model.commit_count model);
+        verify_full ~label:(Printf.sprintf "post-recovery #%d" !crashes) ()
+      end
+      else if Rng.int rng 3 = 0 then spot_check ();
+      if cfg.verify_every > 0 && !commits - !last_verified >= cfg.verify_every then begin
+        last_verified := !commits;
+        verify_full ~label:(Printf.sprintf "periodic @%d commits" !commits) ()
+      end
+    done;
+    verify_full ~label:"final" ()
+  in
+  (try
+     if cfg.sessions > 1 then concurrent_main () else serial_main ();
      passed ()
    with
   | Torture_failure msg -> failed msg
@@ -854,10 +1101,10 @@ let describe_config cfg =
   let sched = schedule_of cfg in
   Printf.sprintf
     "seed=%d ops=%d crashes=%d tables=%dx%d page=%dB pool=%d window=%d ckpt-every=%d \
-     compression=%b verify-every=%d verify-limit=%d bulk=%b schedule=[%s]"
+     compression=%b verify-every=%d verify-limit=%d bulk=%b sessions=%d schedule=[%s]"
     cfg.seed cfg.ops cfg.crashes cfg.tables cfg.keys_per_table cfg.page_size
     cfg.pool_capacity cfg.group_commit_window cfg.auto_checkpoint_every
-    cfg.history_compression cfg.verify_every cfg.verify_limit cfg.bulk
+    cfg.history_compression cfg.verify_every cfg.verify_limit cfg.bulk cfg.sessions
     (String.concat "; "
        (List.map
           (fun cp ->

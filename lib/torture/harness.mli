@@ -69,6 +69,14 @@ type config = {
   bulk : bool;
       (** mix in bulk-insert transactions (~1 in 12): 16–48 upserts in
           one transaction, stressing the buffered-ingestion flush path *)
+  sessions : int;
+      (** > 1: concurrent mode — each burst runs this many domains, one
+          session each over a disjoint key partition, then merges their
+          commits into the oracle in timestamp order and occasionally
+          pulls the plug mid-group-commit.  The interleaving is not
+          deterministic, but every per-session workload is, and every
+          verification failure is a real bug.  1 (the default): the
+          classic deterministic single-session loop. *)
   sabotage : sabotage option;
   schedule : crash_point list option;  (** [None]: derived from [seed] *)
   log : (string -> unit) option;  (** replay mode: every action printed *)

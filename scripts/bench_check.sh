@@ -13,11 +13,12 @@
 # the baselines with
 #
 #   dune exec bench/main.exe -- --quick --json RESULTS_DIR \
-#     fig5 fig6 hotpath parscan ablations compress traceov ingest
+#     fig5 fig6 hotpath parscan ablations compress traceov ingest mtbench
 #   cp RESULTS_DIR/BENCH_fig5.json RESULTS_DIR/BENCH_fig6.json \
 #      RESULTS_DIR/BENCH_hotpath.json RESULTS_DIR/BENCH_parscan.json \
 #      RESULTS_DIR/BENCH_ablations.json RESULTS_DIR/BENCH_compress.json \
 #      RESULTS_DIR/BENCH_traceov.json RESULTS_DIR/BENCH_ingest.json \
+#      RESULTS_DIR/BENCH_mtbench.json \
 #      bench/baselines/
 #
 # Exit status: 0 = within tolerance, 1 = drift/missing file, 2 = usage.

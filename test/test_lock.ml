@@ -99,6 +99,121 @@ let test_no_false_deadlock () =
   Alcotest.(check bool) "independent resource fine" true
     (L.acquire lm t2 rec_b L.X = L.Granted)
 
+(* --- multigranularity upgrade edges ------------------------------------ *)
+
+let test_lub_collapse () =
+  (* the merge table, including the S+IX -> X collapse (no SIX mode) *)
+  Alcotest.(check bool) "S lub IX = X" true (L.lub L.S L.IX = L.X);
+  Alcotest.(check bool) "IX lub S = X" true (L.lub L.IX L.S = L.X);
+  Alcotest.(check bool) "IS lub IX = IX" true (L.lub L.IS L.IX = L.IX);
+  Alcotest.(check bool) "IS lub S = S" true (L.lub L.IS L.S = L.S);
+  Alcotest.(check bool) "X absorbs" true (L.lub L.X L.IS = L.X && L.lub L.S L.X = L.X);
+  (* behaviorally: a table-scanning writer (S then IX) ends up exclusive *)
+  let lm = L.create () in
+  Alcotest.(check bool) "S" true (L.acquire lm t1 tbl L.S = L.Granted);
+  Alcotest.(check bool) "then IX" true (L.acquire lm t1 tbl L.IX = L.Granted);
+  Alcotest.(check bool) "collapsed to X" true (L.holds lm t1 tbl = Some L.X);
+  (match L.acquire lm t2 tbl L.IS with
+  | L.Would_block blockers ->
+      Alcotest.(check bool) "even IS blocks now" true (List.exists (Tid.equal t1) blockers)
+  | L.Granted -> Alcotest.fail "IS granted over collapsed X")
+
+let test_is_ix_interleavings () =
+  let lm = L.create () in
+  (* intents stack freely in either order *)
+  Alcotest.(check bool) "IX" true (L.acquire lm t1 tbl L.IX = L.Granted);
+  Alcotest.(check bool) "IS over IX" true (L.acquire lm t2 tbl L.IS = L.Granted);
+  (* a whole-table reader conflicts with the writer's intent only *)
+  (match L.acquire lm t3 tbl L.S with
+  | L.Would_block blockers ->
+      Alcotest.(check bool) "IX blocks S" true (List.exists (Tid.equal t1) blockers);
+      Alcotest.(check bool) "IS does not" false (List.exists (Tid.equal t2) blockers)
+  | L.Granted -> Alcotest.fail "table S granted over IX");
+  (* writer commits: S is now compatible with the remaining IS *)
+  L.release_all lm t1;
+  Alcotest.(check bool) "S over IS after release" true (L.acquire lm t3 tbl L.S = L.Granted);
+  (* and a late IX now blocks on the granted S *)
+  (match L.acquire lm t1 tbl L.IX with
+  | L.Would_block blockers ->
+      Alcotest.(check bool) "S blocks IX" true (List.exists (Tid.equal t3) blockers)
+  | L.Granted -> Alcotest.fail "IX granted over table S")
+
+let test_deadlock_victim_determinism () =
+  (* the victim is always the transaction whose wait edge closes the
+     cycle — whichever side that is, on every run *)
+  let round closer =
+    let lm = L.create () in
+    let rec_b = L.Record (1, "b") in
+    ignore (L.acquire lm t1 rec_a L.X);
+    ignore (L.acquire lm t2 rec_b L.X);
+    if closer = 2 then begin
+      (match L.acquire lm t1 rec_b L.X with
+      | L.Would_block _ -> ()
+      | L.Granted -> Alcotest.fail "b granted to t1");
+      match L.acquire lm t2 rec_a L.X with
+      | exception L.Deadlock victim -> victim
+      | _ -> Alcotest.fail "deadlock undetected"
+    end
+    else begin
+      (match L.acquire lm t2 rec_a L.X with
+      | L.Would_block _ -> ()
+      | L.Granted -> Alcotest.fail "a granted to t2");
+      match L.acquire lm t1 rec_b L.X with
+      | exception L.Deadlock victim -> victim
+      | _ -> Alcotest.fail "deadlock undetected"
+    end
+  in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "t2 closes, t2 dies" true (Tid.equal (round 2) t2);
+    Alcotest.(check bool) "t1 closes, t1 dies" true (Tid.equal (round 1) t1)
+  done
+
+(* --- blocking waits ----------------------------------------------------- *)
+
+let test_wait_granted_on_release () =
+  let lm = L.create () in
+  ignore (L.acquire lm t1 rec_a L.X);
+  let got = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        L.acquire_wait ~timeout_us:2_000_000 lm t2 rec_a L.X;
+        Atomic.set got true)
+  in
+  (* let the waiter park, then release: the wait must resolve to a grant *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "still parked" false (Atomic.get got);
+  L.release_all lm t1;
+  Domain.join d;
+  Alcotest.(check bool) "granted after release" true (Atomic.get got);
+  Alcotest.(check bool) "holds X" true (L.holds lm t2 rec_a = Some L.X)
+
+let test_wait_timeout () =
+  let lm = L.create () in
+  ignore (L.acquire lm t1 rec_a L.X);
+  (match L.acquire_wait ~timeout_us:30_000 lm t2 rec_a L.X with
+  | exception L.Lock_timeout { tid; res } ->
+      Alcotest.(check bool) "victim is the waiter" true (Tid.equal tid t2);
+      Alcotest.(check bool) "on the contested resource" true (res = rec_a)
+  | () -> Alcotest.fail "wait succeeded against a held X lock");
+  (* the timed-out waiter left no residue: after release, t2 gets through *)
+  L.release_all lm t1;
+  L.acquire_wait ~timeout_us:30_000 lm t2 rec_a L.X;
+  Alcotest.(check bool) "clean retry" true (L.holds lm t2 rec_a = Some L.X)
+
+let test_wait_deadlock_at_edge_insert () =
+  let lm = L.create () in
+  let rec_b = L.Record (1, "b") in
+  ignore (L.acquire lm t1 rec_a L.X);
+  ignore (L.acquire lm t2 rec_b L.X);
+  (match L.acquire lm t1 rec_b L.X with
+  | L.Would_block _ -> ()
+  | L.Granted -> Alcotest.fail "b granted to t1");
+  (* the blocking path detects the cycle before parking — no timeout burn *)
+  match L.acquire_wait ~timeout_us:5_000_000 lm t2 rec_a L.X with
+  | exception L.Deadlock victim ->
+      Alcotest.(check bool) "closer is the victim" true (Tid.equal victim t2)
+  | () -> Alcotest.fail "deadlock undetected on the wait path"
+
 let suite =
   [
     Alcotest.test_case "compatibility" `Quick test_compatibility;
@@ -108,4 +223,10 @@ let suite =
     Alcotest.test_case "deadlock cycle" `Quick test_deadlock_cycle;
     Alcotest.test_case "three-party cycle" `Quick test_three_party_cycle;
     Alcotest.test_case "no false deadlock" `Quick test_no_false_deadlock;
+    Alcotest.test_case "lub collapse S+IX" `Quick test_lub_collapse;
+    Alcotest.test_case "IS/IX interleavings" `Quick test_is_ix_interleavings;
+    Alcotest.test_case "deadlock victim determinism" `Quick test_deadlock_victim_determinism;
+    Alcotest.test_case "wait granted on release" `Quick test_wait_granted_on_release;
+    Alcotest.test_case "wait timeout" `Quick test_wait_timeout;
+    Alcotest.test_case "wait deadlock at edge insert" `Quick test_wait_deadlock_at_edge_insert;
   ]

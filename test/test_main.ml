@@ -34,4 +34,5 @@ let () =
       ("tracer", Test_tracer.suite);
       ("ingest", Test_ingest.suite);
       ("torture", Test_torture.suite);
+      ("mt", Test_mt.suite);
     ]
