@@ -117,6 +117,8 @@ type arm = {
   a_syncs : int;
   a_wall : float;
   a_lat : float array; (* sorted commit latencies *)
+  a_lock_wait : M.hist_summary option; (* lock.wait_us *)
+  a_batch : M.hist_summary option; (* txn.group_commit_batch *)
 }
 
 let run_arm ~domains ~txns =
@@ -151,6 +153,8 @@ let run_arm ~domains ~txns =
   let rows = ref 0 in
   Db.exec db (fun txn -> Db.scan db txn ~table:"t" (fun _ _ -> incr rows));
   let syncs = M.get (Db.metrics db) M.log_flushes in
+  let lock_wait = M.histogram (Db.metrics db) M.h_lock_wait_us in
+  let batch = M.histogram (Db.metrics db) M.h_group_commit_batch in
   Db.close db;
   {
     a_domains = domains;
@@ -160,6 +164,8 @@ let run_arm ~domains ~txns =
     a_syncs = syncs;
     a_wall = wall;
     a_lat = lat;
+    a_lock_wait = lock_wait;
+    a_batch = batch;
   }
 
 let run ~scale =
@@ -198,6 +204,22 @@ let run ~scale =
   if speedup < 1.5 then
     Fmt.epr "mtbench: 4-domain speedup %.2fx below 1.5x floor@." speedup;
   let module J = Imdb_obs.Json in
+  (* Latency-shape summaries from the engine's own histograms.  Timing
+     and interleaving dependent, so never in the checked-in baseline
+     (bench_check walks baseline keys only) — they ride along for humans
+     and dashboards reading BENCH_mtbench.json. *)
+  let hist_json = function
+    | None -> J.Null
+    | Some h ->
+        J.Obj
+          [
+            ("count", J.Int h.M.h_count);
+            ("p50", J.Int h.M.h_p50);
+            ("p90", J.Int h.M.h_p90);
+            ("p99", J.Int h.M.h_p99);
+            ("max", J.Int h.M.h_max);
+          ]
+  in
   Harness.emit_json ~name:"mtbench"
     (J.Obj
        [
@@ -213,6 +235,8 @@ let run ~scale =
                         ("committed", J.Int a.a_committed);
                         ("rows", J.Int a.a_rows);
                         ("asof_checks_ok", J.Int a.a_asof_ok);
+                        ("lock_wait_us", hist_json a.a_lock_wait);
+                        ("group_commit_batch", hist_json a.a_batch);
                       ] ))
                 arms) );
          ("all_committed", J.Bool all_committed);

@@ -6,7 +6,9 @@
      imdb history DIR TABLE KEY               show a record's version history
      imdb workload DIR [-n N] [--objects K]   load a moving-objects stream
      imdb load DIR [-n N] [--no-buffer]       bulk-load rows via buffered ingestion
-     imdb stats DIR [--json] [--traces]       storage statistics / metrics JSON
+     imdb stats DIR [--json|--prom|--watch N] storage statistics / metrics JSON
+     imdb locks DIR                           lock holders + wait-for graph
+     imdb monitor DIR [--watch N]             live rates from the continuous monitor
      imdb trace DIR [--chrome] [-o FILE]      trace a workload, export spans
      imdb checkpoint DIR                      force a checkpoint (and PTT GC)
      imdb backup DIR DEST [--as-of TS]        extract a queryable AS OF backup
@@ -302,6 +304,29 @@ let stats_json ?(traces = false) db =
     ]
     @ traces_field)
 
+(* --watch: re-poll the registry every N seconds, printing each counter's
+   cumulative value next to its per-interval delta.  Within one process
+   the deltas show the engine's background work (stamping, checkpoints);
+   pointed at a live workload run they show its rates. *)
+let stats_watch db secs =
+  let m = Db.metrics db in
+  let prev = ref (M.snapshot m) in
+  while true do
+    Unix.sleepf (float_of_int (max 1 secs));
+    let now = M.snapshot m in
+    let deltas = M.diff ~before:!prev ~after:now in
+    prev := now;
+    let tm = Unix.localtime (Unix.gettimeofday ()) in
+    Fmt.pr "--- %02d:%02d:%02d (interval %ds)@." tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec (max 1 secs);
+    List.iter
+      (fun (name, total) ->
+        let d = Option.value (List.assoc_opt name deltas) ~default:0 in
+        if d <> 0 then Fmt.pr "  %-32s %10d  (+%d)@." name total d)
+      now;
+    Fmt.flush Fmt.stdout ()
+  done
+
 let stats_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON (stats_schema_version 1).")
@@ -313,13 +338,33 @@ let stats_cmd =
                    database with tracing enabled, so the open itself — \
                    recovery, checkpoint — is traced).  Implies --json.")
   in
-  let run dir json traces =
+  let prom_flag =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit the metrics registry in Prometheus text exposition \
+                   format (counters, gauges, histogram quantile summaries).")
+  in
+  let watch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "watch" ] ~docv:"SECS"
+             ~doc:"Re-poll every SECS seconds, printing cumulative counters \
+                   with per-interval deltas, until interrupted.")
+  in
+  let run dir json traces prom watch =
     let config =
       if traces then { E.default_config with E.trace_sampling = 1 }
       else E.default_config
     in
     with_db ~config dir (fun db ->
-        if json || traces then Fmt.pr "%s@." (J.to_string (stats_json ~traces db))
+        match watch with
+        | Some secs -> stats_watch db secs
+        | None ->
+        if prom then begin
+          M.ensure_histogram (Db.metrics db) M.h_page_utilization_pct;
+          ignore (survey_tables db);
+          print_string (M.to_prometheus (Db.metrics db))
+        end
+        else if json || traces then Fmt.pr "%s@." (J.to_string (stats_json ~traces db))
         else begin
           let eng = Db.engine db in
           Fmt.pr "pages allocated (high-water):  %d@." eng.E.meta.Imdb_core.Meta.hwm;
@@ -341,7 +386,77 @@ let stats_cmd =
         end)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.")
-    Term.(const run $ dir_arg $ json_flag $ traces_flag)
+    Term.(const run $ dir_arg $ json_flag $ traces_flag $ prom_flag $ watch_arg)
+
+(* --- locks ------------------------------------------------------------------ *)
+
+let locks_cmd =
+  let run dir =
+    with_db dir (fun db -> Fmt.pr "%s@." (J.to_string (Db.locks_json db)))
+  in
+  Cmd.v
+    (Cmd.info "locks"
+       ~doc:"Dump the lock manager: current holders and the live wait-for \
+             graph, as one consistent cut across all shards.")
+    Term.(const run $ dir_arg)
+
+(* --- monitor ---------------------------------------------------------------- *)
+
+let monitor_cmd =
+  let interval =
+    Arg.(value & opt int 1000
+         & info [ "interval" ] ~docv:"MS" ~doc:"Monitor sampling interval in milliseconds.")
+  in
+  let watch =
+    Arg.(value & opt int 2
+         & info [ "watch" ] ~docv:"SECS" ~doc:"Refresh the live view every SECS seconds.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"K" ~doc:"Stop after K refreshes (0: until interrupted).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Take one sample, emit the monitor ring (samples, rates, \
+                   histogram percentiles) as JSON, and exit.")
+  in
+  let run dir interval watch count json =
+    let config = { E.default_config with E.monitor_interval_ms = max 1 interval } in
+    with_db ~config dir (fun db ->
+        let mon = Db.monitor db in
+        if json then begin
+          Imdb_obs.Monitor.sample mon;
+          Fmt.pr "%s@." (J.to_string (Db.monitor_json db))
+        end
+        else begin
+          let m = Db.metrics db in
+          let k = ref 0 in
+          while count = 0 || !k < count do
+            incr k;
+            Unix.sleepf (float_of_int (max 1 watch));
+            (match Imdb_obs.Monitor.rates mon with
+            | Some r ->
+                Fmt.pr
+                  "txn/s=%.1f  wal B/s=%.0f  splits/s=%.2f  stamping-backlog=%d"
+                  r.Imdb_obs.Monitor.r_txn_per_s r.Imdb_obs.Monitor.r_wal_bytes_per_s
+                  r.Imdb_obs.Monitor.r_splits_per_s r.Imdb_obs.Monitor.r_stamping_backlog;
+                (match M.histogram m M.h_commit_latency_ms with
+                | Some h -> Fmt.pr "  commit-ms p50=%d p99=%d" h.M.h_p50 h.M.h_p99
+                | None -> ());
+                Fmt.pr "@."
+            | None -> Fmt.pr "(no samples yet: interval %dms)@."
+                        (Imdb_obs.Monitor.interval_ms mon));
+            Fmt.flush Fmt.stdout ()
+          done
+        end)
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Live engine monitor: continuous sampling of the metrics \
+             registry with derived rates (txn/s, WAL bytes/s, splits/s, \
+             stamping backlog) and latency percentiles.")
+    Term.(const run $ dir_arg $ interval $ watch $ count $ json_flag)
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -503,14 +618,20 @@ let torture_cmd =
                  plug pulled mid-group-commit).  Default 1: the classic \
                  deterministic serial loop.")
   in
-  let run seeds ops crashes replay bulk sessions =
+  let flight_dir_arg =
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"On failure, write a flight-recorder report (monitor \
+                 samples, session stats, lock dump, traces, metrics) into \
+                 DIR — the artifact CI uploads.")
+  in
+  let run seeds ops crashes replay bulk sessions flight_dir =
     let seeds = if seeds = [] then [ 0 ] else seeds in
     let failed = ref false in
     List.iter
       (fun seed ->
         let cfg =
           { H.default with
-            H.seed; ops; crashes; bulk; sessions;
+            H.seed; ops; crashes; bulk; sessions; flight_dir;
             log = (if replay then Some (fun s -> Fmt.pr "  %s@." s) else None) }
         in
         Fmt.pr "torture: %s@." (H.describe_config cfg);
@@ -534,7 +655,8 @@ let torture_cmd =
        ~doc:"Run the adversarial crash/workload torture harness against a \
              linearized AS OF oracle.  Exits non-zero on any oracle \
              disagreement, printing the seed that reproduces it.")
-    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg $ bulk_arg $ sessions_arg)
+    Term.(const run $ seeds_arg $ ops_arg $ crashes_arg $ replay_arg $ bulk_arg
+          $ sessions_arg $ flight_dir_arg)
 
 (* IMDB_LOG=debug|info enables engine/recovery diagnostics on stderr. *)
 let setup_logs () =
@@ -562,4 +684,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sql_cmd; tables_cmd; history_cmd; workload_cmd; load_cmd; stats_cmd;
-            trace_cmd; checkpoint_cmd; backup_cmd; vacuum_cmd; torture_cmd ]))
+            locks_cmd; monitor_cmd; trace_cmd; checkpoint_cmd; backup_cmd;
+            vacuum_cmd; torture_cmd ]))

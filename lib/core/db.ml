@@ -130,6 +130,9 @@ let crash_and_reopen ?config ?clock t =
   ex t (fun () ->
       Imdb_wal.Wal.crash_volatile t.eng.E.wal;
       Imdb_buffer.Buffer_pool.drop_all t.eng.E.pool);
+  (* the dead engine's sampler thread must not keep running (nor keep
+     its domain unjoinable) after the "crash" *)
+  Imdb_obs.Monitor.stop t.eng.E.monitor;
   let config = Option.value config ~default:t.eng.E.config in
   open_devices ~config ?clock ~disk:t.disk ~log_device:t.log_device ()
 
@@ -207,17 +210,36 @@ let upsert t txn ~table ~key ~payload =
 let delete t txn ~table ~key =
   ex t (fun () -> Table.delete t.eng txn (table_info t table) ~key)
 
+(* Row-read accounting: every row a read operation delivers to the
+   caller bumps the transaction's tally (folded into session stats when
+   it finishes).  Counting sits here, in the public wrappers, so the
+   engine's internal reads (recovery, stamping, flushes) never inflate a
+   session's numbers. *)
+let count_read txn n = txn.E.tx_rows_read <- txn.E.tx_rows_read + n
+
+let counted txn f k p =
+  count_read txn 1;
+  f k p
+
 let get t txn ~table ~key =
-  ex t (fun () -> Table.read t.eng txn (table_info t table) ~key)
+  ex t (fun () ->
+      let r = Table.read t.eng txn (table_info t table) ~key in
+      if r <> None then count_read txn 1;
+      r)
 
 let scan ?lo ?hi t txn ~table f =
-  ex t (fun () -> Table.scan t.eng ?lo ?hi txn (table_info t table) f)
+  ex t (fun () -> Table.scan t.eng ?lo ?hi txn (table_info t table) (counted txn f))
 
 let scan_as_of ?lo ?hi t txn ~table ~ts f =
-  ex t (fun () -> Table.scan_as_of t.eng ?lo ?hi txn (table_info t table) ~t:ts f)
+  ex t (fun () ->
+      Table.scan_as_of t.eng ?lo ?hi txn (table_info t table) ~t:ts
+        (counted txn f))
 
 let history t txn ~table ~key =
-  ex t (fun () -> Table.history t.eng txn (table_info t table) ~key)
+  ex t (fun () ->
+      let vs = Table.history t.eng txn (table_info t table) ~key in
+      count_read txn (List.length vs);
+      vs)
 
 (* ------------------------------------------------------------------ *)
 (* Typed row operations                                                 *)
@@ -257,7 +279,9 @@ let get_row t txn ~table ~key =
   let ti = table_info t table in
   let ekey = Schema.encode_key key in
   Option.map
-    (fun payload -> Schema.row_of_parts ti.Catalog.ti_schema ~key:ekey ~payload)
+    (fun payload ->
+      count_read txn 1;
+      Schema.row_of_parts ti.Catalog.ti_schema ~key:ekey ~payload)
     (Table.read t.eng txn ti ~key:ekey)
 
 let scan_rows ?lo ?hi t txn ~table =
@@ -265,6 +289,7 @@ let scan_rows ?lo ?hi t txn ~table =
   let ti = table_info t table in
   let out = ref [] in
   Table.scan t.eng ?lo ?hi txn ti (fun key payload ->
+      count_read txn 1;
       out := Schema.row_of_parts ti.Catalog.ti_schema ~key ~payload :: !out);
   List.rev !out
 
@@ -280,6 +305,7 @@ let scan_rows_as_of t txn ~table ~ts =
   let ti = table_info t table in
   let out = ref [] in
   Table.scan_as_of t.eng txn ti ~t:ts (fun key payload ->
+      count_read txn 1;
       out := Schema.row_of_parts ti.Catalog.ti_schema ~key ~payload :: !out);
   List.rev !out
 
@@ -287,13 +313,15 @@ let history_rows t txn ~table ~key =
   ex t @@ fun () ->
   let ti = table_info t table in
   let ekey = Schema.encode_key key in
+  let vs = Table.history t.eng txn ti ~key:ekey in
+  count_read txn (List.length vs);
   List.map
     (fun (ts, payload) ->
       ( ts,
         Option.map
           (fun p -> Schema.row_of_parts ti.Catalog.ti_schema ~key:ekey ~payload:p)
           payload ))
-    (Table.history t.eng txn ti ~key:ekey)
+    vs
 
 (* ------------------------------------------------------------------ *)
 (* Convenience: single-statement autocommit                             *)
@@ -326,10 +354,25 @@ module Session = struct
   let id s = s.handle.E.s_id
   let db s = s.db
 
-  let begin_txn ?isolation s = begin_txn ?isolation s.db
+  (* Transactions begun through a session carry its id, so their tallies
+     land in this session's row of the SESSIONS exposition (anonymous
+     [Db.begin_txn] transactions pool under id 0). *)
+  let begin_txn ?(isolation = Serializable) s =
+    ex s.db (fun () ->
+        Txnmgr.begin_txn ~session:s.handle.E.s_id s.db.eng ~isolation)
+
   let commit s txn = commit s.db txn
   let abort s txn = abort s.db txn
-  let with_txn ?isolation s f = with_txn ?isolation s.db f
+
+  let with_txn ?isolation s f =
+    let txn = begin_txn ?isolation s in
+    match f txn with
+    | v ->
+        ignore (commit s txn);
+        v
+    | exception e ->
+        (try abort s txn with E.Txn_finished -> ());
+        raise e
 
   let insert s txn ~table ~key ~payload = insert s.db txn ~table ~key ~payload
   let update s txn ~table ~key ~payload = update s.db txn ~table ~key ~payload
@@ -342,8 +385,25 @@ module Session = struct
     scan_as_of ?lo ?hi s.db txn ~table ~ts f
 
   let history s txn ~table ~key = history s.db txn ~table ~key
-  let exec ?isolation s f = exec ?isolation s.db f
-  let as_of s ts f = as_of s.db ts f
+  let exec ?isolation s f = with_txn ?isolation s f
+  let as_of s ts f = with_txn ~isolation:(As_of ts) s f
 end
 
 let session t = { Session.db = t; handle = E.session t.eng }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sessions_json t = ex t (fun () -> E.sessions_json t.eng)
+
+(* No gate: the dump synchronizes on the lock manager's own mutexes, so
+   it works even while every session is parked or busy — which is
+   exactly when someone wants to look at it. *)
+let locks_json t = Imdb_lock.Lock_manager.dump_json t.eng.E.locks
+let monitor t = t.eng.E.monitor
+let monitor_json t = Imdb_obs.Monitor.to_json t.eng.E.monitor
+let flight_report t ~reason = ex t (fun () -> E.flight_report t.eng ~reason)
+
+let write_flight_report t ~reason =
+  ex t (fun () -> E.write_flight_report t.eng ~reason)

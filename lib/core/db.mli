@@ -262,3 +262,35 @@ end
 
 val session : t -> Session.t
 (** A new session over this database.  Create one per domain. *)
+
+(** {1 Introspection}
+
+    Live views of what the engine is doing, for monitoring tools, the
+    SQL pragmas ([SESSIONS], [LOCKS]) and the crash flight recorder. *)
+
+val sessions_json : t -> Imdb_obs.Json.t
+(** Per-session statistics (commits, aborts, rows read/written, lock
+    waits and wait time, commit latency, group-commit batch positions),
+    plus each session's count of currently active transactions. *)
+
+val locks_json : t -> Imdb_obs.Json.t
+(** A consistent dump of the lock manager: current holders and the live
+    wait-for graph.  Taken without the session gate, so it works even
+    while every session is parked on a conflict. *)
+
+val monitor : t -> Imdb_obs.Monitor.t
+(** The continuous monitor ({!Imdb_obs.Monitor.null} unless the engine
+    config enables it via [monitor_interval_ms > 0]). *)
+
+val monitor_json : t -> Imdb_obs.Json.t
+(** The monitor's ring of samples plus derived rates and latency
+    percentiles, as JSON. *)
+
+val flight_report : t -> reason:string -> Imdb_obs.Json.t
+(** Assemble a flight-recorder report: recent monitor samples, session
+    stats, lock dump, slow-op traces and a full metrics snapshot. *)
+
+val write_flight_report : t -> reason:string -> string option
+(** Persist {!flight_report} under the engine config's
+    [flight_recorder_dir]; returns the file path, or [None] when no
+    directory is configured or the write failed (best effort). *)

@@ -61,6 +61,15 @@ type config = {
          to this many milliseconds, releasing the engine gate while
          parked, with deadlock detection at edge insert and the waiter
          as timeout victim *)
+  monitor_interval_ms : int;
+      (* 0 = no continuous monitor (the null monitor: one dead branch
+         per site); > 0 = a background thread samples the counter
+         registry every this many milliseconds into a bounded ring *)
+  monitor_capacity : int; (* samples retained by the monitor ring *)
+  flight_recorder_dir : string option;
+      (* when set, recovery-after-crash writes a post-mortem JSON report
+         (monitor ring, slow ops, lock dump, metrics) into this
+         directory; None = never *)
 }
 
 let default_config =
@@ -81,6 +90,9 @@ let default_config =
     ingest_buffer_rows = 64;
     ingest_split_hint = false;
     lock_wait_timeout_ms = 0;
+    monitor_interval_ms = 0;
+    monitor_capacity = 600;
+    flight_recorder_dir = None;
   }
 
 type isolation = Serializable | Snapshot_isolation | As_of of Ts.t
@@ -91,6 +103,7 @@ type txn = {
   tx_tid : Tid.t;
   tx_isolation : isolation;
   tx_snapshot : Ts.t; (* reads see versions with start <= tx_snapshot (SI / AS OF) *)
+  tx_session : int; (* owning session id; 0 = anonymous (plain Db calls) *)
   mutable tx_state : txn_state;
   mutable tx_begun : bool; (* Begin record logged *)
   mutable tx_last_lsn : int64; (* head of the undo chain *)
@@ -99,11 +112,35 @@ type txn = {
   mutable tx_wrote_immortal : bool;
   mutable tx_commit_ts : Ts.t option;
   mutable tx_durable : bool; (* commit record synced to the log device *)
+  mutable tx_rows_read : int; (* rows delivered to this txn's reads *)
+  mutable tx_rows_written : int; (* write ops (insert/update/upsert/delete) *)
+  mutable tx_lock_waits : int; (* blocking lock waits that actually parked *)
+  mutable tx_lock_wait_us : int; (* wall µs spent parked on locks *)
 }
 
 exception Txn_finished
 exception Read_only_txn
 exception Deadlock_abort of Tid.t
+
+(* Cumulative per-session statistics, folded in from each transaction's
+   tallies when it finishes.  Mutated only under the session gate. *)
+type session_stats = {
+  ss_id : int;
+  mutable ss_commits : int;
+  mutable ss_aborts : int;
+  mutable ss_rows_read : int;
+  mutable ss_rows_written : int;
+  mutable ss_lock_waits : int;
+  mutable ss_lock_wait_us : int;
+  mutable ss_commit_latency_ticks : int;
+      (* cumulative snapshot->commit clock ticks, same unit as the
+         txn.commit_latency_ms histogram *)
+  mutable ss_last_batch_pos : int;
+      (* position in the group-commit batch of the newest commit: 1 =
+         the batch leader (its flush pays the sync), k > 1 = rode a
+         shared sync *)
+  mutable ss_max_batch_pos : int;
+}
 
 type t = {
   disk : Imdb_storage.Disk.t;
@@ -150,6 +187,12 @@ type t = {
       (* table id -> volatile mirror of the table's message-buffer page;
          populated lazily on first buffered write, rebuilt at attach *)
   mutable ingest_seq : int; (* last message sequence number issued *)
+  session_stats : (int, session_stats) Hashtbl.t;
+      (* per-session cumulative statistics, keyed by session id (0 =
+         anonymous); gate-guarded *)
+  monitor : Imdb_obs.Monitor.t;
+      (* the continuous sampler; [Monitor.null] unless
+         config.monitor_interval_ms > 0 *)
 }
 
 let vtt t = Imdb_tstamp.Lazy_stamper.vtt t.stamper
@@ -386,7 +429,7 @@ let fresh_tid t =
   t.next_tid <- Tid.next tid;
   tid
 
-let begin_txn t ~isolation =
+let begin_txn ?(session = 0) t ~isolation =
   let tid = fresh_tid t in
   Imdb_tstamp.Vtt.begin_txn (vtt t) tid;
   let snapshot =
@@ -399,6 +442,7 @@ let begin_txn t ~isolation =
       tx_tid = tid;
       tx_isolation = isolation;
       tx_snapshot = snapshot;
+      tx_session = session;
       tx_state = Running;
       tx_begun = false;
       tx_last_lsn = LR.nil_lsn;
@@ -407,6 +451,10 @@ let begin_txn t ~isolation =
       tx_wrote_immortal = false;
       tx_commit_ts = None;
       tx_durable = false;
+      tx_rows_read = 0;
+      tx_rows_written = 0;
+      tx_lock_waits = 0;
+      tx_lock_wait_us = 0;
     }
   in
   Tid.Table.replace t.active tid txn;
@@ -455,7 +503,103 @@ let note_write t txn ~table_id ~key ~immortal =
     txn.tx_writes <- (table_id, key) :: txn.tx_writes
   end;
   if immortal then txn.tx_wrote_immortal <- true;
+  txn.tx_rows_written <- txn.tx_rows_written + 1;
   ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Session statistics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let session_stats_for t sid =
+  match Hashtbl.find_opt t.session_stats sid with
+  | Some ss -> ss
+  | None ->
+      let ss =
+        {
+          ss_id = sid;
+          ss_commits = 0;
+          ss_aborts = 0;
+          ss_rows_read = 0;
+          ss_rows_written = 0;
+          ss_lock_waits = 0;
+          ss_lock_wait_us = 0;
+          ss_commit_latency_ticks = 0;
+          ss_last_batch_pos = 0;
+          ss_max_batch_pos = 0;
+        }
+      in
+      Hashtbl.add t.session_stats sid ss;
+      ss
+
+(* Fold a finished transaction's tallies into its session's cumulative
+   stats (and the engine-wide session.* counters).  Called from
+   [Txnmgr.commit]/[abort] under the gate; [latency_ticks]/[batch_pos]
+   only accompany a persistent commit. *)
+let fold_txn_stats t txn ~committed ?latency_ticks ?batch_pos () =
+  let ss = session_stats_for t txn.tx_session in
+  if committed then ss.ss_commits <- ss.ss_commits + 1
+  else ss.ss_aborts <- ss.ss_aborts + 1;
+  ss.ss_rows_read <- ss.ss_rows_read + txn.tx_rows_read;
+  ss.ss_rows_written <- ss.ss_rows_written + txn.tx_rows_written;
+  ss.ss_lock_waits <- ss.ss_lock_waits + txn.tx_lock_waits;
+  ss.ss_lock_wait_us <- ss.ss_lock_wait_us + txn.tx_lock_wait_us;
+  (match latency_ticks with
+  | Some l -> ss.ss_commit_latency_ticks <- ss.ss_commit_latency_ticks + l
+  | None -> ());
+  (match batch_pos with
+  | Some p ->
+      ss.ss_last_batch_pos <- p;
+      if p > ss.ss_max_batch_pos then ss.ss_max_batch_pos <- p
+  | None -> ());
+  (* the registry's session.* counters are commit-time only: aborted
+     work stays visible in the per-session stats above, but never in the
+     counter exposition the bench gates pin *)
+  let module Mx = Imdb_obs.Metrics in
+  if committed then begin
+    if txn.tx_rows_read > 0 then
+      Mx.incr ~by:txn.tx_rows_read t.metrics Mx.session_rows_read;
+    if txn.tx_rows_written > 0 then
+      Mx.incr ~by:txn.tx_rows_written t.metrics Mx.session_rows_written
+  end
+
+let session_stats_list t =
+  Hashtbl.fold (fun _ ss acc -> ss :: acc) t.session_stats []
+  |> List.sort (fun a b -> compare a.ss_id b.ss_id)
+
+let sessions_json t =
+  let module J = Imdb_obs.Json in
+  let active_by_session = Hashtbl.create 8 in
+  Tid.Table.iter
+    (fun _ txn ->
+      match txn.tx_state with
+      | Running | Rolling_back ->
+          let n =
+            Option.value ~default:0
+              (Hashtbl.find_opt active_by_session txn.tx_session)
+          in
+          Hashtbl.replace active_by_session txn.tx_session (n + 1)
+      | Finished -> ())
+    t.active;
+  let ss_json ss =
+    J.Obj
+      [
+        ("id", J.Int ss.ss_id);
+        ( "active_txns",
+          J.Int
+            (Option.value ~default:0 (Hashtbl.find_opt active_by_session ss.ss_id))
+        );
+        ("commits", J.Int ss.ss_commits);
+        ("aborts", J.Int ss.ss_aborts);
+        ("rows_read", J.Int ss.ss_rows_read);
+        ("rows_written", J.Int ss.ss_rows_written);
+        ("lock_waits", J.Int ss.ss_lock_waits);
+        ("lock_wait_us", J.Int ss.ss_lock_wait_us);
+        ("commit_latency_ticks", J.Int ss.ss_commit_latency_ticks);
+        ("last_batch_pos", J.Int ss.ss_last_batch_pos);
+        ("max_batch_pos", J.Int ss.ss_max_batch_pos);
+      ]
+  in
+  J.Obj [ ("sessions", J.List (List.map ss_json (session_stats_list t))) ]
 
 (* ------------------------------------------------------------------ *)
 (* Locking helpers                                                      *)
@@ -467,14 +611,23 @@ let note_write t txn ~table_id ~key ~immortal =
    release — crucially with the engine gate released, so the holder can
    make progress and release — and a deadlock or a passed deadline
    selects this requester as the victim. *)
-let lock_resource t tid res mode =
+let lock_resource ?txn t tid res mode =
   let open Imdb_lock.Lock_manager in
   let timeout_ms = t.config.lock_wait_timeout_ms in
   try
     if timeout_ms <= 0 then acquire_exn t.locks tid res mode
-    else
-      without_gate t (fun () ->
-          acquire_wait ~timeout_us:(timeout_ms * 1000) t.locks tid res mode)
+    else begin
+      let waited_us =
+        without_gate t (fun () ->
+            acquire_wait ~timeout_us:(timeout_ms * 1000) t.locks tid res mode)
+      in
+      if waited_us > 0 then
+        match txn with
+        | Some txn ->
+            txn.tx_lock_waits <- txn.tx_lock_waits + 1;
+            txn.tx_lock_wait_us <- txn.tx_lock_wait_us + waited_us
+        | None -> ()
+    end
   with
   | Deadlock tid -> raise (Deadlock_abort tid)
   | Lock_timeout { tid; _ } -> raise (Deadlock_abort tid)
@@ -484,13 +637,15 @@ let lock_record t txn ~table_id ~key mode =
   | Serializable ->
       let open Imdb_lock.Lock_manager in
       let intent = match mode with X -> IX | _ -> IS in
-      lock_resource t txn.tx_tid (Table table_id) intent;
-      lock_resource t txn.tx_tid (Record (table_id, key)) mode
+      lock_resource ~txn t txn.tx_tid (Table table_id) intent;
+      lock_resource ~txn t txn.tx_tid (Record (table_id, key)) mode
   | Snapshot_isolation when mode = Imdb_lock.Lock_manager.X ->
       (* SI writers take write locks so that concurrent writers are
          detected immediately (first-committer-wins is enforced by
          timestamp validation; the lock merely serializes the attempt) *)
-      lock_resource t txn.tx_tid (Record (table_id, key)) Imdb_lock.Lock_manager.X
+      lock_resource ~txn t txn.tx_tid
+        (Record (table_id, key))
+        Imdb_lock.Lock_manager.X
   | Snapshot_isolation | As_of _ -> () (* versioned reads never lock *)
 
 (* ------------------------------------------------------------------ *)
@@ -683,6 +838,10 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
   Mx.ensure_counter metrics Mx.lock_conflicts;
   Mx.ensure_counter metrics Mx.lock_deadlocks;
   Mx.ensure_counter metrics Mx.lock_timeouts;
+  Mx.ensure_counter metrics Mx.session_rows_read;
+  Mx.ensure_counter metrics Mx.session_rows_written;
+  Mx.ensure_counter metrics Mx.monitor_samples;
+  Mx.ensure_counter metrics Mx.monitor_dropped;
   Mx.set_gauge metrics Mx.recovery_redo_lsn 0;
   Mx.ensure_histogram metrics Mx.h_lock_wait_us;
   Mx.ensure_histogram metrics Mx.h_group_commit_batch;
@@ -760,8 +919,16 @@ let make ?metrics ~disk ~log_device ~config ~clock () =
       hist_decoded_order = Queue.create ();
       ingest_bufs = Hashtbl.create 8;
       ingest_seq = 0;
+      session_stats = Hashtbl.create 8;
+      monitor =
+        (if config.monitor_interval_ms > 0 then
+           Imdb_obs.Monitor.create ~interval_ms:config.monitor_interval_ms
+             ~capacity:config.monitor_capacity metrics
+         else Imdb_obs.Monitor.null);
     }
   in
+  (* start sampling right away: recovery activity is part of the record *)
+  Imdb_obs.Monitor.start t.monitor;
   (* Flush-time lazy stamping: volatile-only resolution, no logging. *)
   BP.set_pre_flush pool (fun page ->
       match P.page_type page with
@@ -851,6 +1018,9 @@ let scan_pool t =
       else None
 
 let close t =
+  (* join the sampler thread first: the domain must stay joinable, and a
+     sample racing device close would read a half-torn-down engine *)
+  Imdb_obs.Monitor.stop t.monitor;
   (* a clean-shutdown checkpoint: the next open recovers from (nearly)
      the end of the log *)
   (if t.ptt <> None then try ignore (checkpoint t) with _ -> ());
@@ -863,3 +1033,52 @@ let close t =
   Imdb_wal.Wal.close t.wal;
   t.disk.Imdb_storage.Disk.sync ();
   t.disk.Imdb_storage.Disk.close ()
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The post-mortem payload: everything a human needs to reconstruct what
+   the engine was doing when it died — the monitor ring (with a final
+   sample taken now, so there is always at least one), the tracer's
+   slow-op ring, a consistent lock dump, the per-session stats and the
+   full metrics exposition. *)
+let flight_report t ~reason =
+  let module J = Imdb_obs.Json in
+  Imdb_obs.Monitor.sample t.monitor;
+  J.Obj
+    [
+      ("flight_schema_version", J.Int 1);
+      ("reason", J.String reason);
+      ("metrics_schema_version", J.Int Imdb_obs.Metrics.schema_version);
+      ("monitor", Imdb_obs.Monitor.to_json t.monitor);
+      ("sessions", sessions_json t);
+      ("locks", Imdb_lock.Lock_manager.dump_json t.locks);
+      ("traces", Imdb_obs.Tracer.to_json t.tracer);
+      ("metrics", Imdb_obs.Metrics.to_json t.metrics);
+    ]
+
+(* Best-effort: a failing flight-recorder write must never mask the
+   failure (or the recovery) it is documenting. *)
+let write_flight_report t ~reason =
+  match t.config.flight_recorder_dir with
+  | None -> None
+  | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let name =
+          Printf.sprintf "flight_%s_%d.json" reason
+            (int_of_float (Unix.gettimeofday () *. 1e3))
+        in
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Imdb_obs.Json.to_string (flight_report t ~reason)));
+        Log.info (fun m -> m "flight recorder: wrote %s" path);
+        Some path
+      with e ->
+        Log.warn (fun m ->
+            m "flight recorder: failed to write report: %s" (Printexc.to_string e));
+        None)

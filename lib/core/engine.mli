@@ -65,6 +65,18 @@ type config = {
           session gate while parked), with wait-for-graph deadlock
           detection at edge insert and the waiter as timeout victim;
           deadlock and timeout both surface as {!Deadlock_abort}. *)
+  monitor_interval_ms : int;
+      (** [0] (the default) disables the continuous monitor — every
+          sampling site short-circuits on {!Imdb_obs.Monitor.null};
+          [> 0] runs a background thread capturing a counter snapshot
+          into a bounded ring every this many milliseconds.  The monitor
+          only {e reads} the registry, so engine counters are identical
+          either way (proved by the BENCH_monitorov gate). *)
+  monitor_capacity : int;  (** samples retained by the monitor ring *)
+  flight_recorder_dir : string option;
+      (** when set, recovery-after-crash writes a post-mortem JSON
+          report (monitor ring, slow ops, lock dump, session stats,
+          metrics) into this directory; [None] (the default) never *)
 }
 
 val default_config : config
@@ -77,6 +89,8 @@ type txn = {
   tx_tid : Imdb_clock.Tid.t;
   tx_isolation : isolation;
   tx_snapshot : Imdb_clock.Timestamp.t;
+  tx_session : int;
+      (** owning session id; [0] = anonymous (plain [Db] calls) *)
   mutable tx_state : txn_state;
   mutable tx_begun : bool;
   mutable tx_last_lsn : int64;  (** head of the undo chain *)
@@ -87,11 +101,35 @@ type txn = {
   mutable tx_durable : bool;
       (** the commit record has been synced to the log device; set by the
           group-commit acknowledgment, never before the sync *)
+  mutable tx_rows_read : int;  (** rows delivered to this txn's reads *)
+  mutable tx_rows_written : int;  (** write ops, including re-writes of a key *)
+  mutable tx_lock_waits : int;  (** blocking lock waits that actually parked *)
+  mutable tx_lock_wait_us : int;  (** wall µs spent parked on locks *)
 }
 
 exception Txn_finished
 exception Read_only_txn
 exception Deadlock_abort of Imdb_clock.Tid.t
+
+type session_stats = {
+  ss_id : int;
+  mutable ss_commits : int;
+  mutable ss_aborts : int;
+  mutable ss_rows_read : int;
+  mutable ss_rows_written : int;
+  mutable ss_lock_waits : int;
+  mutable ss_lock_wait_us : int;
+  mutable ss_commit_latency_ticks : int;
+      (** cumulative snapshot-to-commit clock ticks (the
+          [txn.commit_latency_ms] unit) over persistent commits *)
+  mutable ss_last_batch_pos : int;
+      (** group-commit batch position of the newest commit: 1 = batch
+          leader (its flush paid the sync), k > 1 = rode a shared sync *)
+  mutable ss_max_batch_pos : int;
+}
+(** Cumulative per-session statistics, folded in from each finished
+    transaction's tallies.  Gate-guarded — read via {!sessions_json} or
+    under {!exclusively}. *)
 
 type t = {
   disk : Imdb_storage.Disk.t;
@@ -131,6 +169,11 @@ type t = {
   ingest_bufs : (int, Ingest.buf) Hashtbl.t;
       (** table id -> volatile mirror of its message-buffer page *)
   mutable ingest_seq : int;  (** last message sequence number issued *)
+  session_stats : (int, session_stats) Hashtbl.t;
+      (** per-session cumulative statistics, keyed by session id *)
+  monitor : Imdb_obs.Monitor.t;
+      (** the continuous sampler; {!Imdb_obs.Monitor.null} unless
+          [config.monitor_interval_ms > 0] *)
 }
 
 val vtt : t -> Imdb_tstamp.Vtt.t
@@ -205,7 +248,11 @@ val tsb_io : t -> int -> Imdb_tsb.Tsb.io
 (** {1 Transactions} *)
 
 val fresh_tid : t -> Imdb_clock.Tid.t
-val begin_txn : t -> isolation:isolation -> txn
+
+val begin_txn : ?session:int -> t -> isolation:isolation -> txn
+(** [session] tags the transaction with its owning session id for
+    per-session statistics; defaults to 0 (anonymous). *)
+
 val check_running : txn -> unit
 val is_read_only : txn -> bool
 
@@ -219,11 +266,14 @@ val note_write : t -> txn -> table_id:int -> key:string -> immortal:bool -> unit
 (** Record a write in the transaction (dedup'd); raises on AS OF txns. *)
 
 val lock_resource :
+  ?txn:txn ->
   t -> Imdb_clock.Tid.t -> Imdb_lock.Lock_manager.resource -> Imdb_lock.Lock_manager.mode -> unit
 (** Take one lock, honoring [config.lock_wait_timeout_ms]: fail-fast at 0
     (the historical protocol), else a blocking wait with the session gate
-    released while parked.  Deadlock and timeout raise {!Deadlock_abort}
-    naming the victim (the requester). *)
+    released while parked.  When [txn] is given, a wait that actually
+    parked is tallied into its [tx_lock_waits]/[tx_lock_wait_us].
+    Deadlock and timeout raise {!Deadlock_abort} naming the victim (the
+    requester). *)
 
 val lock_record : t -> txn -> table_id:int -> key:string -> Imdb_lock.Lock_manager.mode -> unit
 (** Isolation-aware locking: 2PL takes intent + record locks; snapshot
@@ -287,3 +337,38 @@ val scan_pool : t -> Imdb_parallel.Pool.t option
     first call), [None] on serial engines. *)
 
 val close : t -> unit
+(** Stops the monitor sampler thread, checkpoints, flushes and closes
+    the devices. *)
+
+(** {1 Session statistics and introspection} *)
+
+val fold_txn_stats :
+  t -> txn -> committed:bool -> ?latency_ticks:int -> ?batch_pos:int -> unit -> unit
+(** Fold a finished transaction's tallies into its session's cumulative
+    stats and the [session.*] counters.  Called by {!Txnmgr} under the
+    gate; [latency_ticks]/[batch_pos] accompany persistent commits. *)
+
+val session_stats_for : t -> int -> session_stats
+(** The (created-on-demand) stats record for a session id. *)
+
+val session_stats_list : t -> session_stats list
+(** All sessions seen so far, sorted by id. *)
+
+val sessions_json : t -> Imdb_obs.Json.t
+(** [{"sessions": [{"id", "active_txns", "commits", "aborts",
+    "rows_read", "rows_written", "lock_waits", "lock_wait_us",
+    "commit_latency_ticks", "last_batch_pos", "max_batch_pos"}...]}] —
+    the payload behind the SQL [SESSIONS] pragma and [imdb sessions]. *)
+
+(** {1 Flight recorder} *)
+
+val flight_report : t -> reason:string -> Imdb_obs.Json.t
+(** The post-mortem payload: takes one final monitor sample, then
+    bundles the monitor ring, session stats, a consistent lock dump, the
+    tracer rings and the full metrics exposition. *)
+
+val write_flight_report : t -> reason:string -> string option
+(** Write {!flight_report} to [config.flight_recorder_dir] (creating the
+    directory), returning the path.  [None] when unconfigured, and on
+    any write failure — the recorder must never mask the failure it is
+    documenting. *)

@@ -293,4 +293,13 @@ let recover eng =
         (string_of_int
            (Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_redo));
       (* a fresh checkpoint caps the next recovery's work *)
-      ignore (E.checkpoint eng))
+      ignore (E.checkpoint eng);
+      (* crash evidence (losers rolled back, or torn writes scrubbed)
+         triggers the flight recorder when a report dir is configured:
+         the post-mortem captures what this engine can still see of the
+         crashed run — recovery counters, loser rollbacks, slow ops *)
+      let torn =
+        Imdb_obs.Metrics.get eng.E.metrics Imdb_obs.Metrics.recovery_torn_pages
+      in
+      if !losers > 0 || torn > 0 then
+        ignore (E.write_flight_report eng ~reason:"recovery"))

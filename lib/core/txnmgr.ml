@@ -41,6 +41,7 @@ let commit eng txn =
     (* nothing logged, nothing timestamped: vanish quietly *)
     Imdb_tstamp.Vtt.drop (E.vtt eng) txn.E.tx_tid;
     release eng txn;
+    E.fold_txn_stats eng txn ~committed:true ();
     None
   end
   else begin
@@ -70,6 +71,9 @@ let commit eng txn =
        unacknowledged and recovery rolls it back. *)
     Imdb_wal.Wal.register_commit eng.E.wal ~lsn:commit_lsn ~on_durable:(fun () ->
         txn.E.tx_durable <- true);
+    (* our position in the forming group-commit batch: 1 = leader (our
+       flush will pay the sync), k = riding a batch of k so far *)
+    let batch_pos = Imdb_wal.Wal.pending_commits eng.E.wal in
     (* The VTT commit — the visibility switch — happens here, in the same
        gate section that issued the timestamp, so concurrent sessions can
        never observe a timestamp-ordered commit before an earlier one.
@@ -97,9 +101,15 @@ let commit eng txn =
     Imdb_obs.Metrics.incr m Imdb_obs.Metrics.txn_commits;
     Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_writes
       (List.length txn.E.tx_writes);
-    if Ts.compare txn.E.tx_snapshot Ts.zero > 0 then
-      Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_latency_ms
-        (Int64.to_int (Int64.sub (Ts.ttime ts) (Ts.ttime txn.E.tx_snapshot)));
+    let latency_ticks =
+      if Ts.compare txn.E.tx_snapshot Ts.zero > 0 then begin
+        let l = Int64.to_int (Int64.sub (Ts.ttime ts) (Ts.ttime txn.E.tx_snapshot)) in
+        Imdb_obs.Metrics.observe m Imdb_obs.Metrics.h_commit_latency_ms l;
+        Some l
+      end
+      else None
+    in
+    E.fold_txn_stats eng txn ~committed:true ?latency_ticks ~batch_pos ();
     eng.E.commits_since_checkpoint <- eng.E.commits_since_checkpoint + 1;
     Imdb_obs.Tracer.add_attr sp "tid" (Tid.to_string txn.E.tx_tid);
     Imdb_obs.Tracer.add_attr sp "ts" (Ts.to_string ts);
@@ -279,7 +289,8 @@ let abort eng txn =
   Imdb_tstamp.Vtt.abort (E.vtt eng) txn.E.tx_tid;
   Imdb_tstamp.Vtt.drop (E.vtt eng) txn.E.tx_tid;
   Imdb_obs.Metrics.incr eng.E.metrics Imdb_obs.Metrics.txn_aborts;
-  release eng txn
+  release eng txn;
+  E.fold_txn_stats eng txn ~committed:false ()
 
 (* Recovery entry point: roll back a loser transaction found in the log.
    Synthesizes a transaction handle around the recovered chain head. *)
@@ -289,6 +300,7 @@ let rollback_loser eng ~tid ~last_lsn =
       E.tx_tid = tid;
       tx_isolation = E.Serializable;
       tx_snapshot = Ts.zero;
+      tx_session = 0;
       tx_state = E.Rolling_back;
       tx_begun = true;
       tx_last_lsn = last_lsn;
@@ -297,6 +309,10 @@ let rollback_loser eng ~tid ~last_lsn =
       tx_wrote_immortal = false;
       tx_commit_ts = None;
       tx_durable = false;
+      tx_rows_read = 0;
+      tx_rows_written = 0;
+      tx_lock_waits = 0;
+      tx_lock_wait_us = 0;
     }
   in
   rollback_chain eng txn ~from_lsn:last_lsn;

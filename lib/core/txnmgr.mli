@@ -8,7 +8,9 @@
     reverted only if still present, which makes re-undoing after a crash
     idempotent and replaces textbook CLR chains. *)
 
-val begin_txn : Engine.t -> isolation:Engine.isolation -> Engine.txn
+val begin_txn : ?session:int -> Engine.t -> isolation:Engine.isolation -> Engine.txn
+(** [session] tags the transaction with the originating session's id for
+    per-session statistics (default 0: anonymous / engine-internal). *)
 
 val commit : Engine.t -> Engine.txn -> Imdb_clock.Timestamp.t option
 (** Returns the commit timestamp, or [None] for read-only transactions

@@ -70,15 +70,26 @@ type shard = {
 
 let shard_count = 16 (* power of two: shard index is a mask of the hash *)
 
+(* One blocked request: what it wants and whom it waits for.  Keeping
+   the resource/mode on the node (not just the edge set) lets the
+   introspection dump say what each waiter is parked on, and lets
+   [release_all] purge the reverse edges of exactly the resources it
+   releases. *)
+type waiter = {
+  w_res : resource;
+  w_mode : mode;
+  w_set : (Imdb_clock.Tid.t, unit) Hashtbl.t;
+}
+
 type t = {
   shards : shard array;
   held_mu : Mutex.t;
   held : (Imdb_clock.Tid.t, (resource, unit) Hashtbl.t) Hashtbl.t;
       (* per-transaction held-resource sets (strict 2PL release index) *)
   waits_mu : Mutex.t;
-  waits : (Imdb_clock.Tid.t, (Imdb_clock.Tid.t, unit) Hashtbl.t) Hashtbl.t;
+  waits : (Imdb_clock.Tid.t, waiter) Hashtbl.t;
       (* wait-for edges recorded on blocked requests, for deadlock
-         detection *)
+         detection and the introspection dump *)
   mutable registered : bool; (* shard condvars known to the ticker *)
   mutable metrics : M.t;
   mutable tracer : Imdb_obs.Tracer.t;
@@ -188,7 +199,7 @@ let clear_waits t tid =
    leaves the graph unchanged).  Hash-set-backed BFS: visited set and
    successor sets are hashtables, so the check stays near-linear however
    many locks are held. *)
-let note_wait_or_cycle t tid blockers =
+let note_wait_or_cycle t tid ~res ~mode blockers =
   Mutex.lock t.waits_mu;
   let seen : (Imdb_clock.Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
   let frontier = ref blockers in
@@ -202,14 +213,14 @@ let note_wait_or_cycle t tid blockers =
         else if not (Hashtbl.mem seen x) then begin
           Hashtbl.add seen x ();
           match Hashtbl.find_opt t.waits x with
-          | Some succ -> Hashtbl.iter (fun y () -> frontier := y :: !frontier) succ
+          | Some w -> Hashtbl.iter (fun y () -> frontier := y :: !frontier) w.w_set
           | None -> ()
         end
   done;
   if not !cycle then begin
     let set = Hashtbl.create 4 in
     List.iter (fun b -> Hashtbl.replace set b ()) blockers;
-    Hashtbl.replace t.waits tid set
+    Hashtbl.replace t.waits tid { w_res = res; w_mode = mode; w_set = set }
   end;
   Mutex.unlock t.waits_mu;
   !cycle
@@ -261,7 +272,7 @@ let acquire t tid res mode =
           Granted
       | blockers ->
           M.incr t.metrics M.lock_conflicts;
-          if note_wait_or_cycle t tid blockers then begin
+          if note_wait_or_cycle t tid ~res ~mode blockers then begin
             M.incr t.metrics M.lock_deadlocks;
             raise (Deadlock tid)
           end;
@@ -290,16 +301,18 @@ let acquire_wait ?(timeout_us = 100_000) t tid res mode =
     (fun () ->
       let e0, requested0, conflicts0 = probe sh tid res mode in
       match conflicts0 with
-      | [] -> grant t e0 tid res requested0
+      | [] ->
+          grant t e0 tid res requested0;
+          0
       | first_blockers ->
           M.incr t.metrics M.lock_conflicts;
           register_with_ticker t;
           let started = Unix.gettimeofday () in
           let deadline = started +. (float_of_int timeout_us /. 1e6) in
-          let finish_wait () =
-            M.observe t.metrics M.h_lock_wait_us
-              (int_of_float ((Unix.gettimeofday () -. started) *. 1e6))
+          let waited () =
+            int_of_float ((Unix.gettimeofday () -. started) *. 1e6)
           in
+          let finish_wait w = M.observe t.metrics M.h_lock_wait_us w in
           Imdb_obs.Tracer.with_span t.tracer "lock.wait"
             ~attrs:
               [
@@ -308,15 +321,15 @@ let acquire_wait ?(timeout_us = 100_000) t tid res mode =
               ]
           @@ fun _ ->
           let rec loop blockers =
-            if note_wait_or_cycle t tid blockers then begin
+            if note_wait_or_cycle t tid ~res ~mode blockers then begin
               M.incr t.metrics M.lock_deadlocks;
-              finish_wait ();
+              finish_wait (waited ());
               raise (Deadlock tid)
             end;
             if Unix.gettimeofday () >= deadline then begin
               clear_waits t tid;
               M.incr t.metrics M.lock_timeouts;
-              finish_wait ();
+              finish_wait (waited ());
               raise (Lock_timeout { tid; res })
             end;
             Atomic.incr waiters_total;
@@ -328,7 +341,9 @@ let acquire_wait ?(timeout_us = 100_000) t tid res mode =
             match conflicts with
             | [] ->
                 grant t e tid res requested;
-                finish_wait ()
+                let w = waited () in
+                finish_wait w;
+                w
             | blockers -> loop blockers
           in
           loop first_blockers)
@@ -347,7 +362,16 @@ let holds t tid res =
   r
 
 (* Strict 2PL: all locks released together at commit/abort.  Each touched
-   shard is broadcast so parked waiters re-probe. *)
+   shard is broadcast so parked waiters re-probe.
+
+   While a resource's shard mutex is held, the releaser also erases
+   itself (under [waits_mu], the inner lock) from the blocker sets of
+   waiters parked on that resource.  Edge creation holds the same shard
+   mutex, so a wait-for edge and its target's holdership now change
+   atomically with respect to anyone holding that shard — which is what
+   makes [dump] (all shards + [waits_mu]) internally consistent: every
+   blocker named by a waiter edge is a current holder of the waited-on
+   resource in the same dump. *)
 let release_all t tid =
   Mutex.lock t.held_mu;
   let resources =
@@ -367,6 +391,11 @@ let release_all t tid =
       | Some e ->
           Hashtbl.remove e.holders tid;
           if Hashtbl.length e.holders = 0 then Hashtbl.remove sh.sh_table res);
+      Mutex.lock t.waits_mu;
+      Hashtbl.iter
+        (fun _ w -> if w.w_res = res then Hashtbl.remove w.w_set tid)
+        t.waits;
+      Mutex.unlock t.waits_mu;
       Condition.broadcast sh.sh_cond;
       Mutex.unlock sh.sh_mu)
     resources;
@@ -395,3 +424,88 @@ let active_locks t =
       Mutex.unlock sh.sh_mu;
       acc)
     [] t.shards
+
+(* --- introspection dump ---------------------------------------------- *)
+
+type dump = {
+  d_holders : (resource * Imdb_clock.Tid.t * mode) list;
+  d_waiters : (Imdb_clock.Tid.t * resource * mode * Imdb_clock.Tid.t list) list;
+}
+
+(* One consistent cut across all 16 shards: every shard mutex is taken in
+   array order (a total order no other thread competes with — everyone
+   else holds at most one shard), then [waits_mu], which is strictly
+   inside any shard in the global lock order.  Because edge creation and
+   the release-time reverse-edge purge both run under the waited-on
+   resource's shard mutex, no edge can appear or lose its holder while
+   the dump holds every shard: each waiter's blockers are holders of the
+   waited-on resource in this same cut. *)
+let dump t =
+  Array.iter (fun sh -> Mutex.lock sh.sh_mu) t.shards;
+  Mutex.lock t.waits_mu;
+  let holders =
+    Array.fold_left
+      (fun acc sh ->
+        Hashtbl.fold
+          (fun res e acc ->
+            Hashtbl.fold (fun tid m acc -> (res, tid, m) :: acc) e.holders acc)
+          sh.sh_table acc)
+      [] t.shards
+  in
+  let waiters =
+    Hashtbl.fold
+      (fun tid w acc ->
+        let blockers = Hashtbl.fold (fun b () acc -> b :: acc) w.w_set [] in
+        (tid, w.w_res, w.w_mode, List.sort Imdb_clock.Tid.compare blockers)
+        :: acc)
+      t.waits []
+  in
+  Mutex.unlock t.waits_mu;
+  Array.iter (fun sh -> Mutex.unlock sh.sh_mu) t.shards;
+  {
+    d_holders = List.sort compare holders;
+    d_waiters = List.sort compare waiters;
+  }
+
+let resource_json res =
+  let module J = Imdb_obs.Json in
+  match res with
+  | Table id -> J.Obj [ ("kind", J.String "table"); ("table", J.Int id) ]
+  | Record (id, k) ->
+      J.Obj
+        [
+          ("kind", J.String "record");
+          ("table", J.Int id);
+          ("key", J.String (String.escaped k));
+        ]
+
+let dump_json t =
+  let module J = Imdb_obs.Json in
+  let d = dump t in
+  let tid_json tid = J.String (Imdb_clock.Tid.to_string tid) in
+  J.Obj
+    [
+      ( "holders",
+        J.List
+          (List.map
+             (fun (res, tid, m) ->
+               J.Obj
+                 [
+                   ("resource", resource_json res);
+                   ("tid", tid_json tid);
+                   ("mode", J.String (Fmt.str "%a" pp_mode m));
+                 ])
+             d.d_holders) );
+      ( "waiters",
+        J.List
+          (List.map
+             (fun (tid, res, m, blockers) ->
+               J.Obj
+                 [
+                   ("tid", tid_json tid);
+                   ("resource", resource_json res);
+                   ("mode", J.String (Fmt.str "%a" pp_mode m));
+                   ("waits_for", J.List (List.map tid_json blockers));
+                 ])
+             d.d_waiters) );
+    ]

@@ -59,11 +59,13 @@ val acquire : t -> Imdb_clock.Tid.t -> resource -> mode -> outcome
 val acquire_exn : t -> Imdb_clock.Tid.t -> resource -> mode -> unit
 (** Like [acquire] but a block erases the edge and raises [Conflict]. *)
 
-val acquire_wait : ?timeout_us:int -> t -> Imdb_clock.Tid.t -> resource -> mode -> unit
+val acquire_wait : ?timeout_us:int -> t -> Imdb_clock.Tid.t -> resource -> mode -> int
 (** Acquire, parking on the shard's condition variable while blocked.
     Releases of conflicting locks re-probe the grant; a process-wide
     ticker thread (spawned on the first blocking wait) bounds the delay
-    until the deadline is noticed.  @raise Deadlock at edge insert,
+    until the deadline is noticed.  Returns the wall-clock microseconds
+    spent parked (0 when granted immediately), which callers fold into
+    per-transaction wait accounting.  @raise Deadlock at edge insert,
     @raise Lock_timeout at the deadline (default 100 ms). *)
 
 val holds : t -> Imdb_clock.Tid.t -> resource -> mode option
@@ -73,4 +75,29 @@ val release_all : t -> Imdb_clock.Tid.t -> unit
     touched shard's waiters are woken. *)
 
 val held_by : t -> Imdb_clock.Tid.t -> resource list
+
 val active_locks : t -> (resource * Imdb_clock.Tid.t * mode) list
+(** Holder triples, collected shard by shard — cheap, but not a
+    consistent cross-shard cut; use [dump] for that. *)
+
+(** {1 Introspection} *)
+
+type dump = {
+  d_holders : (resource * Imdb_clock.Tid.t * mode) list;
+      (** every granted lock, sorted *)
+  d_waiters : (Imdb_clock.Tid.t * resource * mode * Imdb_clock.Tid.t list) list;
+      (** every parked/blocked request: requested resource and mode plus
+          the live wait-for edges, sorted *)
+}
+
+val dump : t -> dump
+(** One consistent cut of the whole lock table: all 16 shard mutexes are
+    held together (plus the wait-for index) while holders and waiters are
+    collected, so every blocker named by a waiter edge appears among
+    [d_holders] for the waited-on resource in the same dump. *)
+
+val dump_json : t -> Imdb_obs.Json.t
+(** [dump] as the stable JSON consumed by [imdb locks], the SQL [LOCKS]
+    pragma and flight-recorder reports:
+    [{"holders": [{"resource", "tid", "mode"}...],
+      "waiters": [{"tid", "resource", "mode", "waits_for": [tid...]}...]}]. *)

@@ -178,6 +178,17 @@ let summarize h =
 let histogram t name =
   locked t (fun () -> Option.map summarize (Hashtbl.find_opt t.hists name))
 
+let histograms t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k h acc -> (k, summarize h) :: acc) t.hists [])
+  |> List.sort compare
+
+let percentiles t name qs =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.hists name with
+      | None -> List.map (fun _ -> 0) qs
+      | Some h -> List.map (fun q -> percentile h q) qs)
+
 (* --- snapshots ----------------------------------------------------- *)
 
 type snapshot = (string * int) list
@@ -250,8 +261,13 @@ let trace_dropped t = locked t (fun () -> t.ring_dropped)
 
    v8: multi-core transaction execution — the lock.* counters (acquires,
    conflicts, deadlocks, timeouts) and the lock.wait_us histogram
-   (blocking-wait durations; empty on the fail-fast serial path). *)
-let schema_version = 8
+   (blocking-wait durations; empty on the fail-fast serial path).
+
+   v9: live introspection — the session.* commit-time counters
+   (rows_read, rows_written: per-txn tallies folded in at commit) and the
+   monitor.* counters (samples, dropped) fed by the continuous monitor
+   sampler when one is running. *)
+let schema_version = 9
 
 let sorted_int_obj tbl =
   Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) tbl [] |> List.sort compare
@@ -318,6 +334,50 @@ let to_json ?(traces = false) t =
 
 let to_json_string ?traces t = Json.to_string (to_json ?traces t)
 
+(* --- Prometheus text exposition ------------------------------------ *)
+
+(* Metric names may only contain [a-zA-Z0-9_:]; ours use dots as the
+   namespace separator, so mangle those (and any stray character) to
+   underscores and prefix the exporter namespace. *)
+let prom_name name =
+  let mangled =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  "imdb_" ^ mangled
+
+let to_prometheus t =
+  locked t @@ fun () ->
+  let b = Buffer.create 1024 in
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  List.iter
+    (fun (k, r) ->
+      let n = prom_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n !r))
+    (sorted t.counters);
+  List.iter
+    (fun (k, r) ->
+      let n = prom_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n !r))
+    (sorted t.gauges);
+  List.iter
+    (fun (k, h) ->
+      let n = prom_name k in
+      let s = summarize h in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string b (Printf.sprintf "%s{quantile=\"%s\"} %d\n" n q v))
+        [ ("0.5", s.h_p50); ("0.9", s.h_p90); ("0.99", s.h_p99) ];
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n s.h_sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.h_count))
+    (sorted t.hists);
+  Buffer.contents b
+
 (* --- canonical names ----------------------------------------------- *)
 
 let disk_reads = "disk.reads"
@@ -373,6 +433,10 @@ let lock_acquires = "lock.acquires"
 let lock_conflicts = "lock.conflicts"
 let lock_deadlocks = "lock.deadlocks"
 let lock_timeouts = "lock.timeouts"
+let session_rows_read = "session.rows_read"
+let session_rows_written = "session.rows_written"
+let monitor_samples = "monitor.samples"
+let monitor_dropped = "monitor.dropped"
 
 let h_log_record_bytes = "log.record_bytes"
 let h_log_flush_bytes = "log.flush_bytes"

@@ -67,6 +67,15 @@ val ensure_histogram : t -> string -> unit
 
 val histogram : t -> string -> hist_summary option
 
+val histograms : t -> (string * hist_summary) list
+(** All registered histograms, sorted by name. *)
+
+val percentiles : t -> string -> float list -> int list
+(** [percentiles t name qs] estimates each quantile in [qs] (e.g.
+    [[0.5; 0.9; 0.99]]) from histogram [name]'s bucket counts, using the
+    same rank-in-cumulative-buckets rule as [hist_summary].  An unknown
+    or empty histogram yields all zeros. *)
+
 (** {1 Snapshots} — counters only, for bracketing a workload. *)
 
 type snapshot = (string * int) list
@@ -107,7 +116,7 @@ val trace_dropped : t -> int
     [imdb stats --json], the SQL [METRICS] pragma and the bench harness:
 
     {v
-    { "schema_version": 8,
+    { "schema_version": 9,
       "counters":   { "<name>": <int>, ... },              (sorted)
       "gauges":     { "<name>": <int>, ... },              (sorted)
       "histograms": { "<name>": { "count": n, "sum": n, "max": n,
@@ -123,6 +132,13 @@ val trace_dropped : t -> int
 val schema_version : int
 val to_json : ?traces:bool -> t -> Json.t
 val to_json_string : ?traces:bool -> t -> string
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (version 0.0.4): every counter and gauge
+    as its own metric, every histogram as a [summary] with 0.5/0.9/0.99
+    quantiles plus [_sum]/[_count].  Names are mangled
+    [imdb_<name-with-dots-as-underscores>]; output is sorted, so for a
+    given registry state the text is byte-stable. *)
 
 (** {1 Canonical metric names} — producers and consumers share these so
     they cannot drift apart. *)
@@ -221,6 +237,20 @@ val lock_deadlocks : string
 
 val lock_timeouts : string
 (** Blocking waits abandoned at the deadline (the waiter is the victim). *)
+
+val session_rows_read : string
+(** Rows returned to readers, folded in per transaction at commit/abort
+    from the per-txn tally (see Engine session stats). *)
+
+val session_rows_written : string
+(** Rows inserted/updated/deleted, folded in per transaction at
+    commit/abort from the per-txn tally. *)
+
+val monitor_samples : string
+(** Samples captured into the continuous monitor's ring. *)
+
+val monitor_dropped : string
+(** Monitor samples evicted from the ring once it reached capacity. *)
 
 (** Histogram names. *)
 

@@ -12,6 +12,8 @@
      SELECT HISTORY(t, key)            -- time-travel extension
      CHECKPOINT                         -- maintenance extension
      METRICS                            -- session pragma: engine metrics as JSON
+     SESSIONS                           -- session pragma: per-session stats as JSON
+     LOCKS                              -- session pragma: lock holders/waiters as JSON
    v}
 
    The AS OF clause attaches to BEGIN TRAN, as in the paper's example:
@@ -58,6 +60,8 @@ type statement =
   | Checkpoint_stmt
   | Metrics_stmt
   | Trace_stmt
+  | Sessions_stmt
+  | Locks_stmt
 
 let pp_literal ppf = function
   | L_int i -> Fmt.int ppf i
@@ -139,5 +143,7 @@ let pp_statement ppf = function
   | Checkpoint_stmt -> Fmt.string ppf "CHECKPOINT"
   | Metrics_stmt -> Fmt.string ppf "METRICS"
   | Trace_stmt -> Fmt.string ppf "TRACE"
+  | Sessions_stmt -> Fmt.string ppf "SESSIONS"
+  | Locks_stmt -> Fmt.string ppf "LOCKS"
 
 let statement_to_string s = Fmt.str "%a" pp_statement s

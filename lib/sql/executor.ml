@@ -29,11 +29,14 @@ type result =
 
 type session = {
   db : Db.t;
+  dbs : Db.Session.t;  (* transactions run on this, so each SQL session
+                          shows up with its own id in [SESSIONS] *)
   mutable txn : Db.txn option;
   mutable isolation : Db.isolation;
 }
 
-let make_session db = { db; txn = None; isolation = Db.Serializable }
+let make_session db =
+  { db; dbs = Db.session db; txn = None; isolation = Db.Serializable }
 
 (* --- value & condition plumbing ---------------------------------------- *)
 
@@ -128,7 +131,7 @@ let key_range schema cond =
 let in_txn session f =
   match session.txn with
   | Some txn -> f txn
-  | None -> Db.with_txn ~isolation:session.isolation session.db f
+  | None -> Db.Session.with_txn ~isolation:session.isolation session.dbs f
 
 (* --- statement execution -------------------------------------------------- *)
 
@@ -287,14 +290,14 @@ let exec session stmt =
         | Some s -> Db.As_of (Ts.of_string s)
         | None -> session.isolation
       in
-      session.txn <- Some (Db.begin_txn ~isolation session.db);
+      session.txn <- Some (Db.Session.begin_txn ~isolation session.dbs);
       R_ok "transaction started"
   | Commit_tran -> (
       match session.txn with
       | None -> fail "no open transaction"
       | Some txn ->
           session.txn <- None;
-          let ts = Db.commit session.db txn in
+          let ts = Db.Session.commit session.dbs txn in
           R_ok
             (match ts with
             | Some ts -> Printf.sprintf "committed at %s" (Ts.to_string ts)
@@ -304,7 +307,7 @@ let exec session stmt =
       | None -> fail "no open transaction"
       | Some txn ->
           session.txn <- None;
-          Db.abort session.db txn;
+          Db.Session.abort session.dbs txn;
           R_ok "rolled back")
   | Set_isolation `Serializable ->
       session.isolation <- Db.Serializable;
@@ -318,6 +321,8 @@ let exec session stmt =
   | Metrics_stmt ->
       R_ok (Imdb_obs.Metrics.to_json_string (Db.metrics session.db))
   | Trace_stmt -> R_ok (Imdb_obs.Tracer.to_json_string (Db.tracer session.db))
+  | Sessions_stmt -> R_ok (Imdb_obs.Json.to_string (Db.sessions_json session.db))
+  | Locks_stmt -> R_ok (Imdb_obs.Json.to_string (Db.locks_json session.db))
 
 let exec_string session src =
   List.map (fun stmt -> exec session stmt) (Parser.parse_script src)

@@ -15,6 +15,9 @@ type result =
 
 type session = {
   db : Imdb_core.Db.t;
+  dbs : Imdb_core.Db.Session.t;
+      (** transactions run on this engine session, so each SQL session
+          appears with its own id in the [SESSIONS] pragma *)
   mutable txn : Imdb_core.Db.txn option;
   mutable isolation : Imdb_core.Db.isolation;
 }

@@ -251,6 +251,14 @@ let parse_statement st =
     advance st;
     Trace_stmt
   end
+  else if is_kw t "SESSIONS" then begin
+    advance st;
+    Sessions_stmt
+  end
+  else if is_kw t "LOCKS" then begin
+    advance st;
+    Locks_stmt
+  end
   else fail "unexpected %a at statement start" Lexer.pp_token t
 
 (* Parse a script: semicolon-separated statements. *)

@@ -75,6 +75,7 @@ type config = {
   sabotage : sabotage option;
   schedule : crash_point list option;
   log : (string -> unit) option;
+  flight_dir : string option;
 }
 
 let default =
@@ -96,6 +97,7 @@ let default =
     sabotage = None;
     schedule = None;
     log = None;
+    flight_dir = None;
   }
 
 (* The crash schedule: [crashes] points spread over the expected commit
@@ -190,6 +192,10 @@ let run cfg =
       (* multi-session runs park on lock conflicts instead of failing
          fast (table intent locks meet even on partitioned keys) *)
       lock_wait_timeout_ms = (if cfg.sessions > 1 then 2_000 else 0);
+      flight_recorder_dir = cfg.flight_dir;
+      (* a flight report with an empty ring is a black box with no tape:
+         when recording is requested, run the monitor too *)
+      monitor_interval_ms = (if cfg.flight_dir <> None then 100 else 0);
     }
   in
   let table_names = List.init cfg.tables (Printf.sprintf "t%d") in
@@ -742,6 +748,14 @@ let run cfg =
       }
   in
   let failed msg =
+    (* flight recorder: dump the engine's last-known state next to the
+       failure (best effort — the handle may be mid-crash) *)
+    (if cfg.flight_dir <> None then
+       try
+         match Db.write_flight_report !db ~reason:"torture" with
+         | Some path -> act "flight report written: %s" path
+         | None -> ()
+       with _ -> ());
     Failed
       {
         f_seed = cfg.seed;

@@ -80,6 +80,10 @@ type config = {
   sabotage : sabotage option;
   schedule : crash_point list option;  (** [None]: derived from [seed] *)
   log : (string -> unit) option;  (** replay mode: every action printed *)
+  flight_dir : string option;
+      (** write a flight-recorder report (monitor samples, session stats,
+          lock dump, slow-op traces, metrics) into this directory when a
+          run fails — what CI uploads as the failure artifact *)
 }
 
 val default : config

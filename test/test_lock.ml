@@ -176,8 +176,8 @@ let test_wait_granted_on_release () =
   let got = Atomic.make false in
   let d =
     Domain.spawn (fun () ->
-        L.acquire_wait ~timeout_us:2_000_000 lm t2 rec_a L.X;
-        Atomic.set got true)
+        let waited = L.acquire_wait ~timeout_us:2_000_000 lm t2 rec_a L.X in
+        if waited > 0 then Atomic.set got true)
   in
   (* let the waiter park, then release: the wait must resolve to a grant *)
   Unix.sleepf 0.05;
@@ -194,10 +194,10 @@ let test_wait_timeout () =
   | exception L.Lock_timeout { tid; res } ->
       Alcotest.(check bool) "victim is the waiter" true (Tid.equal tid t2);
       Alcotest.(check bool) "on the contested resource" true (res = rec_a)
-  | () -> Alcotest.fail "wait succeeded against a held X lock");
+  | _ -> Alcotest.fail "wait succeeded against a held X lock");
   (* the timed-out waiter left no residue: after release, t2 gets through *)
   L.release_all lm t1;
-  L.acquire_wait ~timeout_us:30_000 lm t2 rec_a L.X;
+  ignore (L.acquire_wait ~timeout_us:30_000 lm t2 rec_a L.X);
   Alcotest.(check bool) "clean retry" true (L.holds lm t2 rec_a = Some L.X)
 
 let test_wait_deadlock_at_edge_insert () =
@@ -212,7 +212,7 @@ let test_wait_deadlock_at_edge_insert () =
   match L.acquire_wait ~timeout_us:5_000_000 lm t2 rec_a L.X with
   | exception L.Deadlock victim ->
       Alcotest.(check bool) "closer is the victim" true (Tid.equal victim t2)
-  | () -> Alcotest.fail "deadlock undetected on the wait path"
+  | _ -> Alcotest.fail "deadlock undetected on the wait path"
 
 let suite =
   [

@@ -81,6 +81,81 @@ let test_histogram_edges () =
       Alcotest.(check int) "empty p99" 0 h.M.h_p99
   | None -> Alcotest.fail "ensure_histogram did not register"
 
+let test_percentiles_api () =
+  let m = M.create () in
+  for v = 1 to 100 do
+    M.observe m "h" v
+  done;
+  (* same extraction the monitor uses: rank = ceil(q * count), walked
+     through the power-of-two buckets, capped at the observed max *)
+  Alcotest.(check (list int)) "p50/p90/p99" [ 64; 100; 100 ]
+    (M.percentiles m "h" [ 0.5; 0.9; 0.99 ]);
+  Alcotest.(check (list int)) "unknown histogram yields zeros" [ 0; 0 ]
+    (M.percentiles m "nope" [ 0.5; 0.99 ]);
+  M.observe m "other" 7;
+  Alcotest.(check (list string)) "histograms listing is sorted" [ "h"; "other" ]
+    (List.map fst (M.histograms m))
+
+(* Satellite of the monitor work: snapshot/diff (what the sampler runs on
+   every tick) must be exact under concurrent writers from other domains. *)
+let test_snapshot_diff_concurrent_domains () =
+  let m = M.create () in
+  let domains = 4 and per = 5_000 in
+  let before = M.snapshot m in
+  let spawned =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              M.incr m "c.shared";
+              M.incr m (Printf.sprintf "c.d%d" d);
+              M.observe m "h.lat" (i land 255)
+            done))
+  in
+  (* snapshots taken mid-flight must stay monotonic per counter *)
+  let mid1 = M.snapshot m in
+  let mid2 = M.snapshot m in
+  let at name s = Option.value (List.assoc_opt name s) ~default:0 in
+  Alcotest.(check bool) "mid-flight snapshots monotonic" true
+    (at "c.shared" mid2 >= at "c.shared" mid1);
+  Array.iter Domain.join spawned;
+  let after = M.snapshot m in
+  Alcotest.(check int) "shared counter exact" (domains * per) (at "c.shared" after);
+  for d = 0 to domains - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d private counter" d)
+      per
+      (at (Printf.sprintf "c.d%d" d) after)
+  done;
+  let deltas = M.diff ~before ~after in
+  Alcotest.(check int) "diff reports the full delta" (domains * per)
+    (at "c.shared" deltas);
+  Alcotest.(check (list (pair string int))) "diff of identical snapshots is empty"
+    [] (M.diff ~before:after ~after);
+  match M.histogram m "h.lat" with
+  | Some h -> Alcotest.(check int) "histogram count exact" (domains * per) h.M.h_count
+  | None -> Alcotest.fail "histogram missing"
+
+let test_prometheus_exposition () =
+  let m = M.create () in
+  M.incr ~by:3 m "txn.commits";
+  M.set_gauge m "pool.depth" 7;
+  for v = 1 to 100 do
+    M.observe m "lat.ms" v
+  done;
+  let s = M.to_prometheus m in
+  let has sub =
+    let n = String.length sub and ls = String.length s in
+    let rec go i = i + n <= ls && (String.sub s i n = sub || go (i + 1)) in
+    Alcotest.(check bool) ("contains " ^ sub) true (go 0)
+  in
+  has "# TYPE imdb_txn_commits counter\nimdb_txn_commits 3\n";
+  has "# TYPE imdb_pool_depth gauge\nimdb_pool_depth 7\n";
+  has "# TYPE imdb_lat_ms summary\n";
+  has "imdb_lat_ms{quantile=\"0.5\"} 64\n";
+  has "imdb_lat_ms{quantile=\"0.99\"} 100\n";
+  has "imdb_lat_ms_sum 5050\n";
+  has "imdb_lat_ms_count 100\n"
+
 (* --- trace ring ------------------------------------------------------------- *)
 
 let test_trace_ring_truncation () =
@@ -238,6 +313,10 @@ let suite =
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
     Alcotest.test_case "histogram determinism" `Quick test_histogram_determinism;
     Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "percentiles API" `Quick test_percentiles_api;
+    Alcotest.test_case "snapshot/diff under concurrent domains" `Quick
+      test_snapshot_diff_concurrent_domains;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
     Alcotest.test_case "trace ring truncation" `Quick test_trace_ring_truncation;
     Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "JSON traces opt-in" `Quick test_json_traces_opt_in;

@@ -100,6 +100,8 @@ let gen_statement =
         (1, return (Ast.Set_isolation `Snapshot));
         (1, return Ast.Checkpoint_stmt);
         (1, return Ast.Metrics_stmt);
+        (1, return Ast.Sessions_stmt);
+        (1, return Ast.Locks_stmt);
       ])
 
 (* Floats are printed with 6 decimals; normalize before comparing. *)
